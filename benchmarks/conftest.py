@@ -1,0 +1,37 @@
+"""Benchmark-suite fixtures.
+
+The benchmarks regenerate every figure of the paper.  A process-wide
+:class:`~repro.experiments.Workbench` memoizes saturation searches,
+DMSD fixed points and sweeps, so figures that share simulations in the
+paper (2/4/6) share them here and the suite's cost stays bounded.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only                 # quick profile
+    REPRO_BENCH_PROFILE=full pytest benchmarks/ --benchmark-only
+
+Each benchmark prints the regenerated figure as a text table (the
+series the paper plots) and asserts the paper's qualitative claims —
+who wins, in which direction, by roughly what factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Workbench, shared_workbench
+
+
+@pytest.fixture(scope="session")
+def bench_workbench() -> Workbench:
+    return shared_workbench()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Figure regeneration is a deterministic batch job; statistical
+    repetition would only re-measure the workbench cache, so a single
+    round is the honest measurement.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

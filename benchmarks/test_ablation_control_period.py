@@ -1,0 +1,55 @@
+"""Ablation: DVFS control update period (paper Sec. IV).
+
+The paper asserts that a 10,000-cycle control period "does not need to
+be short" and suffices for tracking.  This bench sweeps the period and
+reports the DMSD tracking error, confirming that tracking quality
+degrades gracefully (not catastrophically) as the period grows — the
+property that makes the controller scalable to large meshes.
+"""
+
+import pytest
+
+from repro.core import DmsdController
+from repro.noc import NocConfig, Simulation
+from repro.traffic import PatternTraffic, make_pattern
+
+from conftest import run_once
+
+CFG = NocConfig(width=4, height=4, num_vcs=4, vc_buf_depth=4,
+                packet_length=8)
+RATE = 0.15
+PERIODS = (500, 2000, 10_000)
+
+
+def run_with_period(period: int):
+    traffic = PatternTraffic(make_pattern("uniform", CFG.make_mesh()),
+                             RATE)
+    target = 2.5 * CFG.zero_load_latency_cycles()
+    # Scale gains proportionally to the period so the loop bandwidth
+    # per unit of *real time* is constant across the sweep: rarer
+    # updates must each move the frequency further.  The floor keeps
+    # the short-period loops fast enough to settle within the horizon.
+    ki = min(0.4, max(0.06, 0.03 * period / 500))
+    ctrl = DmsdController(target_delay_ns=target, ki=ki, kp=ki / 2)
+    sim = Simulation(CFG, traffic, controller=ctrl, seed=5,
+                     control_period_node_cycles=period)
+    warmup = max(14_000, 10 * period)
+    res = sim.run(warmup, 4000)
+    err = (abs(res.mean_delay_ns - target) / target
+           if res.mean_delay_ns else float("nan"))
+    return {"period": period, "updates": len(res.samples),
+            "tracking_err": err, "delay_ns": res.mean_delay_ns,
+            "target_ns": target}
+
+
+@pytest.mark.parametrize("period", PERIODS)
+def test_control_period_ablation(benchmark, period):
+    row = run_once(benchmark, lambda: run_with_period(period))
+    print()
+    print(f"control period {period} node cycles: "
+          f"{row['updates']} updates, delay {row['delay_ns']:.0f} ns vs "
+          f"target {row['target_ns']:.0f} ns "
+          f"(err {row['tracking_err'] * 100:.1f}%)")
+    # Long periods must still track the target usefully — the paper's
+    # scalability argument.
+    assert row["tracking_err"] < 0.6

@@ -1,0 +1,62 @@
+"""Ablation: the DMSD target-delay knob.
+
+The paper fixes the target to the RMSD delay at ``lambda_max``; this
+bench sweeps the target around that choice and maps out the resulting
+power–delay curve, showing DMSD exposes a *tunable* trade-off where
+RMSD offers a single point.
+"""
+
+import pytest
+
+from repro.analysis import DmsdSteadyState, FAST, run_fixed_point
+from repro.core.rmsd import rmsd_frequency
+from repro.noc import NocConfig
+from repro.power import PowerModel
+from repro.traffic import PatternTraffic, make_pattern
+
+from conftest import run_once
+
+CFG = NocConfig(width=4, height=4, num_vcs=4, vc_buf_depth=4,
+                packet_length=8)
+RATE = 0.15
+BASE_TARGET = 2.5 * CFG.zero_load_latency_cycles()
+SCALES = (0.75, 1.0, 1.5, 2.5)
+
+
+def run_with_target(scale: float):
+    traffic = PatternTraffic(make_pattern("uniform", CFG.make_mesh()),
+                             RATE)
+    target = BASE_TARGET * scale
+    strat = DmsdSteadyState(target_delay_ns=target, iterations=6)
+    f_star = strat.frequency_for(CFG, traffic, FAST, seed=5)
+    res = run_fixed_point(CFG, traffic, f_star, FAST, seed=5)
+    power = PowerModel(CFG).evaluate(res.power_windows)
+    return {"target_ns": target, "freq_ghz": f_star / 1e9,
+            "delay_ns": res.mean_delay_ns, "power_mw": power.total_mw}
+
+
+def test_target_delay_ablation(benchmark):
+    rows = run_once(benchmark,
+                    lambda: [run_with_target(s) for s in SCALES])
+    print()
+    print(f"{'target(ns)':>11} {'F(GHz)':>8} {'delay(ns)':>10} "
+          f"{'power(mW)':>10}")
+    for row in rows:
+        print(f"{row['target_ns']:11.0f} {row['freq_ghz']:8.3f} "
+              f"{row['delay_ns']:10.1f} {row['power_mw']:10.1f}")
+
+    # Looser targets must monotonically (modulo noise) lower frequency
+    # and power: the knob works.
+    freqs = [r["freq_ghz"] for r in rows]
+    powers = [r["power_mw"] for r in rows]
+    assert freqs[0] >= freqs[-1]
+    assert powers[0] >= powers[-1] * 0.95
+
+    # All achieved delays respect their own targets (with noise slack).
+    for row in rows:
+        if row["freq_ghz"] < CFG.f_max_hz / 1e9 - 1e-9:
+            assert row["delay_ns"] < row["target_ns"] * 1.35
+
+    # Context line: the RMSD operating point for the same rate.
+    f_rmsd = rmsd_frequency(CFG, RATE, lambda_max=0.4)
+    print(f"(RMSD at the same rate would pick {f_rmsd / 1e9:.3f} GHz)")

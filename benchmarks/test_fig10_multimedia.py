@@ -1,0 +1,42 @@
+"""Bench: regenerate paper Fig. 10 (H.264 and VCE multimedia traffic)."""
+
+import pytest
+
+from repro.experiments import figure10_app, render_figures
+from repro.noc import PAPER_BASELINE
+from repro.traffic import h264_encoder, vce_encoder
+
+from conftest import run_once
+
+APPS = {"h264": h264_encoder, "vce": vce_encoder}
+
+
+@pytest.mark.parametrize("app_name", sorted(APPS))
+def test_fig10_app(benchmark, bench_workbench, app_name):
+    app = APPS[app_name]()
+    figs = run_once(
+        benchmark,
+        lambda: figure10_app(bench_workbench, app, PAPER_BASELINE))
+    print()
+    print(render_figures(figs))
+
+    delay_fig, power_fig = figs
+
+    # Delay: the RMSD penalty must appear at mid speeds
+    # (paper: ~2x for H.264, ~2.1x for VCE).
+    assert "rmsd_over_dmsd_delay" in delay_fig.annotations
+    assert delay_fig.annotations["rmsd_over_dmsd_delay"] > 1.2
+
+    # Power ordering at every speed.
+    nod_p = power_fig.series_named("no-dvfs").ys
+    rmsd_p = power_fig.series_named("rmsd").ys
+    dmsd_p = power_fig.series_named("dmsd").ys
+    for n, r, d in zip(nod_p, rmsd_p, dmsd_p):
+        if None in (n, r, d):
+            continue
+        assert r <= d * 1.05, f"{app_name}: RMSD must win power"
+        assert d <= n * 1.02, f"{app_name}: DMSD must beat No-DVFS"
+
+    # Power grows with app speed for the No-DVFS baseline.
+    usable = [p for p in nod_p if p is not None]
+    assert usable[-1] > usable[0]

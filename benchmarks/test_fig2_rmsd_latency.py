@@ -1,0 +1,36 @@
+"""Bench: regenerate paper Fig. 2 (RMSD vs No-DVFS, latency + delay)."""
+
+from repro.experiments import figure2, render_figures, rmsd_plateau_latencies
+
+from conftest import run_once
+
+
+def test_fig2_rmsd_vs_no_dvfs(benchmark, bench_workbench):
+    figs = run_once(benchmark, lambda: figure2(bench_workbench))
+    print()
+    print(render_figures(figs))
+
+    fig2a, fig2b = figs
+    lam_min = fig2a.annotations["lambda_min"]
+    lam_max = fig2a.annotations["lambda_max"]
+
+    # Claim 1 (Fig. 2(a)): RMSD latency in cycles is roughly constant
+    # inside [lambda_min, lambda_max] — the plateau.
+    plateau = rmsd_plateau_latencies(fig2a, lam_min, lam_max)
+    assert len(plateau) >= 2
+    assert max(plateau) / min(plateau) < 1.8, \
+        "RMSD latency plateau missing"
+
+    # Claim 2 (Fig. 2(b)): the RMSD delay curve is non-monotonic with a
+    # large peak vs No-DVFS (paper: ~9x).
+    rmsd_delay = [y for y in fig2b.series_named("rmsd").ys
+                  if y is not None]
+    peak_idx = rmsd_delay.index(max(rmsd_delay))
+    assert 0 < peak_idx < len(rmsd_delay) - 1, \
+        "RMSD delay peak should be interior (non-monotonic curve)"
+    assert fig2b.annotations["rmsd_peak_over_no_dvfs"] > 4.0, \
+        "RMSD delay blow-up vs No-DVFS should be large (paper: ~9x)"
+
+    # Claim 3: latency in cycles under No-DVFS grows monotonically.
+    base = [y for y in fig2a.series_named("no-dvfs").ys if y is not None]
+    assert base[-1] > base[0]

@@ -1,0 +1,36 @@
+"""Bench: regenerate paper Fig. 4 (frequency + delay, all policies)."""
+
+from repro.experiments import figure4, render_figures
+
+from conftest import run_once
+
+
+def test_fig4_dmsd_vs_rmsd(benchmark, bench_workbench):
+    figs = run_once(benchmark, lambda: figure4(bench_workbench))
+    print()
+    print(render_figures(figs))
+
+    fig4a, fig4b = figs
+
+    # Claim 1 (Fig. 4(a)): RMSD picks frequencies at or below DMSD,
+    # which stays at or below No-DVFS.
+    rmsd_f = fig4a.series_named("rmsd").ys
+    dmsd_f = fig4a.series_named("dmsd").ys
+    nod_f = fig4a.series_named("no-dvfs").ys
+    for r, d, n in zip(rmsd_f, dmsd_f, nod_f):
+        assert r <= d * 1.05 + 1e-9, "RMSD must be the slowest clock"
+        assert d <= n + 1e-9
+    assert all(abs(n - 1.0) < 1e-9 for n in nod_f)
+
+    # Claim 2 (Fig. 4(b)): DMSD delay stays near the target across the
+    # whole sweep (the PI loop's purpose).
+    target = fig4b.annotations["dmsd_target_ns"]
+    dmsd_delay = [y for y in fig4b.series_named("dmsd").ys
+                  if y is not None]
+    for d in dmsd_delay:
+        assert d < target * 1.4, \
+            f"DMSD delay {d:.0f} ns strays far above target {target:.0f}"
+
+    # Claim 3: RMSD delay exceeds DMSD substantially somewhere
+    # (paper annotation: 1.9x).
+    assert fig4b.annotations["max_rmsd_over_dmsd"] > 1.4

@@ -1,0 +1,24 @@
+"""Bench: regenerate paper Fig. 5 (V–F curve, 28-nm FDSOI)."""
+
+import pytest
+
+from repro.experiments import figure5, render_figure
+
+from conftest import run_once
+
+
+def test_fig5_vf_curve(benchmark):
+    fig = run_once(benchmark, lambda: figure5(points=15))
+    print()
+    print(render_figure(fig))
+
+    series = fig.series_named("f_max")
+    # Pinned to the paper's anchors.
+    assert series.ys[0] == pytest.approx(0.333, abs=0.002)
+    assert series.ys[-1] == pytest.approx(1.000, abs=0.002)
+    # Monotone and concave-free sanity: strictly increasing.
+    assert all(b > a for a, b in zip(series.ys, series.ys[1:]))
+    # Mid-range value close to the linear-ish published curve
+    # (~0.6 GHz around 0.7 V).
+    mid = series.y_at(0.70)
+    assert 0.5 < mid < 0.7

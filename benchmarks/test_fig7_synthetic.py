@@ -1,0 +1,45 @@
+"""Bench: regenerate paper Fig. 7 (four synthetic traffic patterns).
+
+One parametrized bench per pattern so each panel's cost and result is
+visible separately, as in the paper's 8-panel figure.
+"""
+
+import pytest
+
+from repro.experiments import FIG7_PATTERNS, figure7, render_figures
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("pattern", FIG7_PATTERNS)
+def test_fig7_pattern(benchmark, bench_workbench, pattern):
+    figs = run_once(
+        benchmark,
+        lambda: figure7(bench_workbench, patterns=(pattern,)))
+    print()
+    print(render_figures(figs))
+
+    delay_fig, power_fig = figs
+
+    # Delay: DMSD at or below RMSD across the operating range
+    # (paper: 2-2.5x at 0.2 fl/cy).
+    rmsd_d = delay_fig.series_named("rmsd").ys
+    dmsd_d = delay_fig.series_named("dmsd").ys
+    gaps = [r / d for r, d in zip(rmsd_d, dmsd_d)
+            if r is not None and d is not None and d > 0]
+    assert gaps, f"no comparable delay points for {pattern}"
+    assert max(gaps) > 1.3, \
+        f"DMSD should beat RMSD delay clearly under {pattern}"
+
+    # Power: both DVFS policies beat No-DVFS; RMSD beats DMSD.
+    nod_p = power_fig.series_named("no-dvfs").ys
+    rmsd_p = power_fig.series_named("rmsd").ys
+    dmsd_p = power_fig.series_named("dmsd").ys
+    for n, r, d in zip(nod_p, rmsd_p, dmsd_p):
+        if None in (n, r, d):
+            continue
+        assert r <= d * 1.05
+        assert d <= n * 1.02
+
+    if "no_dvfs_over_dmsd_at_ref" in power_fig.annotations:
+        assert power_fig.annotations["no_dvfs_over_dmsd_at_ref"] > 1.4

@@ -1,0 +1,53 @@
+"""Bench: regenerate paper Fig. 8 (sensitivity analysis).
+
+One parametrized bench per varied parameter family (VCs, buffers,
+packet size, mesh size).  The claim under test is the paper's
+conclusion sentence: the power–delay trade-off tips in favour of DMSD
+under *any* of the considered variations.
+"""
+
+import pytest
+
+from repro.experiments import figure8, render_figures
+
+from conftest import run_once
+
+FAMILIES = ("virtual_channels", "vc_buffers", "packet_size", "mesh_size")
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_fig8_family(benchmark, bench_workbench, family):
+    figs = run_once(
+        benchmark,
+        lambda: figure8(bench_workbench, parameters=(family,), points=3))
+    print()
+    print(render_figures(figs))
+
+    # figs alternate delay/power per case value.
+    delay_figs = figs[0::2]
+    power_figs = figs[1::2]
+    assert len(delay_figs) == 3  # three values per family in the paper
+
+    for delay_fig, power_fig in zip(delay_figs, power_figs):
+        label = delay_fig.title
+        # DMSD delay never above RMSD (with simulation-noise slack).
+        rmsd_d = delay_fig.series_named("rmsd").ys
+        dmsd_d = delay_fig.series_named("dmsd").ys
+        for r, d in zip(rmsd_d, dmsd_d):
+            if r is not None and d is not None:
+                assert d <= r * 1.15, f"DMSD delay win lost: {label}"
+        # RMSD power never above DMSD.
+        rmsd_p = power_fig.series_named("rmsd").ys
+        dmsd_p = power_fig.series_named("dmsd").ys
+        for r, d in zip(rmsd_p, dmsd_p):
+            if r is not None and d is not None:
+                assert r <= d * 1.1, f"RMSD power win lost: {label}"
+        # The headline trade-off direction: somewhere in the sweep the
+        # delay gap exceeds the power gap (the paper's conclusion).
+        gaps_d = [r / d for r, d in zip(rmsd_d, dmsd_d)
+                  if r is not None and d is not None and d > 0]
+        gaps_p = [d / r for r, d in zip(rmsd_p, dmsd_p)
+                  if r is not None and d is not None and r > 0]
+        assert gaps_d and gaps_p
+        assert max(gaps_d) > max(gaps_p) * 0.9, \
+            f"trade-off should favour DMSD: {label}"

@@ -1,0 +1,31 @@
+"""Bench: the abstract's quantitative claims, measured end to end."""
+
+from repro.experiments import headline_report
+
+from conftest import run_once
+
+
+def test_headline_claims(benchmark, bench_workbench):
+    report = run_once(benchmark, lambda: headline_report(bench_workbench))
+    print()
+    print(report.render())
+
+    claims = report.claims
+
+    # Paper: DMSD consumes 20-50% more power than RMSD across the
+    # sweep.  Band check with simulator slack: the overhead must be
+    # positive and bounded.
+    lo, hi = claims.power_overhead_range_pct
+    assert hi > 5.0, "DMSD should burn measurably more power than RMSD"
+    assert hi < 80.0, "power overhead should stay in the paper's regime"
+
+    # Paper: DMSD reduces delay substantially (up to ~3x).
+    assert claims.max_delay_penalty > 1.5
+
+    # Paper: >= 2.2x power saving vs No-DVFS at 0.2 fl/cy.
+    assert claims.nodvfs_over_dmsd_power_at_ref > 1.7
+
+    # The core conclusion: the delay advantage of DMSD exceeds its
+    # power disadvantage (that is why the paper prefers DMSD).
+    worst_power_ratio = 1.0 + hi / 100.0
+    assert claims.max_delay_penalty > worst_power_ratio

@@ -1,0 +1,48 @@
+"""Bench: the single-server non-monotonic delay anomaly (ref. [12]).
+
+The analytical companion to Fig. 2(b): under rate-based DVFS an M/M/1
+server's sojourn time rises to a peak at the clip boundary and then
+*falls* as the clock speeds up — reproduced here as a closed-form
+curve, matching the shape the cycle-level simulator produces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SingleServerDvfs
+
+from conftest import run_once
+
+
+def test_queueing_anomaly(benchmark):
+    model = SingleServerDvfs(phi_min=1 / 3, rho_max=0.9)
+
+    def compute():
+        lams = np.linspace(0.02, 0.88, 44)
+        target = model.rate_based_delay(0.88)
+        return lams, model.delay_curves(lams, target=target)
+
+    lams, curves = run_once(benchmark, compute)
+
+    print()
+    print("Single-server DVFS delay (normalized units):")
+    print(f"{'lambda':>8} | {'no-dvfs':>9} {'rate':>9} {'delay':>9}")
+    for i in range(0, len(lams), 4):
+        print(f"{lams[i]:8.3f} | {curves['no-dvfs'][i]:9.2f} "
+              f"{curves['rate-based'][i]:9.2f} "
+              f"{curves['delay-based'][i]:9.2f}")
+
+    rate_based = curves["rate-based"]
+    # Non-monotonic: interior peak at lam_min.
+    peak_idx = int(np.argmax(rate_based))
+    assert 0 < peak_idx < len(lams) - 1
+    assert lams[peak_idx] == pytest.approx(model.lam_min, abs=0.03)
+
+    # Delay-based never above rate-based.
+    assert np.all(curves["delay-based"] <= rate_based + 1e-9)
+
+    # The blow-up factor vs no-DVFS matches the paper's NoC
+    # observation in magnitude (several-fold).
+    blowup = rate_based[peak_idx] / curves["no-dvfs"][peak_idx]
+    assert blowup > 4.0
+

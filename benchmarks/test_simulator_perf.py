@@ -1,0 +1,47 @@
+"""Microbenchmarks of the simulator itself.
+
+Not a paper figure: these measure the reproduction's own substrate
+(cycles/second of the cycle-level model) so performance regressions in
+the hot loop are caught.  Unlike the figure benches these use several
+rounds, since they measure wall-clock speed, not scientific output.
+"""
+
+import pytest
+
+from repro.noc import NocConfig, PAPER_BASELINE, Simulation
+from repro.traffic import PatternTraffic, make_pattern
+
+
+def run_sim(config, rate, cycles):
+    traffic = PatternTraffic(make_pattern("uniform", config.make_mesh()),
+                             rate)
+    sim = Simulation(config, traffic, seed=1)
+    return sim.run(warmup_cycles=100, measure_cycles=cycles,
+                   drain_cycles=2000)
+
+
+def test_perf_small_mesh_low_load(benchmark):
+    cfg = NocConfig(width=4, height=4, num_vcs=2, vc_buf_depth=4,
+                    packet_length=4)
+    res = benchmark.pedantic(lambda: run_sim(cfg, 0.1, 2000),
+                             rounds=3, iterations=1)
+    assert res.complete
+
+
+def test_perf_baseline_mid_load(benchmark):
+    res = benchmark.pedantic(lambda: run_sim(PAPER_BASELINE, 0.2, 1500),
+                             rounds=3, iterations=1)
+    assert res.complete
+
+
+def test_perf_baseline_near_saturation(benchmark):
+    res = benchmark.pedantic(lambda: run_sim(PAPER_BASELINE, 0.4, 1000),
+                             rounds=2, iterations=1)
+    assert res.measured_delivered > 0
+
+
+def test_perf_8x8_mesh(benchmark):
+    cfg = PAPER_BASELINE.with_(width=8, height=8)
+    res = benchmark.pedantic(lambda: run_sim(cfg, 0.15, 800),
+                             rounds=2, iterations=1)
+    assert res.measured_delivered > 0

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Extending the library: write your own DVFS policy.
+
+Implements a *deadband* delay controller — a simpler alternative to
+the paper's PI loop that nudges the frequency one step whenever the
+measured delay leaves a tolerance band around the target — and races
+it against DMSD on the same scenario.
+
+This demonstrates the controller plug-in surface: subclass
+``DvfsPolicy``, implement ``update(sample) -> frequency``, and hand an
+instance to ``Simulation``.
+
+Usage::
+
+    python examples/custom_policy.py
+"""
+
+from repro import NocConfig, Simulation
+from repro.core import DmsdController, DvfsPolicy
+from repro.noc.stats import MeasurementSample
+from repro.traffic import PatternTraffic, make_pattern
+
+
+class DeadbandController(DvfsPolicy):
+    """Step the clock up/down when delay leaves the tolerance band."""
+
+    name = "deadband"
+
+    def __init__(self, target_delay_ns: float, tolerance: float = 0.15,
+                 step_hz: float = 50e6) -> None:
+        super().__init__()
+        if target_delay_ns <= 0:
+            raise ValueError("target delay must be positive")
+        self.target_delay_ns = target_delay_ns
+        self.tolerance = tolerance
+        self.step_hz = step_hz
+        self._freq_hz = 0.0
+
+    def reset(self, config: NocConfig) -> float:
+        self._freq_hz = config.f_max_hz
+        return super().reset(config)
+
+    def update(self, sample: MeasurementSample) -> float:
+        config = self._require_config()
+        if sample.mean_delay_ns is not None:
+            error = ((sample.mean_delay_ns - self.target_delay_ns)
+                     / self.target_delay_ns)
+            if error > self.tolerance:
+                self._freq_hz += self.step_hz      # too slow: speed up
+            elif error < -self.tolerance:
+                self._freq_hz -= self.step_hz      # too fast: slow down
+        self._freq_hz = min(config.f_max_hz,
+                            max(config.f_min_hz, self._freq_hz))
+        return self._freq_hz
+
+
+def race(config: NocConfig, controller, label: str,
+         rate: float, target_ns: float) -> None:
+    traffic = PatternTraffic(make_pattern("uniform", config.make_mesh()),
+                             rate)
+    sim = Simulation(config, traffic, controller=controller, seed=9,
+                     control_period_node_cycles=500)
+    res = sim.run(warmup_cycles=20_000, measure_cycles=4000)
+    err = abs(res.mean_delay_ns - target_ns) / target_ns
+    print(f"{label:10s} delay {res.mean_delay_ns:7.1f} ns "
+          f"(err {err * 100:5.1f}%)   mean F "
+          f"{res.mean_freq_hz / 1e9:.3f} GHz   retunes "
+          f"{len(res.freq_trace) - 1}")
+
+
+def main() -> None:
+    config = NocConfig(width=4, height=4, num_vcs=4, vc_buf_depth=4,
+                       packet_length=8)
+    target_ns = 2.5 * config.zero_load_latency_cycles()
+    rate = 0.15
+    print(f"4x4 mesh, uniform {rate} fl/cy, target delay "
+          f"{target_ns:.0f} ns")
+    print()
+    race(config, DmsdController(target_ns, ki=0.15, kp=0.075),
+         "DMSD (PI)", rate, target_ns)
+    race(config, DeadbandController(target_ns), "deadband", rate,
+         target_ns)
+    print()
+    print("Both hold the target on stationary traffic. The deadband "
+          "controller holds still inside its tolerance band (fewer "
+          "retunes) but can limit-cycle and leaves up to the band "
+          "width of delay slack unused; the PI loop trims "
+          "continuously and comes with a stability guarantee, which "
+          "is why the paper uses it.")
+
+
+if __name__ == "__main__":
+    main()

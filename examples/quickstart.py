@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate the paper's baseline NoC under all three
+DVFS policies at one operating point and print the trade-off.
+
+Runs the 5x5 virtual-channel mesh of Casu & Giaccone (DATE 2015) at
+0.2 flits/node/cycle of uniform traffic — the rate at which the paper
+quotes its headline numbers — under No-DVFS, RMSD and DMSD, and prints
+delay, frequency and the power breakdown for each.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import PAPER_BASELINE, PatternTraffic, PowerModel, make_pattern
+from repro.analysis import (DmsdSteadyState, FAST, NoDvfsSteadyState,
+                            RmsdSteadyState, run_fixed_point)
+from repro.power import breakdown_table
+
+RATE = 0.2          # flits per node clock cycle, per node
+LAMBDA_MAX = 0.42   # ~10% below the baseline saturation rate
+TARGET_NS = 150.0   # the paper's DMSD target delay
+
+
+def main() -> None:
+    config = PAPER_BASELINE
+    mesh = config.make_mesh()
+    traffic = PatternTraffic(make_pattern("uniform", mesh), RATE)
+    power_model = PowerModel(config)
+
+    strategies = {
+        "No-DVFS": NoDvfsSteadyState(),
+        "RMSD": RmsdSteadyState(lambda_max=LAMBDA_MAX),
+        "DMSD": DmsdSteadyState(target_delay_ns=TARGET_NS, iterations=5),
+    }
+
+    print(f"5x5 mesh, uniform traffic at {RATE} flits/node/cycle")
+    print(f"RMSD lambda_max = {LAMBDA_MAX}, DMSD target = {TARGET_NS} ns")
+    print()
+
+    rows = {}
+    for name, strategy in strategies.items():
+        freq = strategy.frequency_for(config, traffic, FAST, seed=1)
+        result = run_fixed_point(config, traffic, freq, FAST, seed=1)
+        power = power_model.evaluate(result.power_windows)
+        rows[name] = (freq, result, power)
+        print(f"{name:8s}  F = {freq / 1e9:5.3f} GHz   "
+              f"V = {power_model.technology.voltage_for(freq):5.3f} V   "
+              f"delay = {result.mean_delay_ns:6.1f} ns   "
+              f"power = {power.total_mw:6.1f} mW")
+
+    print()
+    _, _, dmsd_power = rows["DMSD"]
+    print(breakdown_table(dmsd_power, title="DMSD power breakdown"))
+
+    print()
+    nod = rows["No-DVFS"][2].total_mw
+    rmsd = rows["RMSD"][2].total_mw
+    dmsd = rows["DMSD"][2].total_mw
+    rmsd_d = rows["RMSD"][1].mean_delay_ns
+    dmsd_d = rows["DMSD"][1].mean_delay_ns
+    print(f"DVFS power saving vs No-DVFS : {nod / dmsd:4.2f}x (DMSD), "
+          f"{nod / rmsd:4.2f}x (RMSD)")
+    print(f"DMSD power overhead vs RMSD  : "
+          f"{100 * (dmsd / rmsd - 1):4.0f}%")
+    print(f"RMSD delay penalty vs DMSD   : {rmsd_d / dmsd_d:4.2f}x")
+    print()
+    print("The paper's conclusion: the delay penalty of RMSD outweighs "
+          "its power advantage, so DMSD offers the better trade-off.")
+
+
+if __name__ == "__main__":
+    main()

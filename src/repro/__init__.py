@@ -1,0 +1,81 @@
+"""repro — reproduction of "Rate-based vs Delay-based Control for DVFS
+in NoC" (Casu & Giaccone, DATE 2015).
+
+The library has five layers (see DESIGN.md):
+
+* :mod:`repro.noc` — a cycle-level virtual-channel mesh NoC simulator
+  with decoupled network/node clock domains (the Booksim substitute);
+* :mod:`repro.traffic` — synthetic patterns, traffic matrices and the
+  paper's two multimedia application graphs;
+* :mod:`repro.power` — the 28-nm FDSOI V–F model and activity-based
+  power estimation;
+* :mod:`repro.core` — the paper's contribution: the RMSD and DMSD
+  global DVFS controllers (plus No-DVFS and utilities);
+* :mod:`repro.analysis` / :mod:`repro.experiments` — sweeps, trade-off
+  metrics, and one driver per paper figure.
+
+Quickstart::
+
+    from repro import (PAPER_BASELINE, PatternTraffic, Simulation,
+                       make_pattern)
+
+    cfg = PAPER_BASELINE
+    traffic = PatternTraffic(make_pattern("uniform", cfg.make_mesh()), 0.2)
+    result = Simulation(cfg, traffic, seed=1).run()
+    print(result.mean_delay_ns)
+"""
+
+from .analysis import (DmsdSteadyState, NoDvfsSteadyState, RmsdSteadyState,
+                       SimBudget, SingleServerDvfs, SweepSeries,
+                       find_saturation_rate, run_sweep)
+from .core import (DmsdController, DvfsPolicy, FixedFrequency, NoDvfs,
+                   PiController, QuantizedPolicy, RmsdController,
+                   rmsd_frequency)
+from .noc import (GHZ, MHZ, NocConfig, PAPER_BASELINE, SMALL_TEST,
+                  SimResult, Simulation)
+from .power import (EnergyParameters, FDSOI_28NM, PowerBreakdown,
+                    PowerModel, Technology)
+from .traffic import (ApplicationGraph, MatrixTraffic, PatternTraffic,
+                      TrafficMatrix, h264_encoder, make_pattern,
+                      vce_encoder)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApplicationGraph",
+    "DmsdController",
+    "DmsdSteadyState",
+    "DvfsPolicy",
+    "EnergyParameters",
+    "FDSOI_28NM",
+    "FixedFrequency",
+    "GHZ",
+    "MHZ",
+    "MatrixTraffic",
+    "NoDvfs",
+    "NoDvfsSteadyState",
+    "NocConfig",
+    "PAPER_BASELINE",
+    "PatternTraffic",
+    "PiController",
+    "PowerBreakdown",
+    "PowerModel",
+    "QuantizedPolicy",
+    "RmsdController",
+    "RmsdSteadyState",
+    "SMALL_TEST",
+    "SimBudget",
+    "SimResult",
+    "Simulation",
+    "SingleServerDvfs",
+    "SweepSeries",
+    "Technology",
+    "TrafficMatrix",
+    "__version__",
+    "find_saturation_rate",
+    "h264_encoder",
+    "make_pattern",
+    "rmsd_frequency",
+    "run_sweep",
+    "vce_encoder",
+]

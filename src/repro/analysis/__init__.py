@@ -1,0 +1,53 @@
+"""Analysis: sweeps, saturation, queueing theory, trade-off metrics."""
+
+from .queueing import SingleServerDvfs, mm1_sojourn
+from .saturation import (SaturationEstimate, find_saturation_rate,
+                         is_saturated_at)
+from .sensitivity import (BUFFER_VALUES, MESH_VALUES, PACKET_VALUES,
+                          SensitivityCase, VC_VALUES, sensitivity_cases)
+from .sweep import (DEFAULT, DmsdSteadyState, FAST, NoDvfsSteadyState,
+                    RmsdSteadyState, SimBudget, SteadyStateStrategy,
+                    SweepPoint, SweepSeries, THOROUGH, run_fixed_point,
+                    run_sweep)
+from .trace import (DelayDistribution, delay_distribution,
+                    packet_records, per_flow_mean_delay, read_trace_csv,
+                    write_trace_csv)
+from .tradeoff import (HeadlineClaims, TradeoffAt, compare_at,
+                       energy_delay_product, headline_claims)
+
+__all__ = [
+    "BUFFER_VALUES",
+    "DEFAULT",
+    "DelayDistribution",
+    "DmsdSteadyState",
+    "FAST",
+    "HeadlineClaims",
+    "MESH_VALUES",
+    "NoDvfsSteadyState",
+    "PACKET_VALUES",
+    "RmsdSteadyState",
+    "SaturationEstimate",
+    "SensitivityCase",
+    "SimBudget",
+    "SingleServerDvfs",
+    "SteadyStateStrategy",
+    "SweepPoint",
+    "SweepSeries",
+    "THOROUGH",
+    "TradeoffAt",
+    "VC_VALUES",
+    "compare_at",
+    "delay_distribution",
+    "energy_delay_product",
+    "find_saturation_rate",
+    "headline_claims",
+    "is_saturated_at",
+    "mm1_sojourn",
+    "packet_records",
+    "per_flow_mean_delay",
+    "read_trace_csv",
+    "run_fixed_point",
+    "run_sweep",
+    "sensitivity_cases",
+    "write_trace_csv",
+]

@@ -1,0 +1,107 @@
+"""Single-server queueing model of DVFS (paper ref. [12]).
+
+The paper notes that RMSD's non-monotonic delay-vs-rate curve "was
+observed for the first time in a context of DVFS policies for ...
+queue-based systems with a single server model" (Bianco, Casu,
+Giaccone & Ricca, GreenCom 2013) and reports it for the first time in
+an NoC.  This module reproduces the anomaly analytically with an
+M/M/1 server whose service rate scales with the clock:
+
+* normalize the service rate at ``Fmax`` to 1, so the arrival rate
+  ``lam`` is utilization at full speed and the frequency fraction
+  ``phi`` in ``[phi_min, 1]`` gives service rate ``phi``;
+* sojourn time ``T(lam, phi) = 1 / (phi - lam)`` for ``phi > lam``;
+* **rate-based** control mirrors RMSD eq. (2):
+  ``phi = clip(lam / rho_max, phi_min, 1)`` for a target utilization
+  ``rho_max < 1``;
+* **delay-based** control mirrors DMSD: the smallest ``phi`` with
+  ``T <= T_target``, i.e. ``phi = clip(lam + 1/T_target, phi_min, 1)``.
+
+Under rate-based control the delay rises on ``[0, lam_min)`` (fixed
+``phi_min``, growing load), then *falls* on ``[lam_min, rho_max]``
+(utilization pinned at ``rho_max`` while the clock speeds up) — the
+same non-monotonic shape as paper Fig. 2(b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mm1_sojourn(lam: float, phi: float) -> float:
+    """M/M/1 sojourn time (normalized units) at service rate ``phi``."""
+    if lam < 0:
+        raise ValueError("arrival rate must be non-negative")
+    if phi <= lam:
+        return float("inf")
+    return 1.0 / (phi - lam)
+
+
+class SingleServerDvfs:
+    """Analytical single-server DVFS model (paper ref. [12])."""
+
+    def __init__(self, phi_min: float = 1.0 / 3.0,
+                 rho_max: float = 0.9) -> None:
+        if not 0 < phi_min <= 1:
+            raise ValueError("phi_min must be in (0, 1]")
+        if not 0 < rho_max < 1:
+            raise ValueError("rho_max must be in (0, 1)")
+        self.phi_min = phi_min
+        self.rho_max = rho_max
+
+    # --- rate-based (RMSD analogue) ------------------------------------
+    @property
+    def lam_min(self) -> float:
+        """Arrival rate below which the clock clips at ``phi_min``."""
+        return self.rho_max * self.phi_min
+
+    def rate_based_phi(self, lam: float) -> float:
+        """Frequency fraction chosen by rate-based control."""
+        if lam < 0:
+            raise ValueError("arrival rate must be non-negative")
+        return min(1.0, max(self.phi_min, lam / self.rho_max))
+
+    def rate_based_delay(self, lam: float) -> float:
+        return mm1_sojourn(lam, self.rate_based_phi(lam))
+
+    # --- delay-based (DMSD analogue) -------------------------------------
+    def delay_based_phi(self, lam: float, target: float) -> float:
+        """Smallest frequency fraction meeting the delay target."""
+        if target <= 0:
+            raise ValueError("target delay must be positive")
+        return min(1.0, max(self.phi_min, lam + 1.0 / target))
+
+    def delay_based_delay(self, lam: float, target: float) -> float:
+        return mm1_sojourn(lam, self.delay_based_phi(lam, target))
+
+    # --- baseline ----------------------------------------------------------
+    def no_dvfs_delay(self, lam: float) -> float:
+        return mm1_sojourn(lam, 1.0)
+
+    # --- curve helpers -------------------------------------------------------
+    def delay_curves(self, lams: np.ndarray,
+                     target: float) -> dict[str, np.ndarray]:
+        """Delay under all three controls over an array of rates."""
+        lams = np.asarray(lams, dtype=float)
+        return {
+            "no-dvfs": np.array([self.no_dvfs_delay(x) for x in lams]),
+            "rate-based": np.array([self.rate_based_delay(x) for x in lams]),
+            "delay-based": np.array(
+                [self.delay_based_delay(x, target) for x in lams]),
+        }
+
+    def rate_based_peak(self) -> tuple[float, float]:
+        """(rate, delay) of the rate-based delay maximum.
+
+        The delay is increasing on ``[0, lam_min)`` and decreasing on
+        ``(lam_min, rho_max]``, so the peak sits exactly at the clip
+        boundary ``lam_min`` — this is the anomaly's signature.
+        """
+        lam = self.lam_min
+        return lam, self.rate_based_delay(lam)
+
+    def power_proxy(self, phi: float) -> float:
+        """Cubic frequency-power proxy used in ref. [12] (~ V^2 f)."""
+        if not 0 < phi <= 1:
+            raise ValueError("phi must be in (0, 1]")
+        return phi ** 3

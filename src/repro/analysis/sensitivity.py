@@ -1,0 +1,58 @@
+"""Sensitivity-analysis cases (paper Sec. V, Fig. 8).
+
+The paper re-runs the uniform-traffic comparison while varying one
+parameter at a time from the 5x5 baseline: virtual channels {2, 4, 8},
+buffers per VC {4, 8, 16}, packet size {10, 15, 20} flits and mesh
+size {4x4, 5x5, 8x8}.  Each case changes the saturation rate, so
+``lambda_max`` and the DMSD target are re-derived per case exactly as
+the paper does (the per-panel ``lambda_max`` markers of Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..noc.config import NocConfig
+
+
+@dataclass(frozen=True)
+class SensitivityCase:
+    """One varied configuration of the Fig. 8 study."""
+
+    parameter: str
+    label: str
+    config: NocConfig
+
+
+#: Parameter values studied by the paper.
+VC_VALUES = (2, 4, 8)
+BUFFER_VALUES = (4, 8, 16)
+PACKET_VALUES = (10, 15, 20)
+MESH_VALUES = ((4, 4), (5, 5), (8, 8))
+
+
+def sensitivity_cases(base: NocConfig) -> dict[str, list[SensitivityCase]]:
+    """All Fig. 8 cases keyed by the varied parameter name."""
+    cases: dict[str, list[SensitivityCase]] = {
+        "virtual_channels": [
+            SensitivityCase("virtual_channels", f"{v} VCs",
+                            base.with_(num_vcs=v))
+            for v in VC_VALUES
+        ],
+        "vc_buffers": [
+            SensitivityCase("vc_buffers", f"{b} buffers",
+                            base.with_(vc_buf_depth=b))
+            for b in BUFFER_VALUES
+        ],
+        "packet_size": [
+            SensitivityCase("packet_size", f"{p} flits",
+                            base.with_(packet_length=p))
+            for p in PACKET_VALUES
+        ],
+        "mesh_size": [
+            SensitivityCase("mesh_size", f"{w}x{h}",
+                            base.with_(width=w, height=h))
+            for w, h in MESH_VALUES
+        ],
+    }
+    return cases

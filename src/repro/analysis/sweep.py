@@ -1,0 +1,229 @@
+"""Steady-state sweeps: delay and power vs injection rate per policy.
+
+Every evaluation figure of the paper is a sweep of the injection rate
+(or app speed) under three policies.  For stationary traffic the
+controllers converge to fixed operating points, so sweeps evaluate
+each policy at its *steady-state frequency*:
+
+* **No-DVFS** — ``Fmax`` by definition;
+* **RMSD** — the open-loop law of eq. (2) applied to the offered rate
+  (what the measurement loop of Fig. 1 converges to);
+* **DMSD** — the fixed point ``delay(F*) = target`` of the PI loop of
+  Fig. 3, found by bisection (delay in ns is strictly decreasing in
+  ``F``: a faster clock both shortens the cycle and moves the network
+  away from saturation).  The transient PI loop itself is validated in
+  tests and the ``dvfs_transient`` example.
+
+Each point runs the cycle-level simulator at the chosen frequency and
+reports latency, delay, accepted throughput and the power-model
+breakdown.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.rmsd import rmsd_frequency
+from ..noc.config import NocConfig
+from ..noc.simulator import SimResult, Simulation
+from ..power.model import PowerBreakdown, PowerModel
+from ..traffic.injection import TrafficSpec
+
+
+@dataclass(frozen=True)
+class SimBudget:
+    """Cycle budget for one simulation run."""
+
+    warmup_cycles: int = 2000
+    measure_cycles: int = 4000
+    drain_cycles: int = 10000
+
+    def scaled(self, factor: float) -> "SimBudget":
+        return SimBudget(max(200, int(self.warmup_cycles * factor)),
+                         max(400, int(self.measure_cycles * factor)),
+                         max(800, int(self.drain_cycles * factor)))
+
+
+#: Budgets: FAST for benchmarks/sweeps, DEFAULT for normal studies,
+#: THOROUGH for final numbers.
+FAST = SimBudget(1200, 2500, 6000)
+DEFAULT = SimBudget(2000, 4000, 10000)
+THOROUGH = SimBudget(4000, 10000, 30000)
+
+
+def run_fixed_point(config: NocConfig, traffic: TrafficSpec,
+                    freq_hz: float, budget: SimBudget,
+                    seed: int = 1) -> SimResult:
+    """One simulation at a pinned network frequency."""
+    sim = Simulation(config, traffic, controller=freq_hz, seed=seed)
+    return sim.run(budget.warmup_cycles, budget.measure_cycles,
+                   budget.drain_cycles)
+
+
+@dataclass
+class SweepPoint:
+    """One (policy, rate) operating point of a sweep."""
+
+    policy: str
+    x: float
+    freq_hz: float
+    voltage_v: float
+    latency_cycles: float | None
+    delay_ns: float | None
+    power: PowerBreakdown | None
+    accepted_rate: float
+    saturated: bool
+    result: SimResult
+
+    @property
+    def power_mw(self) -> float | None:
+        return None if self.power is None else self.power.total_mw
+
+    @property
+    def freq_rel(self) -> float:
+        return self.freq_hz / self.result.config.f_max_hz
+
+
+@dataclass
+class SweepSeries:
+    """All points of one policy across the sweep axis."""
+
+    policy: str
+    points: list[SweepPoint]
+
+    @property
+    def xs(self) -> list[float]:
+        return [p.x for p in self.points]
+
+    def delays_ns(self) -> list[float | None]:
+        return [p.delay_ns for p in self.points]
+
+    def powers_mw(self) -> list[float | None]:
+        return [p.power_mw for p in self.points]
+
+    def point_at(self, x: float) -> SweepPoint:
+        """The sweep point closest to ``x`` on the sweep axis."""
+        if not self.points:
+            raise ValueError("empty sweep series")
+        return min(self.points, key=lambda p: abs(p.x - x))
+
+
+class SteadyStateStrategy(ABC):
+    """How a policy's steady-state frequency is found for one point."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def frequency_for(self, config: NocConfig, traffic: TrafficSpec,
+                      budget: SimBudget, seed: int) -> float:
+        """Steady-state network frequency (Hz) for this traffic."""
+
+
+class NoDvfsSteadyState(SteadyStateStrategy):
+    name = "no-dvfs"
+
+    def frequency_for(self, config: NocConfig, traffic: TrafficSpec,
+                      budget: SimBudget, seed: int) -> float:
+        return config.f_max_hz
+
+
+class RmsdSteadyState(SteadyStateStrategy):
+    """Eq. (2) applied to the mean offered node rate."""
+
+    name = "rmsd"
+
+    def __init__(self, lambda_max: float) -> None:
+        if lambda_max <= 0:
+            raise ValueError("lambda_max must be positive")
+        self.lambda_max = lambda_max
+
+    def frequency_for(self, config: NocConfig, traffic: TrafficSpec,
+                      budget: SimBudget, seed: int) -> float:
+        return rmsd_frequency(config, traffic.mean_node_rate(),
+                              self.lambda_max)
+
+
+class DmsdSteadyState(SteadyStateStrategy):
+    """Bisection for the PI loop's fixed point ``delay(F*) = target``."""
+
+    name = "dmsd"
+
+    def __init__(self, target_delay_ns: float, iterations: int = 6,
+                 search_budget: SimBudget | None = None) -> None:
+        if target_delay_ns <= 0:
+            raise ValueError("target delay must be positive")
+        if iterations < 1:
+            raise ValueError("need at least one bisection iteration")
+        self.target_delay_ns = target_delay_ns
+        self.iterations = iterations
+        self.search_budget = search_budget
+
+    def _delay_at(self, config: NocConfig, traffic: TrafficSpec,
+                  freq_hz: float, budget: SimBudget, seed: int) -> float:
+        result = run_fixed_point(config, traffic, freq_hz, budget, seed)
+        if result.mean_delay_ns is None:
+            # No deliveries at all: treat as zero delay so the search
+            # keeps the frequency low (only happens at ~zero load).
+            return 0.0
+        if result.saturated:
+            # Saturated runs under-report delay (only delivered packets
+            # count); force the search upward.
+            return float("inf")
+        return result.mean_delay_ns
+
+    def frequency_for(self, config: NocConfig, traffic: TrafficSpec,
+                      budget: SimBudget, seed: int) -> float:
+        search = self.search_budget or budget.scaled(0.6)
+        target = self.target_delay_ns
+        lo, hi = config.f_min_hz, config.f_max_hz
+        if self._delay_at(config, traffic, lo, search, seed) <= target:
+            return lo
+        if self._delay_at(config, traffic, hi, search, seed) > target:
+            return hi
+        for _ in range(self.iterations):
+            mid = 0.5 * (lo + hi)
+            if self._delay_at(config, traffic, mid, search, seed) > target:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+
+def run_sweep(config: NocConfig,
+              traffic_factory: Callable[[float], TrafficSpec],
+              xs: list[float],
+              strategy: SteadyStateStrategy,
+              budget: SimBudget = DEFAULT,
+              seed: int = 1,
+              power_model: PowerModel | None = None) -> SweepSeries:
+    """Evaluate one policy at every sweep position.
+
+    ``traffic_factory`` maps the sweep coordinate (injection rate or
+    app speed) to a traffic spec; ``strategy`` picks each point's
+    steady-state frequency; the simulator then measures that operating
+    point and, when a ``power_model`` is given, its power breakdown.
+    """
+    if power_model is None:
+        power_model = PowerModel(config)
+    points = []
+    for x in xs:
+        traffic = traffic_factory(x)
+        freq = strategy.frequency_for(config, traffic, budget, seed)
+        result = run_fixed_point(config, traffic, freq, budget, seed)
+        power = (power_model.evaluate(result.power_windows)
+                 if result.power_windows else None)
+        points.append(SweepPoint(
+            policy=strategy.name,
+            x=x,
+            freq_hz=freq,
+            voltage_v=power_model.technology.voltage_for(freq),
+            latency_cycles=result.mean_latency_cycles,
+            delay_ns=result.mean_delay_ns,
+            power=power,
+            accepted_rate=result.accepted_node_rate,
+            saturated=result.saturated,
+            result=result,
+        ))
+    return SweepSeries(policy=strategy.name, points=points)

@@ -1,0 +1,120 @@
+"""Power–delay trade-off metrics and the paper's headline claims.
+
+The paper's conclusion is quantitative: RMSD consumes 20–50% less
+power than DMSD, but DMSD delivers up to ~3x lower delay, and either
+saves >= 2.2x power versus No-DVFS at 0.2 flits/cycle.  This module
+computes those ratios from sweep results so experiments (and the
+EXPERIMENTS.md table) can compare paper-vs-measured mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .sweep import SweepSeries
+
+
+@dataclass(frozen=True)
+class TradeoffAt:
+    """Policy comparison at one sweep position."""
+
+    x: float
+    power_mw: dict[str, float]
+    delay_ns: dict[str, float]
+
+    def power_ratio(self, a: str, b: str) -> float:
+        """Power of policy ``a`` divided by policy ``b``."""
+        return self.power_mw[a] / self.power_mw[b]
+
+    def delay_ratio(self, a: str, b: str) -> float:
+        return self.delay_ns[a] / self.delay_ns[b]
+
+    @property
+    def dmsd_power_overhead_pct(self) -> float:
+        """How much more power DMSD burns than RMSD (paper: 20–50%)."""
+        return 100.0 * (self.power_ratio("dmsd", "rmsd") - 1.0)
+
+    @property
+    def rmsd_delay_penalty(self) -> float:
+        """RMSD delay over DMSD delay (paper: up to ~3x)."""
+        return self.delay_ratio("rmsd", "dmsd")
+
+    @property
+    def dvfs_power_saving(self) -> float:
+        """No-DVFS power over DMSD power (paper: >= 2.2x at 0.2)."""
+        return self.power_ratio("no-dvfs", "dmsd")
+
+
+def compare_at(series: dict[str, SweepSeries], x: float) -> TradeoffAt:
+    """Align three policy sweeps at the sweep position nearest ``x``."""
+    power: dict[str, float] = {}
+    delay: dict[str, float] = {}
+    for policy, swp in series.items():
+        point = swp.point_at(x)
+        if point.power_mw is None or point.delay_ns is None:
+            raise ValueError(
+                f"sweep point for {policy!r} at x={point.x} has no "
+                "power/delay data")
+        power[policy] = point.power_mw
+        delay[policy] = point.delay_ns
+    return TradeoffAt(x=x, power_mw=power, delay_ns=delay)
+
+
+def energy_delay_product(series: SweepSeries) -> list[tuple[float, float]]:
+    """EDP (mW * ns) across a sweep — lower is better on both axes."""
+    out = []
+    for p in series.points:
+        if p.power_mw is not None and p.delay_ns is not None:
+            out.append((p.x, p.power_mw * p.delay_ns))
+    return out
+
+
+@dataclass(frozen=True)
+class HeadlineClaims:
+    """Measured values for the abstract's quantitative claims."""
+
+    #: DMSD power over RMSD power, per sweep position (paper: 1.2–1.5x)
+    dmsd_over_rmsd_power: dict[float, float]
+    #: RMSD delay over DMSD delay, per sweep position (paper: up to 3x)
+    rmsd_over_dmsd_delay: dict[float, float]
+    #: No-DVFS power over DMSD power at the reference rate (paper: 2.2x)
+    nodvfs_over_dmsd_power_at_ref: float
+    reference_x: float
+
+    @property
+    def max_delay_penalty(self) -> float:
+        return max(self.rmsd_over_dmsd_delay.values())
+
+    @property
+    def power_overhead_range_pct(self) -> tuple[float, float]:
+        ratios = list(self.dmsd_over_rmsd_power.values())
+        return (100.0 * (min(ratios) - 1.0), 100.0 * (max(ratios) - 1.0))
+
+
+def headline_claims(series: dict[str, SweepSeries],
+                    xs: list[float],
+                    reference_x: float) -> HeadlineClaims:
+    """Evaluate the abstract's claims over a set of sweep positions.
+
+    Positions where any policy saturated or lacks data are skipped
+    (the paper's claims are about the operating region, not beyond
+    saturation).
+    """
+    power_ratio: dict[float, float] = {}
+    delay_ratio: dict[float, float] = {}
+    for x in xs:
+        try:
+            cmp_at = compare_at(series, x)
+        except ValueError:
+            continue
+        power_ratio[x] = cmp_at.power_ratio("dmsd", "rmsd")
+        delay_ratio[x] = cmp_at.delay_ratio("rmsd", "dmsd")
+    if not power_ratio:
+        raise ValueError("no usable sweep positions for headline claims")
+    ref = compare_at(series, reference_x)
+    return HeadlineClaims(
+        dmsd_over_rmsd_power=power_ratio,
+        rmsd_over_dmsd_delay=delay_ratio,
+        nodvfs_over_dmsd_power_at_ref=ref.dvfs_power_saving,
+        reference_x=ref.x,
+    )

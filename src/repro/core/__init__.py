@@ -1,0 +1,23 @@
+"""The paper's contribution: global DVFS policies for the NoC."""
+
+from .dmsd import DmsdController, PAPER_KI, PAPER_KP, dmsd_target_from_rmsd
+from .pi import PiController
+from .policy import DvfsPolicy, FixedFrequency, NoDvfs
+from .quantize import QuantizedPolicy, uniform_levels
+from .rmsd import RmsdController, lambda_min_for, rmsd_frequency
+
+__all__ = [
+    "DmsdController",
+    "DvfsPolicy",
+    "FixedFrequency",
+    "NoDvfs",
+    "PAPER_KI",
+    "PAPER_KP",
+    "PiController",
+    "QuantizedPolicy",
+    "RmsdController",
+    "dmsd_target_from_rmsd",
+    "lambda_min_for",
+    "rmsd_frequency",
+    "uniform_levels",
+]

@@ -1,0 +1,75 @@
+"""DMSD — Delay-based Max Slow Down (paper Sec. IV, Fig. 3).
+
+The paper's proposed policy: receiving nodes timestamp packets and
+report end-to-end delays; the controller node averages them, subtracts
+a *target delay*, and drives a PI loop whose output sets the network
+frequency.  Power is minimized **under a delay constraint** instead of
+unconditionally, which is what wins the power–delay trade-off.
+
+Controller mapping (Fig. 3): the PI state ``U`` lives in ``[0, 1]``
+and maps affinely onto ``[Fmin, Fmax]``.  The error fed to the loop is
+normalized by the target delay so the paper's gains (``KI = 0.025``,
+``KP = 0.0125``) are meaningful regardless of the absolute target:
+delay above target -> positive error -> higher frequency.
+"""
+
+from __future__ import annotations
+
+from ..noc.config import NocConfig
+from ..noc.stats import MeasurementSample
+from .pi import PiController
+from .policy import DvfsPolicy
+
+#: The paper's PI gains ("a good compromise between stability and
+#: reactivity", Sec. IV).
+PAPER_KI = 0.025
+PAPER_KP = 0.0125
+
+
+class DmsdController(DvfsPolicy):
+    """Closed-loop delay-tracking DVFS controller."""
+
+    name = "dmsd"
+
+    def __init__(self, target_delay_ns: float, ki: float = PAPER_KI,
+                 kp: float = PAPER_KP) -> None:
+        super().__init__()
+        if target_delay_ns <= 0:
+            raise ValueError("target delay must be positive")
+        self.target_delay_ns = target_delay_ns
+        self.pi = PiController(ki=ki, kp=kp, u_min=0.0, u_max=1.0,
+                               u_init=1.0)
+
+    # ------------------------------------------------------------------
+    def _frequency_of(self, u: float) -> float:
+        config = self._require_config()
+        return config.f_min_hz + u * (config.f_max_hz - config.f_min_hz)
+
+    def reset(self, config: NocConfig) -> float:
+        # Start from Fmax: delay begins below target, the integrator
+        # then walks the frequency down — the safe direction.
+        self.pi.reset(u_init=1.0)
+        return super().reset(config)
+
+    def update(self, sample: MeasurementSample) -> float:
+        self._require_config()
+        if sample.mean_delay_ns is None:
+            # No packet delivered this window (very low load): no
+            # information, hold the operating point.
+            return self._frequency_of(self.pi.u)
+        error = ((sample.mean_delay_ns - self.target_delay_ns)
+                 / self.target_delay_ns)
+        u = self.pi.step(error)
+        return self._frequency_of(u)
+
+
+def dmsd_target_from_rmsd(rmsd_delay_at_lambda_max_ns: float) -> float:
+    """The paper's choice of target delay (Sec. IV).
+
+    The target is set to the RMSD delay at ``lambda_max`` — the point
+    where RMSD runs at full frequency — so both policies deliver the
+    same delay at the top of the rate range and differ only below it.
+    """
+    if rmsd_delay_at_lambda_max_ns <= 0:
+        raise ValueError("delay must be positive")
+    return rmsd_delay_at_lambda_max_ns

@@ -1,0 +1,61 @@
+"""The proportional–integral controller used by DMSD (paper Fig. 3).
+
+The paper's update law, in its exact incremental ("velocity") form:
+
+    U_n = U_{n-1} + KI * E_n + KP * (E_n - E_{n-1})
+
+with the control variable ``U`` clamped to ``[u_min, u_max]``.
+Clamping the state itself (rather than only the output) provides
+anti-windup: when the NoC pegs at ``Fmin``/``Fmax`` the integrator
+does not keep accumulating, so recovery from saturation is immediate —
+necessary for the stability the paper asserts for its gain choice
+``KI = 0.025``, ``KP = 0.0125``.
+"""
+
+from __future__ import annotations
+
+
+class PiController:
+    """Incremental-form PI controller with output clamping."""
+
+    def __init__(self, ki: float, kp: float,
+                 u_min: float = 0.0, u_max: float = 1.0,
+                 u_init: float | None = None) -> None:
+        if u_min >= u_max:
+            raise ValueError("need u_min < u_max")
+        if ki < 0 or kp < 0:
+            raise ValueError("gains must be non-negative")
+        self.ki = ki
+        self.kp = kp
+        self.u_min = u_min
+        self.u_max = u_max
+        self.u = u_max if u_init is None else self._clamp(u_init)
+        self._prev_error: float | None = None
+
+    def _clamp(self, u: float) -> float:
+        return min(self.u_max, max(self.u_min, u))
+
+    def step(self, error: float) -> float:
+        """Consume one error sample, return the new control value."""
+        prev = error if self._prev_error is None else self._prev_error
+        self.u = self._clamp(self.u + self.ki * error
+                             + self.kp * (error - prev))
+        self._prev_error = error
+        return self.u
+
+    def reset(self, u_init: float | None = None) -> None:
+        """Forget history; optionally restart from a given state."""
+        self.u = self.u_max if u_init is None else self._clamp(u_init)
+        self._prev_error = None
+
+    @property
+    def saturated_low(self) -> bool:
+        return self.u <= self.u_min
+
+    @property
+    def saturated_high(self) -> bool:
+        return self.u >= self.u_max
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"PiController(ki={self.ki}, kp={self.kp}, "
+                f"u={self.u:.4f})")

@@ -1,0 +1,72 @@
+"""DVFS policy interface and trivial policies.
+
+A policy is the "DVFS-Ctrl" block of paper Figs. 1 and 3: once per
+control period it receives the aggregated measurement of the window
+(a ``MeasurementSample``) and returns the network clock frequency to
+apply next.  The simulation kernel clips the returned frequency into
+``[Fmin, Fmax]`` exactly as the PLL's tuning range would.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..noc.config import NocConfig
+from ..noc.stats import MeasurementSample
+
+
+class DvfsPolicy(ABC):
+    """Base class for global NoC DVFS controllers."""
+
+    #: registry/display name, set by subclasses
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.config: NocConfig | None = None
+
+    def reset(self, config: NocConfig) -> float:
+        """Bind to a configuration; return the initial frequency (Hz).
+
+        Policies start at ``Fmax`` — the safe operating point before
+        any measurement exists.
+        """
+        self.config = config
+        return config.f_max_hz
+
+    @abstractmethod
+    def update(self, sample: MeasurementSample) -> float:
+        """Return the frequency (Hz) for the next control period."""
+
+    def _require_config(self) -> NocConfig:
+        if self.config is None:
+            raise RuntimeError(
+                f"{type(self).__name__}.update() called before reset()")
+        return self.config
+
+
+class NoDvfs(DvfsPolicy):
+    """The paper's baseline: the NoC always runs at ``Fmax``."""
+
+    name = "no-dvfs"
+
+    def update(self, sample: MeasurementSample) -> float:
+        return self._require_config().f_max_hz
+
+
+class FixedFrequency(DvfsPolicy):
+    """Pin the network clock to one frequency (sweeps, debugging)."""
+
+    name = "fixed"
+
+    def __init__(self, freq_hz: float) -> None:
+        super().__init__()
+        if freq_hz <= 0:
+            raise ValueError("frequency must be positive")
+        self.freq_hz = freq_hz
+
+    def reset(self, config: NocConfig) -> float:
+        super().reset(config)
+        return self.freq_hz
+
+    def update(self, sample: MeasurementSample) -> float:
+        return self.freq_hz

@@ -1,0 +1,58 @@
+"""Discrete frequency levels (paper Sec. IV-A, footnote 2).
+
+The paper lets the controller pick any frequency in the PLL range and
+notes that "the results remain valid in case of discrete values".
+``QuantizedPolicy`` wraps any policy and snaps its output to a finite
+level set, rounding *up* to the next available level so a delay/rate
+guarantee is never violated by quantization.  The ablation benchmark
+``test_ablation_quantization`` checks the paper's footnote claim.
+"""
+
+from __future__ import annotations
+
+from ..noc.config import NocConfig
+from ..noc.stats import MeasurementSample
+from .policy import DvfsPolicy
+
+
+def uniform_levels(config: NocConfig, count: int) -> list[float]:
+    """``count`` evenly spaced frequency levels over [Fmin, Fmax]."""
+    if count < 2:
+        raise ValueError("need at least two frequency levels")
+    step = (config.f_max_hz - config.f_min_hz) / (count - 1)
+    return [config.f_min_hz + i * step for i in range(count)]
+
+
+class QuantizedPolicy(DvfsPolicy):
+    """Wrap a policy; snap requested frequencies up to discrete levels."""
+
+    def __init__(self, inner: DvfsPolicy, levels: list[float] | None = None,
+                 num_levels: int = 8) -> None:
+        super().__init__()
+        self.inner = inner
+        self._explicit_levels = sorted(levels) if levels else None
+        self.num_levels = num_levels
+        self.levels: list[float] = []
+        self.name = f"{inner.name}-q"
+
+    def reset(self, config: NocConfig) -> float:
+        super().reset(config)
+        if self._explicit_levels is not None:
+            self.levels = self._explicit_levels
+            if (self.levels[0] > config.f_min_hz * (1 + 1e-12)
+                    or self.levels[-1] < config.f_max_hz * (1 - 1e-12)):
+                raise ValueError(
+                    "explicit levels must span [f_min, f_max]")
+        else:
+            self.levels = uniform_levels(config, self.num_levels)
+        return self.snap(self.inner.reset(config))
+
+    def snap(self, freq_hz: float) -> float:
+        """Smallest level >= requested frequency (clipped to the top)."""
+        for level in self.levels:
+            if level >= freq_hz - 1e-6:
+                return level
+        return self.levels[-1]
+
+    def update(self, sample: MeasurementSample) -> float:
+        return self.snap(self.inner.update(sample))

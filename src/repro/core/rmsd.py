@@ -1,0 +1,85 @@
+"""RMSD — Rate-based Max Slow Down (paper Sec. III, Fig. 1).
+
+The aggressive, power-first policy: slow the network clock down to the
+minimum frequency that still sustains the measured injection rate.
+Setting the network-domain rate to the target ``lambda_max`` (a safety
+margin below saturation) in eq. (1) gives the open-loop law, eq. (2):
+
+    Fnoc = Fnode * lambda_node / lambda_max
+
+clipped to the PLL range ``[Fmin, Fmax]``.  Inside the corresponding
+node-rate range ``[lambda_min, lambda_max]`` the network always
+operates at ``lambda_max`` — constant latency in cycles, minimum
+power, and the anomalous non-monotonic *delay in nanoseconds* the
+paper reports (Fig. 2(b)).
+"""
+
+from __future__ import annotations
+
+from ..noc.config import NocConfig
+from ..noc.stats import MeasurementSample
+from .policy import DvfsPolicy
+
+
+def rmsd_frequency(config: NocConfig, node_lambda: float,
+                   lambda_max: float) -> float:
+    """The open-loop frequency law of eq. (2), with clipping.
+
+    This closed form is what the measurement-driven controller
+    converges to under stationary traffic; the analysis layer uses it
+    directly for steady-state sweeps.
+    """
+    if lambda_max <= 0:
+        raise ValueError("lambda_max must be positive")
+    if node_lambda < 0:
+        raise ValueError("injection rate must be non-negative")
+    f = config.f_node_hz * node_lambda / lambda_max
+    return min(config.f_max_hz, max(config.f_min_hz, f))
+
+
+def lambda_min_for(config: NocConfig, lambda_max: float) -> float:
+    """Node rate below which the clock clips at ``Fmin`` (Sec. III).
+
+    From eq. (2): ``Fnoc = Fmin`` when ``lambda_node =
+    lambda_max * Fmin / Fnode``.
+    """
+    if lambda_max <= 0:
+        raise ValueError("lambda_max must be positive")
+    return lambda_max * config.f_min_hz / config.f_node_hz
+
+
+class RmsdController(DvfsPolicy):
+    """Measurement-driven RMSD (the architecture of paper Fig. 1).
+
+    Transmitting nodes report flits injected per elapsed window; the
+    controller averages them into ``lambda_node`` and applies eq. (2).
+    An optional exponentially-weighted moving average smooths bursty
+    measurements (``smoothing = 0`` reproduces the paper's memoryless
+    controller).
+    """
+
+    name = "rmsd"
+
+    def __init__(self, lambda_max: float, smoothing: float = 0.0) -> None:
+        super().__init__()
+        if lambda_max <= 0:
+            raise ValueError("lambda_max must be positive")
+        if not 0.0 <= smoothing < 1.0:
+            raise ValueError("smoothing must be in [0, 1)")
+        self.lambda_max = lambda_max
+        self.smoothing = smoothing
+        self._lambda_est: float | None = None
+
+    def reset(self, config: NocConfig) -> float:
+        self._lambda_est = None
+        return super().reset(config)
+
+    def update(self, sample: MeasurementSample) -> float:
+        config = self._require_config()
+        measured = sample.node_lambda
+        if self._lambda_est is None or self.smoothing == 0.0:
+            self._lambda_est = measured
+        else:
+            a = self.smoothing
+            self._lambda_est = a * self._lambda_est + (1.0 - a) * measured
+        return rmsd_frequency(config, self._lambda_est, self.lambda_max)

@@ -1,0 +1,93 @@
+"""Command-line figure regeneration.
+
+Usage::
+
+    python -m repro.experiments fig5
+    python -m repro.experiments fig2 fig4 fig6
+    python -m repro.experiments --profile full fig7
+    python -m repro.experiments all
+
+Prints each regenerated figure as a text table.  Figures sharing
+simulations (2/4/6) share one memoized workbench, so requesting them
+together costs little more than the most expensive one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..noc.config import PAPER_BASELINE
+from .common import FULL, QUICK, Workbench
+from .fig2 import figure2
+from .fig4 import figure4
+from .fig5 import figure5
+from .fig6 import figure6
+from .fig7 import figure7
+from .fig8 import figure8
+from .fig10 import figure10
+from .headline import headline_report
+from .render import render_figures
+
+FIGURES = ("fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
+           "headline")
+
+
+def run_figure(name: str, bench: Workbench) -> str:
+    """Regenerate one figure by name and return its rendering."""
+    if name == "fig2":
+        return render_figures(figure2(bench))
+    if name == "fig4":
+        return render_figures(figure4(bench))
+    if name == "fig5":
+        return render_figures([figure5()])
+    if name == "fig6":
+        return render_figures([figure6(bench)])
+    if name == "fig7":
+        return render_figures(figure7(bench))
+    if name == "fig8":
+        return render_figures(figure8(bench))
+    if name == "fig10":
+        return render_figures(figure10(bench, PAPER_BASELINE))
+    if name == "headline":
+        return headline_report(bench).render()
+    raise ValueError(f"unknown figure {name!r}; known: "
+                     f"{', '.join(FIGURES)}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate figures of Casu & Giaccone, DATE 2015.")
+    parser.add_argument("figures", nargs="+",
+                        help=f"figures to regenerate: "
+                             f"{', '.join(FIGURES)} or 'all'")
+    parser.add_argument("--profile", choices=("quick", "full"),
+                        default="quick",
+                        help="simulation effort (default: quick)")
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    names = list(args.figures)
+    if names == ["all"]:
+        names = list(FIGURES)
+    for name in names:
+        if name not in FIGURES:
+            parser.error(f"unknown figure {name!r}; known: "
+                         f"{', '.join(FIGURES)} or 'all'")
+
+    profile = FULL if args.profile == "full" else QUICK
+    bench = Workbench(profile=profile, seed=args.seed)
+    for name in names:
+        start = time.time()
+        output = run_figure(name, bench)
+        elapsed = time.time() - start
+        print(output)
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

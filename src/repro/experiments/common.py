@@ -1,0 +1,201 @@
+"""Shared experiment infrastructure.
+
+Every paper figure is a combination of the same ingredients: find the
+saturation rate of a scenario, derive ``lambda_max`` (RMSD) and the
+DMSD target delay from it, then sweep the three policies.  The
+``Workbench`` wires those steps together and memoizes every expensive
+result, so e.g. Fig. 2, Fig. 4 and Fig. 6 — which the paper derives
+from the *same* simulations — share one set of runs here too.
+
+Benchmarks can select an effort profile via the environment variable
+``REPRO_BENCH_PROFILE`` (``quick`` — default — or ``full``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from ..analysis.saturation import SaturationEstimate, find_saturation_rate
+from ..analysis.sweep import (DmsdSteadyState, FAST, NoDvfsSteadyState,
+                              RmsdSteadyState, SimBudget, SweepSeries,
+                              run_fixed_point, run_sweep)
+from ..noc.config import NocConfig
+from ..power.model import PowerModel
+from ..traffic.injection import PatternTraffic, TrafficSpec
+from ..traffic.patterns import make_pattern
+
+POLICIES = ("no-dvfs", "rmsd", "dmsd")
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Effort profile for experiment drivers."""
+
+    name: str
+    budget: SimBudget
+    sweep_points: int
+    dmsd_iterations: int
+    saturation_iterations: int
+
+
+QUICK = Profile("quick", FAST, sweep_points=6, dmsd_iterations=5,
+                saturation_iterations=5)
+FULL = Profile("full", SimBudget(2500, 5000, 15000), sweep_points=9,
+               dmsd_iterations=6, saturation_iterations=7)
+
+
+def active_profile() -> Profile:
+    """Profile selected by ``REPRO_BENCH_PROFILE`` (default quick)."""
+    name = os.environ.get("REPRO_BENCH_PROFILE", "quick").lower()
+    if name == "full":
+        return FULL
+    if name == "quick":
+        return QUICK
+    raise ValueError(f"unknown REPRO_BENCH_PROFILE {name!r} "
+                     "(expected 'quick' or 'full')")
+
+
+class Workbench:
+    """Memoizing driver for policy-comparison experiments."""
+
+    def __init__(self, profile: Profile | None = None, seed: int = 3) -> None:
+        self.profile = profile or active_profile()
+        self.seed = seed
+        self._saturation: dict = {}
+        self._target: dict = {}
+        self._sweeps: dict = {}
+        self._power_models: dict[NocConfig, PowerModel] = {}
+
+    # --- building blocks -------------------------------------------------
+    def budget_for(self, config: NocConfig) -> SimBudget:
+        """Cycle budget, normalized to the baseline's 25 nodes.
+
+        Measurement precision scales with observed packets, which scale
+        with nodes x cycles, so larger meshes reach the same precision
+        in proportionally fewer cycles.  Budgets never grow above the
+        profile's (small meshes just take longer to average).
+        """
+        scale = min(1.0, 25.0 / config.num_nodes)
+        return (self.profile.budget if scale >= 1.0
+                else self.profile.budget.scaled(scale))
+
+    def power_model(self, config: NocConfig) -> PowerModel:
+        if config not in self._power_models:
+            self._power_models[config] = PowerModel(config)
+        return self._power_models[config]
+
+    def pattern_factory(self, config: NocConfig,
+                        pattern: str) -> Callable[[float], TrafficSpec]:
+        mesh = config.make_mesh()
+        pat = make_pattern(pattern, mesh)
+        return lambda rate: PatternTraffic(pat, rate)
+
+    def saturation(self, config: NocConfig,
+                   pattern: str) -> SaturationEstimate:
+        """Saturation rate and ``lambda_max`` for a scenario (cached)."""
+        key = (config, pattern)
+        if key not in self._saturation:
+            self._saturation[key] = find_saturation_rate(
+                config, self.pattern_factory(config, pattern),
+                budget=self.budget_for(config), seed=self.seed,
+                iterations=self.profile.saturation_iterations)
+        return self._saturation[key]
+
+    def dmsd_target_ns(self, config: NocConfig, pattern: str) -> float:
+        """The paper's DMSD target: RMSD delay at ``lambda_max``.
+
+        At ``lambda_node = lambda_max`` RMSD runs at ``Fmax``, so the
+        target is the full-speed delay at that rate (150 ns for the
+        paper's baseline).
+        """
+        key = (config, pattern)
+        if key not in self._target:
+            lam_max = self.saturation(config, pattern).lambda_max
+            traffic = self.pattern_factory(config, pattern)(lam_max)
+            result = run_fixed_point(config, traffic, config.f_max_hz,
+                                     self.budget_for(config).scaled(1.5),
+                                     self.seed)
+            if result.mean_delay_ns is None:
+                raise RuntimeError(
+                    "no packets delivered while deriving the DMSD target")
+            self._target[key] = result.mean_delay_ns
+        return self._target[key]
+
+    # --- sweeps -----------------------------------------------------------
+    def strategy_for(self, policy: str, config: NocConfig, pattern: str):
+        """Instantiate a steady-state strategy for a named policy."""
+        if policy == "no-dvfs":
+            return NoDvfsSteadyState()
+        if policy == "rmsd":
+            return RmsdSteadyState(
+                self.saturation(config, pattern).lambda_max)
+        if policy == "dmsd":
+            return DmsdSteadyState(
+                self.dmsd_target_ns(config, pattern),
+                iterations=self.profile.dmsd_iterations)
+        raise ValueError(f"unknown policy {policy!r}")
+
+    def pattern_sweep(self, config: NocConfig, pattern: str, policy: str,
+                      rates: tuple[float, ...]) -> SweepSeries:
+        """One policy's sweep over injection rates (cached)."""
+        key = (config, pattern, policy, rates)
+        if key not in self._sweeps:
+            self._sweeps[key] = run_sweep(
+                config, self.pattern_factory(config, pattern), list(rates),
+                self.strategy_for(policy, config, pattern),
+                budget=self.budget_for(config), seed=self.seed,
+                power_model=self.power_model(config))
+        return self._sweeps[key]
+
+    def policy_comparison(self, config: NocConfig, pattern: str,
+                          rates: tuple[float, ...]
+                          ) -> dict[str, SweepSeries]:
+        """All three policies swept over the same rates."""
+        return {policy: self.pattern_sweep(config, pattern, policy, rates)
+                for policy in POLICIES}
+
+    def custom_sweep(self, key: tuple, config: NocConfig,
+                     traffic_factory: Callable[[float], TrafficSpec],
+                     xs: tuple[float, ...], strategy) -> SweepSeries:
+        """Cached sweep for non-pattern traffic (apps); caller keys it."""
+        cache_key = ("custom", key, xs)
+        if cache_key not in self._sweeps:
+            self._sweeps[cache_key] = run_sweep(
+                config, traffic_factory, list(xs), strategy,
+                budget=self.budget_for(config), seed=self.seed,
+                power_model=self.power_model(config))
+        return self._sweeps[cache_key]
+
+    # --- standard rate grids -----------------------------------------------
+    def rate_grid(self, config: NocConfig, pattern: str,
+                  include_rmsd_peak: bool = True) -> tuple[float, ...]:
+        """Sweep grid from low load up to just under saturation.
+
+        Includes the RMSD clip boundary ``lambda_min`` where the
+        non-monotonic delay peaks (Fig. 2(b)), so the anomaly is always
+        sampled.
+        """
+        est = self.saturation(config, pattern)
+        lam_max = est.lambda_max
+        n = self.profile.sweep_points
+        grid = [lam_max * (i + 1) / n for i in range(n)]
+        if include_rmsd_peak:
+            lam_min = lam_max * config.f_min_hz / config.f_max_hz
+            grid.append(lam_min)
+        # Round for stable cache keys, but never past lambda_max.
+        return tuple(sorted({min(round(g, 4), round(lam_max, 6))
+                             for g in grid}))
+
+
+#: Module-level workbench shared by benchmarks within one process.
+_SHARED: Workbench | None = None
+
+
+def shared_workbench() -> Workbench:
+    """Process-wide workbench (benchmarks reuse each other's runs)."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = Workbench()
+    return _SHARED

@@ -1,0 +1,132 @@
+"""Fig. 10 — Delay and power under multimedia traffic (H.264, VCE).
+
+The application graphs of Fig. 9 drive the NoC through custom traffic
+matrices; the x-axis is the application speed relative to the paper's
+75 frames/second reference point.  RMSD still saves the most power
+(paper: DMSD/RMSD ~ 1.4x) but at a delay penalty (paper: ~2x for
+H.264 and ~2.1x for VCE at mid speeds).
+"""
+
+from __future__ import annotations
+
+from ..analysis.saturation import find_saturation_rate
+from ..analysis.sweep import (DmsdSteadyState, NoDvfsSteadyState,
+                              RmsdSteadyState, run_fixed_point)
+from ..noc.config import NocConfig
+from ..traffic.apps import ApplicationGraph, h264_encoder, vce_encoder
+from ..traffic.injection import MatrixTraffic
+from .common import POLICIES, Workbench
+from .render import FigureResult, Series
+
+#: Speed grid of the sweep (relative units, as the paper's x-axis).
+SPEED_GRID = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+#: Speed at which ratios are quoted (mid range, like the paper's marks).
+REFERENCE_SPEED = 0.6
+
+
+def app_config(app: ApplicationGraph, base: NocConfig) -> NocConfig:
+    """The paper's mesh for this application, other knobs from base."""
+    return base.with_(width=app.mesh_width, height=app.mesh_height)
+
+
+def _app_strategies(bench: Workbench, app: ApplicationGraph,
+                    config: NocConfig):
+    """Per-app lambda_max and DMSD target, derived like the paper.
+
+    The app's spatial traffic distribution differs from any synthetic
+    pattern, so saturation is found by scaling the app matrix itself:
+    the sweep coordinate is the mean node rate of the scaled matrix.
+    """
+    base_matrix = app.traffic_at_speed(config, 1.0)
+    mean_at_speed1 = base_matrix.mean_node_rate()
+
+    def traffic_at(mean_rate: float) -> MatrixTraffic:
+        return MatrixTraffic(
+            base_matrix.scaled(mean_rate / mean_at_speed1))
+
+    est = find_saturation_rate(
+        config, traffic_at, budget=bench.budget_for(config),
+        seed=bench.seed,
+        iterations=bench.profile.saturation_iterations,
+        hi=min(1.0, 3.0 * mean_at_speed1))
+    lam_max = est.lambda_max
+    result = run_fixed_point(config, traffic_at(lam_max),
+                             config.f_max_hz,
+                             bench.budget_for(config).scaled(1.5),
+                             bench.seed)
+    target_ns = result.mean_delay_ns
+    if target_ns is None:
+        raise RuntimeError(f"no packets delivered deriving {app.name} "
+                           "DMSD target")
+    return {
+        "no-dvfs": NoDvfsSteadyState(),
+        "rmsd": RmsdSteadyState(lam_max),
+        "dmsd": DmsdSteadyState(
+            target_ns, iterations=bench.profile.dmsd_iterations),
+    }, lam_max, target_ns
+
+
+def figure10_app(bench: Workbench, app: ApplicationGraph,
+                 base: NocConfig,
+                 speeds: tuple[float, ...] = SPEED_GRID
+                 ) -> list[FigureResult]:
+    """Delay + power panels for one application."""
+    config = app_config(app, base)
+    strategies, lam_max, target_ns = _app_strategies(bench, app, config)
+
+    def traffic_factory(speed: float) -> MatrixTraffic:
+        return MatrixTraffic(app.traffic_at_speed(config, speed))
+
+    sweeps = {
+        policy: bench.custom_sweep(
+            (app.name, policy, config), config, traffic_factory, speeds,
+            strategies[policy])
+        for policy in POLICIES
+    }
+    ref = min(speeds, key=lambda s: abs(s - REFERENCE_SPEED))
+
+    annotations: dict[str, float] = {
+        "ref_speed": ref,
+        "lambda_max": lam_max,
+        "dmsd_target_ns": target_ns,
+    }
+    rmsd_d = sweeps["rmsd"].point_at(ref).delay_ns
+    dmsd_d = sweeps["dmsd"].point_at(ref).delay_ns
+    if rmsd_d and dmsd_d:
+        annotations["rmsd_over_dmsd_delay"] = rmsd_d / dmsd_d
+    dmsd_p = sweeps["dmsd"].point_at(ref).power_mw
+    rmsd_p = sweeps["rmsd"].point_at(ref).power_mw
+    if dmsd_p and rmsd_p:
+        annotations["dmsd_over_rmsd_power"] = dmsd_p / rmsd_p
+
+    delay_fig = FigureResult(
+        figure_id=f"fig10-delay-{app.name}",
+        title=f"Packet delay vs app speed ({app.name})",
+        x_label="app speed",
+        y_label="packet delay (ns)",
+        series=[Series(p, list(speeds),
+                       [pt.delay_ns for pt in sweeps[p].points])
+                for p in POLICIES],
+        annotations=annotations,
+    )
+    power_fig = FigureResult(
+        figure_id=f"fig10-power-{app.name}",
+        title=f"NoC power vs app speed ({app.name})",
+        x_label="app speed",
+        y_label="power (mW)",
+        series=[Series(p, list(speeds),
+                       [pt.power_mw for pt in sweeps[p].points])
+                for p in POLICIES],
+        annotations=annotations,
+    )
+    return [delay_fig, power_fig]
+
+
+def figure10(bench: Workbench, base: NocConfig,
+             speeds: tuple[float, ...] = SPEED_GRID) -> list[FigureResult]:
+    """Regenerate all four Fig. 10 panels (H.264 + VCE)."""
+    figures: list[FigureResult] = []
+    for make_app in (h264_encoder, vce_encoder):
+        figures.extend(figure10_app(bench, make_app(), base, speeds))
+    return figures

@@ -1,0 +1,33 @@
+"""Fig. 5 — Network clock frequency vs Vdd in 28-nm FDSOI.
+
+The technology model's V–F curve sampled across the DVFS voltage
+range, pinned to the paper's two published anchor points (333 MHz at
+0.56 V, 1 GHz at 0.90 V).
+"""
+
+from __future__ import annotations
+
+from ..power.technology import FDSOI_28NM, Technology
+from .render import FigureResult, Series
+
+
+def figure5(technology: Technology = FDSOI_28NM,
+            points: int = 15) -> FigureResult:
+    """Regenerate Fig. 5 from the fitted alpha-power model."""
+    table = technology.vf_table(points)
+    voltages = [v for v, _ in table]
+    freqs_ghz = [f / 1e9 for _, f in table]
+    return FigureResult(
+        figure_id="fig5",
+        title="Maximum clock frequency vs Vdd (28-nm FDSOI model)",
+        x_label="Vdd (V)",
+        y_label="frequency (GHz)",
+        series=[Series("f_max", voltages, freqs_ghz)],
+        annotations={
+            "alpha": technology.alpha,
+            "anchor_low_mhz": technology.frequency_at(0.56) / 1e6,
+            "anchor_high_mhz": technology.frequency_at(0.90) / 1e6,
+        },
+        notes=["anchors from the paper text: 333 MHz @ 0.56 V, "
+               "1 GHz @ 0.90 V"],
+    )

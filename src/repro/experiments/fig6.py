@@ -1,0 +1,49 @@
+"""Fig. 6 — Total NoC power vs injection rate, all three policies.
+
+Reuses the Fig. 2/4 sweeps (same simulations, as in the paper) and
+reports the power model's totals, including the two annotated ratios:
+No-DVFS over DMSD (paper: 2.2x at 0.2 fl/cy) and DMSD over RMSD
+(paper: 1.3x / "30% more power").
+"""
+
+from __future__ import annotations
+
+from ..noc.config import NocConfig, PAPER_BASELINE
+from .common import POLICIES, Workbench
+from .render import FigureResult, Series
+
+#: Rate at which the paper quotes its Fig. 6 ratios.
+REFERENCE_RATE = 0.2
+
+
+def figure6(bench: Workbench,
+            config: NocConfig = PAPER_BASELINE,
+            pattern: str = "uniform") -> FigureResult:
+    """Regenerate Fig. 6."""
+    rates = bench.rate_grid(config, pattern)
+    sweeps = bench.policy_comparison(config, pattern, rates)
+
+    series = [Series(policy, list(rates),
+                     [p.power_mw for p in sweeps[policy].points])
+              for policy in POLICIES]
+
+    ref = min(rates, key=lambda r: abs(r - REFERENCE_RATE))
+    powers = {policy: sweeps[policy].point_at(ref).power_mw
+              for policy in POLICIES}
+    annotations = {}
+    if all(v is not None and v > 0 for v in powers.values()):
+        annotations = {
+            "ref_rate": ref,
+            "no_dvfs_over_dmsd": powers["no-dvfs"] / powers["dmsd"],
+            "dmsd_over_rmsd": powers["dmsd"] / powers["rmsd"],
+        }
+    return FigureResult(
+        figure_id="fig6",
+        title="Total NoC power vs injection rate",
+        x_label="rate (fl/cy)",
+        y_label="power (mW)",
+        series=series,
+        annotations=annotations,
+        notes=["paper annotations at 0.2 fl/cy: 2.2x (No-DVFS/DMSD) "
+               "and 1.3x (DMSD/RMSD)"],
+    )

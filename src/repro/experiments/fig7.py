@@ -1,0 +1,71 @@
+"""Fig. 7 — Delay and power under four synthetic traffic patterns.
+
+Tornado, bit-complement, transpose and neighbor traffic on the 5x5
+baseline, each with its own saturation point, ``lambda_max`` and DMSD
+target — eight panels total (delay row + power row).  The paper's
+takeaway: the DMSD-over-RMSD delay win (2–2.5x at 0.2 fl/cy) exceeds
+the RMSD-over-DMSD power win (1.2–1.4x) for every pattern.
+"""
+
+from __future__ import annotations
+
+from ..noc.config import NocConfig, PAPER_BASELINE
+from .common import POLICIES, Workbench
+from .render import FigureResult, Series
+
+#: Panel order as in the paper.
+FIG7_PATTERNS = ("tornado", "bitcomp", "transpose", "neighbor")
+
+#: Rate at which the paper quotes per-pattern ratios.  Patterns that
+#: saturate below that (e.g. transpose under DOR) are quoted at half
+#: their own lambda_max instead, mirroring the paper's mid-range marks.
+REFERENCE_RATE = 0.2
+
+
+def figure7(bench: Workbench,
+            config: NocConfig = PAPER_BASELINE,
+            patterns: tuple[str, ...] = FIG7_PATTERNS
+            ) -> list[FigureResult]:
+    """Regenerate all Fig. 7 panels (delay + power per pattern)."""
+    figures = []
+    for pattern in patterns:
+        rates = bench.rate_grid(config, pattern)
+        lam_max = bench.saturation(config, pattern).lambda_max
+        ref_rate = min(REFERENCE_RATE, 0.5 * lam_max)
+        sweeps = bench.policy_comparison(config, pattern, rates)
+        ref = min(rates, key=lambda r: abs(r - ref_rate))
+
+        delay_ann = {}
+        rmsd_d = sweeps["rmsd"].point_at(ref).delay_ns
+        dmsd_d = sweeps["dmsd"].point_at(ref).delay_ns
+        if rmsd_d is not None and dmsd_d:
+            delay_ann["rmsd_over_dmsd_at_ref"] = rmsd_d / dmsd_d
+        figures.append(FigureResult(
+            figure_id=f"fig7-delay-{pattern}",
+            title=f"Packet delay vs injection rate ({pattern})",
+            x_label="rate (fl/cy)",
+            y_label="packet delay (ns)",
+            series=[Series(p, list(rates),
+                           [pt.delay_ns for pt in sweeps[p].points])
+                    for p in POLICIES],
+            annotations={"ref_rate": ref, **delay_ann},
+        ))
+
+        power_ann = {}
+        dmsd_p = sweeps["dmsd"].point_at(ref).power_mw
+        rmsd_p = sweeps["rmsd"].point_at(ref).power_mw
+        nod_p = sweeps["no-dvfs"].point_at(ref).power_mw
+        if dmsd_p and rmsd_p and nod_p:
+            power_ann = {"dmsd_over_rmsd_at_ref": dmsd_p / rmsd_p,
+                         "no_dvfs_over_dmsd_at_ref": nod_p / dmsd_p}
+        figures.append(FigureResult(
+            figure_id=f"fig7-power-{pattern}",
+            title=f"NoC power vs injection rate ({pattern})",
+            x_label="rate (fl/cy)",
+            y_label="power (mW)",
+            series=[Series(p, list(rates),
+                           [pt.power_mw for pt in sweeps[p].points])
+                    for p in POLICIES],
+            annotations={"ref_rate": ref, **power_ann},
+        ))
+    return figures

@@ -1,0 +1,85 @@
+"""Fig. 8 — Sensitivity analysis under uniform traffic.
+
+Re-runs the three-policy comparison while varying virtual channels,
+buffers per VC, packet size and mesh size (paper Sec. V).  Every case
+gets its own saturation estimate, ``lambda_max`` and DMSD target, as
+the per-panel markers of the paper's figure imply.  The claim checked:
+the trade-off tips in favour of DMSD under *every* variation.
+"""
+
+from __future__ import annotations
+
+from ..analysis.sensitivity import SensitivityCase, sensitivity_cases
+from ..noc.config import NocConfig, PAPER_BASELINE
+from .common import POLICIES, Workbench
+from .render import FigureResult, Series
+
+#: Fraction of each case's lambda_max at which ratios are quoted.
+REFERENCE_FRACTION = 0.5
+
+
+def _case_rates(bench: Workbench, case: SensitivityCase,
+                points: int) -> tuple[float, ...]:
+    lam_max = bench.saturation(case.config, "uniform").lambda_max
+    return tuple(round(lam_max * (i + 1) / points, 4)
+                 for i in range(points))
+
+
+def figure8_case(bench: Workbench, case: SensitivityCase,
+                 points: int = 3) -> tuple[FigureResult, FigureResult]:
+    """Delay + power panels for one varied configuration."""
+    rates = _case_rates(bench, case, points)
+    sweeps = bench.policy_comparison(case.config, "uniform", rates)
+    ref = rates[max(0, int(len(rates) * REFERENCE_FRACTION) - 1)]
+
+    annotations: dict[str, float] = {"ref_rate": ref}
+    rmsd_d = sweeps["rmsd"].point_at(ref).delay_ns
+    dmsd_d = sweeps["dmsd"].point_at(ref).delay_ns
+    dmsd_p = sweeps["dmsd"].point_at(ref).power_mw
+    rmsd_p = sweeps["rmsd"].point_at(ref).power_mw
+    if rmsd_d and dmsd_d:
+        annotations["rmsd_over_dmsd_delay"] = rmsd_d / dmsd_d
+    if dmsd_p and rmsd_p:
+        annotations["dmsd_over_rmsd_power"] = dmsd_p / rmsd_p
+
+    delay_fig = FigureResult(
+        figure_id=f"fig8-delay-{case.parameter}-{case.label}",
+        title=f"Delay, {case.parameter} = {case.label}",
+        x_label="rate (fl/cy)",
+        y_label="packet delay (ns)",
+        series=[Series(p, list(rates),
+                       [pt.delay_ns for pt in sweeps[p].points])
+                for p in POLICIES],
+        annotations=annotations,
+    )
+    power_fig = FigureResult(
+        figure_id=f"fig8-power-{case.parameter}-{case.label}",
+        title=f"Power, {case.parameter} = {case.label}",
+        x_label="rate (fl/cy)",
+        y_label="power (mW)",
+        series=[Series(p, list(rates),
+                       [pt.power_mw for pt in sweeps[p].points])
+                for p in POLICIES],
+        annotations=annotations,
+    )
+    return delay_fig, power_fig
+
+
+def figure8(bench: Workbench,
+            base: NocConfig = PAPER_BASELINE,
+            parameters: tuple[str, ...] | None = None,
+            points: int = 3) -> list[FigureResult]:
+    """Regenerate Fig. 8 panels for the selected parameter families."""
+    cases = sensitivity_cases(base)
+    if parameters is None:
+        parameters = tuple(cases)
+    figures: list[FigureResult] = []
+    for parameter in parameters:
+        if parameter not in cases:
+            known = ", ".join(cases)
+            raise ValueError(f"unknown sensitivity parameter "
+                             f"{parameter!r}; known: {known}")
+        for case in cases[parameter]:
+            delay_fig, power_fig = figure8_case(bench, case, points)
+            figures.extend([delay_fig, power_fig])
+    return figures

@@ -1,0 +1,137 @@
+"""Text rendering of figure data.
+
+Each experiment driver returns a ``FigureResult``: named series over a
+common x-axis plus the annotations the paper prints on the figure
+(e.g. "2.2x").  ``render_figure`` formats it as the table of rows the
+paper's plot would show, which is what the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Series:
+    """One curve of a figure."""
+
+    name: str
+    xs: list[float]
+    ys: list[float | None]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.name!r}: {len(self.xs)} xs vs "
+                f"{len(self.ys)} ys")
+
+    def y_at(self, x: float) -> float | None:
+        """y of the sample closest to ``x``."""
+        if not self.xs:
+            raise ValueError(f"series {self.name!r} is empty")
+        idx = min(range(len(self.xs)), key=lambda i: abs(self.xs[i] - x))
+        return self.ys[idx]
+
+
+@dataclass
+class FigureResult:
+    """All series of one reproduced figure plus its annotations."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series]
+    annotations: dict[str, float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def series_named(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"figure {self.figure_id} has no series {name!r}")
+
+    @property
+    def xs(self) -> list[float]:
+        return self.series[0].xs if self.series else []
+
+
+def _fmt(value: float | None, width: int = 10) -> str:
+    if value is None:
+        return "-".rjust(width)
+    if abs(value) >= 1000:
+        return f"{value:{width}.0f}"
+    return f"{value:{width}.2f}"
+
+
+def render_figure(fig: FigureResult) -> str:
+    """Format one figure's data as an aligned text table."""
+    lines = [f"{fig.figure_id} — {fig.title}",
+             f"  y: {fig.y_label}"]
+    header = f"{fig.x_label:>12} |" + "".join(
+        f"{s.name:>12}" for s in fig.series)
+    lines.append(header)
+    lines.append("-" * len(header))
+    # Merge x grids: series may have distinct xs (sensitivity panels).
+    all_xs: list[float] = []
+    for s in fig.series:
+        for x in s.xs:
+            if not any(abs(x - seen) < 1e-9 for seen in all_xs):
+                all_xs.append(x)
+    for x in sorted(all_xs):
+        row = [f"{x:12.3f} |"]
+        for s in fig.series:
+            if any(abs(x - sx) < 1e-9 for sx in s.xs):
+                row.append(_fmt(s.y_at(x), 12))
+            else:
+                row.append(" " * 12)
+        lines.append("".join(row))
+    for key, value in fig.annotations.items():
+        lines.append(f"  [{key}: {value:.2f}]")
+    for note in fig.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def render_figures(figs: list[FigureResult]) -> str:
+    return "\n\n".join(render_figure(f) for f in figs)
+
+
+def ascii_chart(fig: FigureResult, width: int = 60,
+                height: int = 16) -> str:
+    """Render a figure's series as an ASCII scatter chart.
+
+    A rough visual companion to the tables: each series gets a marker
+    character, axes are linear, None samples are skipped.
+    """
+    points = [(x, y, idx)
+              for idx, s in enumerate(fig.series)
+              for x, y in zip(s.xs, s.ys) if y is not None]
+    if not points:
+        raise ValueError(f"figure {fig.figure_id} has no drawable data")
+    markers = "ox+*#@"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, idx in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = markers[idx % len(markers)]
+
+    legend = "  ".join(f"{markers[i % len(markers)]}={s.name}"
+                       for i, s in enumerate(fig.series))
+    lines = [f"{fig.figure_id} — {fig.title}", legend]
+    for i, row in enumerate(grid):
+        label = (f"{y_hi:9.1f} |" if i == 0
+                 else f"{y_lo:9.1f} |" if i == height - 1
+                 else " " * 10 + "|")
+        lines.append(label + "".join(row))
+    lines.append(" " * 10 + "-" * width)
+    lines.append(f"{'':10}{x_lo:<10.3f}{fig.x_label:^{width - 20}}"
+                 f"{x_hi:>10.3f}")
+    return "\n".join(lines)

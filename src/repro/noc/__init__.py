@@ -1,0 +1,51 @@
+"""Cycle-level virtual-channel mesh NoC simulator.
+
+This package is the reproduction's substrate for the paper's modified
+Booksim: a wormhole, credit-flow-controlled, virtual-channel mesh
+simulator whose network clock is decoupled from the node clock so that
+global DVFS policies can be studied.
+"""
+
+from .clock import MultiNodeClockBridge, NetworkClock, NodeClockBridge
+from .config import GHZ, MHZ, NocConfig, PAPER_BASELINE, SMALL_TEST
+from .flit import Flit, Packet, flits_of
+from .network import Network
+from .router import Router
+from .routing import ROUTING_FUNCTIONS, get_routing_function, route_path
+from .simulator import Controller, SimResult, Simulation
+from .stats import (ActivityCounters, MeasurementSample, PowerWindow,
+                    StatsCollector)
+from .topology import EAST, LOCAL, Mesh, NORTH, NUM_PORTS, SOUTH, WEST
+
+__all__ = [
+    "ActivityCounters",
+    "Controller",
+    "EAST",
+    "Flit",
+    "GHZ",
+    "LOCAL",
+    "MHZ",
+    "MeasurementSample",
+    "MultiNodeClockBridge",
+    "Mesh",
+    "NORTH",
+    "NUM_PORTS",
+    "Network",
+    "NetworkClock",
+    "NocConfig",
+    "NodeClockBridge",
+    "PAPER_BASELINE",
+    "Packet",
+    "PowerWindow",
+    "ROUTING_FUNCTIONS",
+    "Router",
+    "SMALL_TEST",
+    "SOUTH",
+    "SimResult",
+    "Simulation",
+    "StatsCollector",
+    "WEST",
+    "flits_of",
+    "get_routing_function",
+    "route_path",
+]

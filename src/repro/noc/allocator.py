@@ -1,0 +1,72 @@
+"""Arbitration primitives for VC and switch allocation.
+
+The router uses *separable input-first* allocation built from
+round-robin arbiters, the same structure as Booksim's default
+``SeparableInputFirstAllocator``: each input port first picks one
+requesting VC, then each output port picks one requesting input.
+Round-robin pointers advance past the winner, which provides the
+strong fairness the paper's average-latency measurements rely on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class RoundRobinArbiter:
+    """Classic rotating-priority arbiter over ``size`` request lines."""
+
+    __slots__ = ("size", "_ptr")
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("arbiter needs at least one input")
+        self.size = size
+        self._ptr = 0
+
+    def grant(self, requests: Sequence[int] | Iterable[int]) -> int | None:
+        """Pick one of the requesting line indices, or ``None``.
+
+        ``requests`` is a collection of requesting line indices in
+        ``[0, size)``.  The arbiter grants the first requester at or
+        after the rotating pointer and advances the pointer one past
+        the winner (so a continuously-requesting line cannot starve
+        the others).
+        """
+        req = set(requests)
+        if not req:
+            return None
+        for offset in range(self.size):
+            line = (self._ptr + offset) % self.size
+            if line in req:
+                self._ptr = (line + 1) % self.size
+                return line
+        return None
+
+    def reset(self) -> None:
+        self._ptr = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RoundRobinArbiter(size={self.size}, ptr={self._ptr})"
+
+
+class MatrixArbiterPool:
+    """A pool of independent round-robin arbiters, one per resource.
+
+    Convenience wrapper used for the per-output-port stage of the
+    separable allocator: output ``i`` arbitrates among its requesting
+    inputs with its own private pointer.
+    """
+
+    __slots__ = ("arbiters",)
+
+    def __init__(self, num_resources: int, num_requesters: int) -> None:
+        self.arbiters = [RoundRobinArbiter(num_requesters)
+                         for _ in range(num_resources)]
+
+    def grant(self, resource: int, requests: Iterable[int]) -> int | None:
+        return self.arbiters[resource].grant(requests)
+
+    def reset(self) -> None:
+        for arb in self.arbiters:
+            arb.reset()

@@ -1,0 +1,102 @@
+"""Virtual-channel input buffers and their per-packet state machine.
+
+Each router input port owns ``num_vcs`` virtual channels.  A VC is a
+FIFO of flits plus the wormhole state of the packet currently at its
+front.  The state machine follows the canonical VC router pipeline
+(Dally & Towles; also Booksim's ``VC`` class):
+
+``IDLE``
+    No packet being routed.  When a head flit reaches the front the VC
+    enters ``ROUTING``.
+``ROUTING``
+    Route computation in progress (takes ``route_latency`` cycles).
+``VC_ALLOC``
+    Output port known; waiting to win an output VC.
+``ACTIVE``
+    Output VC held; flits compete for the switch each cycle and the
+    tail flit releases the VC back to ``IDLE``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .flit import Flit
+
+# VC states (ints for speed in the hot loop).
+IDLE, ROUTING, VC_ALLOC, ACTIVE = range(4)
+
+STATE_NAMES = ("IDLE", "ROUTING", "VC_ALLOC", "ACTIVE")
+
+
+class VirtualChannel:
+    """One virtual channel: a credit-managed flit FIFO plus route state."""
+
+    __slots__ = ("port", "index", "capacity", "fifo", "state",
+                 "out_port", "out_vc", "ready_cycle")
+
+    def __init__(self, port: int, index: int, capacity: int) -> None:
+        self.port = port
+        self.index = index
+        self.capacity = capacity
+        self.fifo: deque[Flit] = deque()
+        self.state = IDLE
+        self.out_port = -1
+        self.out_vc = -1
+        #: first cycle at which the current pipeline stage's result is usable
+        self.ready_cycle = 0
+
+    # --- occupancy ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.fifo)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.fifo) >= self.capacity
+
+    @property
+    def front(self) -> Flit | None:
+        return self.fifo[0] if self.fifo else None
+
+    # --- flit movement ----------------------------------------------------
+    def push(self, flit: Flit) -> None:
+        """Buffer an arriving flit (a buffer write)."""
+        if self.is_full:
+            raise OverflowError(
+                f"VC overflow at port {self.port} vc {self.index}: "
+                "credit protocol violated")
+        self.fifo.append(flit)
+
+    def pop(self) -> Flit:
+        """Remove and return the front flit (a buffer read)."""
+        return self.fifo.popleft()
+
+    # --- state transitions ------------------------------------------------
+    def start_routing(self, out_port: int, ready_cycle: int) -> None:
+        """Enter ROUTING with the (pre-computed) output port.
+
+        The routing *decision* is computed immediately; ``ready_cycle``
+        models the pipeline latency before the decision is usable.
+        """
+        self.state = ROUTING
+        self.out_port = out_port
+        self.ready_cycle = ready_cycle
+
+    def enter_vc_alloc(self) -> None:
+        self.state = VC_ALLOC
+
+    def grant_output_vc(self, out_vc: int, ready_cycle: int) -> None:
+        """VC allocation succeeded: record the output VC and go ACTIVE."""
+        self.state = ACTIVE
+        self.out_vc = out_vc
+        self.ready_cycle = ready_cycle
+
+    def release(self) -> None:
+        """Tail flit departed: clear route state, back to IDLE."""
+        self.state = IDLE
+        self.out_port = -1
+        self.out_vc = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"VC(port={self.port}, idx={self.index}, "
+                f"state={STATE_NAMES[self.state]}, occ={len(self.fifo)})")

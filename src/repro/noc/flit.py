@@ -1,0 +1,115 @@
+"""Flits and packets — the units of transfer in the wormhole NoC.
+
+A *packet* is the unit of end-to-end communication (what the traffic
+generators emit and what latency/delay statistics are recorded on).  A
+*flit* (flow-control digit) is the unit of buffer allocation and link
+transfer.  Every packet is serialized into ``length`` flits: one head
+flit (carries the route), zero or more body flits, and one tail flit
+(releases the virtual channel).  A single-flit packet has a flit that is
+both head and tail.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class Packet:
+    """One end-to-end message, timestamped in both clock domains.
+
+    Timestamps follow the paper's measurement methodology: *latency* is
+    counted in **network clock cycles** from packet creation to tail
+    ejection (this is what Booksim reports and what paper Fig. 2(a)
+    plots), while *delay* is the same interval converted to
+    **nanoseconds** using the absolute-time clock (paper Fig. 2(b)),
+    which is what the DMSD controller regulates.
+    """
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dst",
+        "length",
+        "created_cycle",
+        "created_ns",
+        "injected_cycle",
+        "ejected_cycle",
+        "ejected_ns",
+        "measured",
+        "hops",
+    )
+
+    _pid_counter = itertools.count()
+
+    def __init__(self, src: int, dst: int, length: int,
+                 created_cycle: int, created_ns: float,
+                 measured: bool = False) -> None:
+        if length < 1:
+            raise ValueError(f"packet length must be >= 1, got {length}")
+        if src == dst:
+            raise ValueError("packet source and destination must differ")
+        self.pid = next(Packet._pid_counter)
+        self.src = src
+        self.dst = dst
+        self.length = length
+        self.created_cycle = created_cycle
+        self.created_ns = created_ns
+        self.injected_cycle = -1
+        self.ejected_cycle = -1
+        self.ejected_ns = -1.0
+        self.measured = measured
+        self.hops = 0
+
+    @property
+    def is_delivered(self) -> bool:
+        """True once the tail flit has been ejected at the destination."""
+        return self.ejected_cycle >= 0
+
+    @property
+    def latency_cycles(self) -> int:
+        """Creation-to-ejection latency in network clock cycles."""
+        if not self.is_delivered:
+            raise RuntimeError(f"packet {self.pid} not delivered yet")
+        return self.ejected_cycle - self.created_cycle
+
+    @property
+    def delay_ns(self) -> float:
+        """Creation-to-ejection delay in nanoseconds (absolute time)."""
+        if not self.is_delivered:
+            raise RuntimeError(f"packet {self.pid} not delivered yet")
+        return self.ejected_ns - self.created_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Packet(pid={self.pid}, {self.src}->{self.dst}, "
+                f"len={self.length}, created@{self.created_cycle})")
+
+
+class Flit:
+    """One flow-control digit of a packet.
+
+    Flits are deliberately tiny (``__slots__`` only) because the
+    simulator creates and moves millions of them.  Route state lives in
+    the virtual channel that holds the flit, not in the flit itself,
+    mirroring a real wormhole router where only the head flit carries
+    routing information and body/tail flits inherit the VC's route.
+    """
+
+    __slots__ = ("packet", "index", "is_head", "is_tail")
+
+    def __init__(self, packet: Packet, index: int) -> None:
+        self.packet = packet
+        self.index = index
+        self.is_head = index == 0
+        self.is_tail = index == packet.length - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = ("head+tail" if self.is_head and self.is_tail
+                else "head" if self.is_head
+                else "tail" if self.is_tail
+                else "body")
+        return f"Flit(pid={self.packet.pid}, idx={self.index}, {kind})"
+
+
+def flits_of(packet: Packet) -> list[Flit]:
+    """Serialize ``packet`` into its ordered list of flits."""
+    return [Flit(packet, i) for i in range(packet.length)]

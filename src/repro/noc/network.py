@@ -1,0 +1,161 @@
+"""The assembled NoC: routers wired in a mesh, sources, event calendar.
+
+The ``Network`` owns all structural state (routers, links, sources) and
+the two event calendars (in-flight flits on links, in-flight credits).
+It advances one network clock cycle at a time under the direction of
+the simulation kernel, which owns time and the clock domains.
+"""
+
+from __future__ import annotations
+
+from .config import NocConfig
+from .flit import Flit, Packet
+from .router import Router
+from .routing import get_routing_function
+from .source import Source
+from .stats import StatsCollector
+from .topology import EAST, NORTH, OPPOSITE, SOUTH, WEST
+
+_DIRECTIONS = (EAST, WEST, NORTH, SOUTH)
+
+
+class Network:
+    """A mesh of VC routers plus injection sources and link pipelines."""
+
+    def __init__(self, config: NocConfig) -> None:
+        self.config = config
+        self.mesh = config.make_mesh()
+        self.stats = StatsCollector()
+        routing = get_routing_function(config.routing)
+
+        self.routers = [Router(node, config, self.mesh, routing)
+                        for node in range(self.mesh.num_nodes)]
+        self.sources = [Source(node, self.routers[node], config.num_vcs,
+                               config.vc_buf_depth)
+                        for node in range(self.mesh.num_nodes)]
+        for router in self.routers:
+            router.net = self
+            for port in _DIRECTIONS:
+                nbr = self.mesh.neighbor(router.node, port)
+                if nbr is not None:
+                    router.out_links[port] = (self.routers[nbr],
+                                              OPPOSITE[port])
+            # in_links derive from the neighbours' out_links below.
+        for router in self.routers:
+            for port in _DIRECTIONS:
+                link = router.out_links[port]
+                if link is not None:
+                    nbr_router, nbr_port = link
+                    nbr_router.in_links[nbr_port] = (router, port)
+
+        # Event calendars: cycle -> list of pending deliveries.
+        self._flit_events: dict[int, list] = {}
+        self._credit_events: dict[int, list] = {}
+        # Ordered working sets (dicts as ordered sets).
+        self._active_routers: dict[Router, None] = {}
+        self._active_sources: dict[Source, None] = {}
+        #: per-cycle hook set by the kernel to timestamp deliveries
+        self.current_time_ns = 0.0
+        #: packets delivered this run (kernel reads + clears)
+        self.delivered: list[Packet] = []
+
+    # --- scheduling hooks used by routers -------------------------------
+    def mark_active(self, router: Router) -> None:
+        if router not in self._active_routers:
+            self._active_routers[router] = None
+
+    def schedule_flit(self, router: Router, port: int, vc_index: int,
+                      flit: Flit, cycle: int) -> None:
+        self._flit_events.setdefault(cycle, []).append(
+            (router, port, vc_index, flit))
+
+    def schedule_router_credit(self, router: Router, port: int,
+                               vc_index: int, cycle: int) -> None:
+        self._credit_events.setdefault(cycle, []).append(
+            (router, port, vc_index))
+
+    def schedule_source_credit(self, node: int, vc_index: int,
+                               cycle: int) -> None:
+        self._credit_events.setdefault(cycle, []).append(
+            (self.sources[node], None, vc_index))
+
+    def deliver_flit(self, flit: Flit, cycle: int) -> None:
+        """A flit crossed the ejection port of its destination router."""
+        self.stats.ejected_flits += 1
+        if flit.is_tail:
+            packet = flit.packet
+            packet.ejected_cycle = cycle
+            packet.ejected_ns = self.current_time_ns
+            self.stats.on_packet_delivered(packet)
+            self.delivered.append(packet)
+
+    # --- packet entry -----------------------------------------------------
+    def enqueue_packet(self, packet: Packet) -> None:
+        """Hand a freshly generated packet to its source queue."""
+        self.stats.on_packet_generated(packet)
+        source = self.sources[packet.src]
+        source.enqueue(packet)
+        if source not in self._active_sources:
+            self._active_sources[source] = None
+
+    # --- cycle advance ------------------------------------------------------
+    def step_cycle(self, cycle: int, time_ns: float) -> None:
+        """Advance every component by one network clock cycle."""
+        self.current_time_ns = time_ns
+
+        credit_events = self._credit_events.pop(cycle, None)
+        if credit_events:
+            for target, port, vc_index in credit_events:
+                if port is None:
+                    target.return_credit(vc_index)
+                else:
+                    target.out_credits[port][vc_index] += 1
+
+        flit_events = self._flit_events.pop(cycle, None)
+        if flit_events:
+            for router, port, vc_index, flit in flit_events:
+                router.receive_flit(port, vc_index, flit)
+
+        if self._active_sources:
+            idle_sources = [s for s in self._active_sources
+                            if not s.step(cycle)]
+            for source in idle_sources:
+                del self._active_sources[source]
+
+        if self._active_routers:
+            idle_routers = [r for r in self._active_routers
+                            if not r.step(cycle)]
+            for router in idle_routers:
+                del self._active_routers[router]
+
+    # --- introspection -----------------------------------------------------
+    def aggregate_activity(self):
+        """Sum of all routers' event counters (for power windows)."""
+        total = self.stats.activity.copy()
+        for router in self.routers:
+            total = total + router.activity
+        return total
+
+    def router_activity_map(self) -> list:
+        """Per-router cumulative activity, indexed by node id.
+
+        Feed to :meth:`repro.power.PowerModel.router_power_map` for a
+        spatial power profile (the paper's per-router estimation).
+        """
+        return [router.activity.copy() for router in self.routers]
+
+    def in_flight_flits(self) -> int:
+        """Flits buffered in routers or traversing links right now."""
+        buffered = sum(r.buffered_flits() for r in self.routers)
+        on_links = sum(len(events) for events in self._flit_events.values())
+        return buffered + on_links
+
+    def source_backlog_flits(self) -> int:
+        """Flits stuck in source queues (grows without bound past
+        saturation)."""
+        return sum(s.backlog_flits() for s in self.sources)
+
+    def is_drained(self) -> bool:
+        """True when no flit remains anywhere in the system."""
+        return (self.in_flight_flits() == 0
+                and self.source_backlog_flits() == 0)

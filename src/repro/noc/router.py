@@ -1,0 +1,251 @@
+"""The virtual-channel wormhole router.
+
+Canonical input-buffered VC router with the four-stage pipeline used
+by Booksim and by the paper's RTL router: route computation (RC),
+virtual-channel allocation (VA), switch allocation (SA) and switch +
+link traversal (ST/LT).  Body flits inherit the head's route and VC,
+and flow one per cycle when allocation succeeds.  Flow control is
+credit-based: a flit may only be sent downstream when the target VC
+has a free buffer slot, and the credit returns when the flit leaves
+that buffer.
+
+Allocation is *separable input-first* with round-robin arbiters:
+each input port nominates one of its requesting VCs, then each output
+port picks one nominating input.  VC allocation assigns any free VC of
+the routed output port, arbitrated round-robin among requesters.
+
+Performance notes (this is the hot loop of the whole library): routers
+keep an insertion-ordered ``busy`` dict of VCs that hold flits or are
+mid-allocation, so per-cycle work is proportional to traffic, not to
+buffer capacity.  Ordered structures (never plain sets) keep runs
+bit-reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .allocator import RoundRobinArbiter
+from .buffer import ACTIVE, IDLE, ROUTING, VC_ALLOC, VirtualChannel
+from .config import NocConfig
+from .flit import Flit
+from .routing import RoutingFunction
+from .stats import ActivityCounters
+from .topology import LOCAL, Mesh, NUM_PORTS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .network import Network
+
+#: Credit count used for the ejection (local output) port, which drains
+#: into an infinite sink and therefore never back-pressures.
+_SINK_CREDITS = 1 << 30
+
+
+class Router:
+    """One mesh router: five ports, ``num_vcs`` VCs per input port."""
+
+    __slots__ = (
+        "node", "config", "mesh", "routing", "net",
+        "in_vcs", "out_credits", "out_vc_owner",
+        "out_links", "in_links", "activity",
+        "busy", "_va_arbs", "_sa_in_arbs", "_sa_out_arbs",
+    )
+
+    def __init__(self, node: int, config: NocConfig, mesh: Mesh,
+                 routing: RoutingFunction) -> None:
+        self.node = node
+        self.config = config
+        self.mesh = mesh
+        self.routing = routing
+        self.net: "Network | None" = None
+
+        nvc = config.num_vcs
+        depth = config.vc_buf_depth
+        self.in_vcs = [
+            [VirtualChannel(port, v, depth) for v in range(nvc)]
+            for port in range(NUM_PORTS)
+        ]
+        # Credits toward each downstream input VC.  Network ports start
+        # at the downstream buffer depth; the local (ejection) port is
+        # an infinite sink.
+        self.out_credits = [
+            [_SINK_CREDITS if port == LOCAL else depth
+             for _ in range(nvc)]
+            for port in range(NUM_PORTS)
+        ]
+        # Which input VC currently owns each output VC (wormhole lock).
+        self.out_vc_owner: list[list[VirtualChannel | None]] = [
+            [None] * nvc for _ in range(NUM_PORTS)
+        ]
+        # Wiring, filled in by the Network: per output port the
+        # (neighbor_router, neighbor_input_port) pair, and per input
+        # port the (upstream_router, upstream_output_port) pair.
+        self.out_links: list[tuple["Router", int] | None] = [None] * NUM_PORTS
+        self.in_links: list[tuple["Router", int] | None] = [None] * NUM_PORTS
+
+        #: per-router event counters (summed by the Network for the
+        #: global power windows; also usable for per-router power maps)
+        self.activity = ActivityCounters()
+
+        # Insertion-ordered working set of VCs (dict used as an ordered
+        # set: value is always None).
+        self.busy: dict[VirtualChannel, None] = {}
+
+        self._va_arbs = [RoundRobinArbiter(NUM_PORTS * nvc)
+                         for _ in range(NUM_PORTS)]
+        self._sa_in_arbs = [RoundRobinArbiter(nvc) for _ in range(NUM_PORTS)]
+        self._sa_out_arbs = [RoundRobinArbiter(NUM_PORTS)
+                             for _ in range(NUM_PORTS)]
+
+    # ------------------------------------------------------------------
+    def receive_flit(self, port: int, vc_index: int, flit: Flit) -> None:
+        """A flit arrives on an input port (link delivery or injection)."""
+        vc = self.in_vcs[port][vc_index]
+        vc.push(flit)
+        self.activity.buffer_writes += 1
+        net = self.net
+        if vc not in self.busy:
+            self.busy[vc] = None
+        net.mark_active(self)
+
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> bool:
+        """Advance one network clock cycle.  Returns True if still busy."""
+        if not self.busy:
+            return False
+        net = self.net
+        config = self.config
+        nvc = config.num_vcs
+
+        va_requests: dict[int, list[VirtualChannel]] = {}
+        sa_requests: dict[int, list[VirtualChannel]] = {}
+        done: list[VirtualChannel] = []
+
+        # --- Phase A: per-VC state advance, collect allocation requests
+        for vc in self.busy:
+            state = vc.state
+            if state == IDLE:
+                head = vc.front
+                if head is None:
+                    done.append(vc)
+                    continue
+                if not head.is_head:
+                    raise RuntimeError(
+                        f"wormhole protocol violation at router {self.node}: "
+                        f"non-head flit {head!r} at front of an idle VC")
+                out_port = self.routing(self.mesh, self.node,
+                                        head.packet.dst)
+                vc.start_routing(out_port, cycle + config.route_latency)
+                state = ROUTING
+            if state == ROUTING:
+                if cycle >= vc.ready_cycle:
+                    vc.enter_vc_alloc()
+                    state = VC_ALLOC
+                else:
+                    continue
+            if state == VC_ALLOC:
+                va_requests.setdefault(vc.out_port, []).append(vc)
+            elif state == ACTIVE:
+                if (cycle >= vc.ready_cycle and vc.fifo
+                        and self.out_credits[vc.out_port][vc.out_vc] > 0):
+                    sa_requests.setdefault(vc.port, []).append(vc)
+        for vc in done:
+            del self.busy[vc]
+
+        # --- Phase B: VC allocation (round-robin over requesters, each
+        # winner takes the lowest free VC after the rotating pointer).
+        for out_port, requesters in va_requests.items():
+            owners = self.out_vc_owner[out_port]
+            free_vcs = [v for v in range(nvc) if owners[v] is None]
+            if not free_vcs:
+                continue
+            arb = self._va_arbs[out_port]
+            by_line = {req.port * nvc + req.index: req for req in requesters}
+            for out_vc in free_vcs:
+                line = arb.grant(by_line)
+                if line is None:
+                    break
+                winner = by_line.pop(line)
+                owners[out_vc] = winner
+                winner.grant_output_vc(out_vc, cycle + config.va_latency)
+                self.activity.vc_allocs += 1
+
+        # --- Phase C: switch allocation + switch/link traversal
+        if not sa_requests:
+            return True
+        nominations: dict[int, list[tuple[int, VirtualChannel]]] = {}
+        for in_port, cands in sa_requests.items():
+            if len(cands) == 1:
+                chosen = cands[0]
+            else:
+                by_vc = {c.index: c for c in cands}
+                vc_idx = self._sa_in_arbs[in_port].grant(by_vc)
+                chosen = by_vc[vc_idx]
+            nominations.setdefault(chosen.out_port, []).append(
+                (in_port, chosen))
+        for out_port, noms in nominations.items():
+            if len(noms) == 1:
+                winner = noms[0][1]
+            else:
+                by_port = {p: v for p, v in noms}
+                port = self._sa_out_arbs[out_port].grant(by_port)
+                winner = by_port[port]
+            self._send_flit(winner, out_port, cycle)
+        return True
+
+    # ------------------------------------------------------------------
+    def _send_flit(self, vc: VirtualChannel, out_port: int,
+                   cycle: int) -> None:
+        """Winner of switch allocation: move one flit through ST/LT."""
+        net = self.net
+        activity = self.activity
+        flit = vc.pop()
+        activity.buffer_reads += 1
+        activity.xbar_traversals += 1
+        activity.sa_grants += 1
+
+        if flit.is_head:
+            flit.packet.hops += 1
+
+        out_vc = vc.out_vc
+        self.out_credits[out_port][out_vc] -= 1
+
+        if out_port == LOCAL:
+            # Ejection: the sink consumes the flit; no credit needed.
+            self.out_credits[out_port][out_vc] = _SINK_CREDITS
+            net.deliver_flit(flit, cycle)
+        else:
+            link = self.out_links[out_port]
+            if link is None:
+                raise RuntimeError(
+                    f"router {self.node} routed out of the mesh "
+                    f"through port {out_port}")
+            nbr, nbr_port = link
+            activity.link_flits += 1
+            net.schedule_flit(nbr, nbr_port, out_vc, flit,
+                              cycle + self.config.link_latency)
+
+        # Return a credit upstream for the freed buffer slot.
+        credit_cycle = cycle + self.config.credit_latency
+        in_port = vc.port
+        if in_port == LOCAL:
+            net.schedule_source_credit(self.node, vc.index, credit_cycle)
+        else:
+            up = self.in_links[in_port]
+            net.schedule_router_credit(up[0], up[1], vc.index, credit_cycle)
+        activity.credit_transfers += 1
+
+        if flit.is_tail:
+            self.out_vc_owner[out_port][out_vc] = None
+            vc.release()
+        if not vc.fifo and vc.state == IDLE:
+            self.busy.pop(vc, None)
+
+    # ------------------------------------------------------------------
+    def buffered_flits(self) -> int:
+        """Total flits currently buffered in this router (for draining)."""
+        return sum(len(vc.fifo)
+                   for port_vcs in self.in_vcs for vc in port_vcs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Router(node={self.node}, busy={len(self.busy)})"

@@ -1,0 +1,82 @@
+"""Routing functions for the mesh.
+
+The paper uses dimension-ordered routing (DOR).  We implement XY (the
+conventional choice and deadlock-free on a mesh) and YX as a variant,
+behind a small registry so experiments can select the algorithm by
+name.  A routing function maps ``(mesh, current_node, dest_node)`` to
+the output port of the current router.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .topology import EAST, LOCAL, Mesh, NORTH, SOUTH, WEST
+
+RoutingFunction = Callable[[Mesh, int, int], int]
+
+
+def xy_route(mesh: Mesh, current: int, dest: int) -> int:
+    """Dimension-ordered XY routing: correct X first, then Y."""
+    c, d = mesh.coord(current), mesh.coord(dest)
+    if c.x < d.x:
+        return EAST
+    if c.x > d.x:
+        return WEST
+    if c.y < d.y:
+        return SOUTH
+    if c.y > d.y:
+        return NORTH
+    return LOCAL
+
+
+def yx_route(mesh: Mesh, current: int, dest: int) -> int:
+    """Dimension-ordered YX routing: correct Y first, then X."""
+    c, d = mesh.coord(current), mesh.coord(dest)
+    if c.y < d.y:
+        return SOUTH
+    if c.y > d.y:
+        return NORTH
+    if c.x < d.x:
+        return EAST
+    if c.x > d.x:
+        return WEST
+    return LOCAL
+
+
+ROUTING_FUNCTIONS: dict[str, RoutingFunction] = {
+    "dor_xy": xy_route,
+    "dor_yx": yx_route,
+}
+
+
+def get_routing_function(name: str) -> RoutingFunction:
+    """Look up a routing function by registry name."""
+    try:
+        return ROUTING_FUNCTIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(ROUTING_FUNCTIONS))
+        raise ValueError(f"unknown routing function {name!r}; "
+                         f"known: {known}") from None
+
+
+def route_path(mesh: Mesh, routing: RoutingFunction,
+               src: int, dst: int) -> list[int]:
+    """Full node sequence a packet follows from ``src`` to ``dst``.
+
+    Used by tests (path properties: minimality, deadlock-freedom of the
+    turn set) and by the application mapper to compute link loads.
+    """
+    path = [src]
+    current = src
+    for _ in range(mesh.num_nodes + 1):
+        port = routing(mesh, current, dst)
+        if port == LOCAL:
+            return path
+        nxt = mesh.neighbor(current, port)
+        if nxt is None:
+            raise RuntimeError(
+                f"routing walked off the mesh at node {current} port {port}")
+        path.append(nxt)
+        current = nxt
+    raise RuntimeError(f"routing loop detected from {src} to {dst}")

@@ -1,0 +1,88 @@
+"""Injection sources: the node-side queue feeding each router.
+
+Each node owns an unbounded source queue of generated packets (the
+paper's injection model: offered load is defined at the node clock, so
+packets accumulate here whenever the network cannot absorb them — this
+queueing time is *included* in packet latency, which is what makes the
+RMSD latency plateau of Fig. 2(a) visible).
+
+The source injects serially: one packet at a time, one flit per
+network cycle, into a round-robin-chosen VC of the router's local
+input port, subject to credit availability.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .flit import Flit, Packet, flits_of
+from .router import Router
+from .topology import LOCAL
+
+
+class Source:
+    """Per-node packet queue plus flit-level injection state machine."""
+
+    __slots__ = ("node", "router", "num_vcs", "queue", "credits",
+                 "_flits", "_next_flit", "_vc", "_rr")
+
+    def __init__(self, node: int, router: Router, num_vcs: int,
+                 vc_buf_depth: int) -> None:
+        self.node = node
+        self.router = router
+        self.num_vcs = num_vcs
+        self.queue: deque[Packet] = deque()
+        #: source-side mirror of free slots in the local input VCs
+        self.credits = [vc_buf_depth] * num_vcs
+        self._flits: list[Flit] | None = None
+        self._next_flit = 0
+        self._vc = 0
+        self._rr = 0
+
+    def enqueue(self, packet: Packet) -> None:
+        self.queue.append(packet)
+
+    def return_credit(self, vc_index: int) -> None:
+        self.credits[vc_index] += 1
+
+    @property
+    def has_work(self) -> bool:
+        return self._flits is not None or bool(self.queue)
+
+    def queued_packets(self) -> int:
+        return len(self.queue) + (1 if self._flits is not None else 0)
+
+    def backlog_flits(self) -> int:
+        """Flits generated but not yet pushed into the router."""
+        total = sum(p.length for p in self.queue)
+        if self._flits is not None:
+            total += len(self._flits) - self._next_flit
+        return total
+
+    def step(self, cycle: int) -> bool:
+        """Try to inject one flit this network cycle.
+
+        Returns True while the source still has work queued.
+        """
+        if self._flits is None:
+            if not self.queue:
+                return False
+            packet = self.queue.popleft()
+            self._flits = flits_of(packet)
+            self._next_flit = 0
+            # Rotate the starting VC so consecutive packets spread over
+            # the local port's VCs (fairer VC allocation downstream).
+            self._vc = self._rr
+            self._rr = (self._rr + 1) % self.num_vcs
+
+        if self.credits[self._vc] > 0:
+            flit = self._flits[self._next_flit]
+            self.credits[self._vc] -= 1
+            if flit.is_head:
+                flit.packet.injected_cycle = cycle
+            self.router.receive_flit(LOCAL, self._vc, flit)
+            self.router.net.stats.on_flit_injected()
+            self._next_flit += 1
+            if self._next_flit >= len(self._flits):
+                self._flits = None
+        return self.has_work

@@ -1,0 +1,222 @@
+"""Statistics, activity counters and measurement windows.
+
+Three distinct consumers read the simulator's counters, so they are
+kept separate:
+
+* **Latency/delay statistics** (``StatsCollector``) implement the
+  paper's measurement methodology: packets created during the
+  measurement phase are tagged and their creation-to-ejection latency
+  (network cycles) and delay (ns) recorded when delivered.
+* **Activity counters** (``ActivityCounters``) count buffer writes and
+  reads, crossbar traversals, link flits and allocator grants — the
+  quantities the paper exports from Booksim into the Synopsys power
+  flow (Sec. IV-A).  The power model turns them into energy.
+* **Measurement windows** (``MeasurementSample``) are what the DVFS
+  controllers see: per control period, the measured node injection
+  rate (RMSD, Fig. 1) and the mean end-to-end packet delay (DMSD,
+  Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .flit import Packet
+
+ACTIVITY_FIELDS = (
+    "buffer_writes",
+    "buffer_reads",
+    "xbar_traversals",
+    "link_flits",
+    "vc_allocs",
+    "sa_grants",
+    "credit_transfers",
+)
+
+
+class ActivityCounters:
+    """Event counts that drive the activity-based power model."""
+
+    __slots__ = ACTIVITY_FIELDS
+
+    def __init__(self, **kwargs: int) -> None:
+        for name in ACTIVITY_FIELDS:
+            setattr(self, name, kwargs.pop(name, 0))
+        if kwargs:
+            raise TypeError(f"unknown activity fields: {sorted(kwargs)}")
+
+    def copy(self) -> "ActivityCounters":
+        return ActivityCounters(
+            **{name: getattr(self, name) for name in ACTIVITY_FIELDS})
+
+    def __sub__(self, other: "ActivityCounters") -> "ActivityCounters":
+        return ActivityCounters(
+            **{name: getattr(self, name) - getattr(other, name)
+               for name in ACTIVITY_FIELDS})
+
+    def __add__(self, other: "ActivityCounters") -> "ActivityCounters":
+        return ActivityCounters(
+            **{name: getattr(self, name) + getattr(other, name)
+               for name in ACTIVITY_FIELDS})
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ActivityCounters):
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name)
+                   for name in ACTIVITY_FIELDS)
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in ACTIVITY_FIELDS}
+
+    def total_events(self) -> int:
+        return sum(getattr(self, name) for name in ACTIVITY_FIELDS)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        return f"ActivityCounters({inner})"
+
+
+@dataclass(frozen=True)
+class MeasurementSample:
+    """One control-period window as seen by a DVFS controller.
+
+    ``node_lambda`` is the measured node injection rate in flits per
+    *node* clock cycle per node — the quantity ``lambda_node`` in the
+    paper's eq. (2).  ``mean_delay_ns`` is the average end-to-end delay
+    of packets *delivered* during the window (``None`` when no packet
+    was delivered, e.g. at very low load) — the DMSD feedback signal.
+    """
+
+    window_cycles: int
+    window_node_cycles: int
+    window_ns: float
+    generated_flits: int
+    delivered_packets: int
+    mean_delay_ns: float | None
+    mean_latency_cycles: float | None
+    freq_hz: float
+    time_ns: float
+    num_nodes: int
+
+    @property
+    def node_lambda(self) -> float:
+        """Measured injection rate (flits / node-cycle / node)."""
+        if self.window_node_cycles <= 0:
+            return 0.0
+        return self.generated_flits / (self.window_node_cycles
+                                       * self.num_nodes)
+
+
+@dataclass(frozen=True)
+class PowerWindow:
+    """Activity accumulated over an interval of constant frequency.
+
+    The simulator closes a window whenever the DVFS controller changes
+    frequency (and at end of run), so the power model can integrate
+    ``V^2``-scaled energy correctly across operating points.
+    """
+
+    duration_ns: float
+    cycles: int
+    freq_hz: float
+    activity: ActivityCounters
+
+
+class StatsCollector:
+    """Aggregates packet statistics and raw event counts for one run."""
+
+    def __init__(self) -> None:
+        self.activity = ActivityCounters()
+        # lifetime counters
+        self.generated_packets = 0
+        self.generated_flits = 0
+        self.injected_flits = 0
+        self.ejected_flits = 0
+        self.delivered_packets = 0
+        # measured-phase packet records
+        self.measured_latencies: list[int] = []
+        self.measured_delays_ns: list[float] = []
+        self.measured_hops: list[int] = []
+        self.measured_created = 0
+        # control-window accumulators (reset by take_sample)
+        self._win_generated_flits = 0
+        self._win_delay_sum_ns = 0.0
+        self._win_latency_sum = 0.0
+        self._win_delivered = 0
+
+    # --- event hooks (called from the hot loop) -------------------------
+    def on_packet_generated(self, packet: Packet) -> None:
+        self.generated_packets += 1
+        self.generated_flits += packet.length
+        self._win_generated_flits += packet.length
+        if packet.measured:
+            self.measured_created += 1
+
+    def on_flit_injected(self) -> None:
+        self.injected_flits += 1
+
+    def on_packet_delivered(self, packet: Packet) -> None:
+        self.delivered_packets += 1
+        self._win_delivered += 1
+        self._win_delay_sum_ns += packet.delay_ns
+        self._win_latency_sum += packet.latency_cycles
+        if packet.measured:
+            self.measured_latencies.append(packet.latency_cycles)
+            self.measured_delays_ns.append(packet.delay_ns)
+            self.measured_hops.append(packet.hops)
+
+    # --- control window --------------------------------------------------
+    def take_sample(self, window_cycles: int, window_node_cycles: int,
+                    window_ns: float, freq_hz: float, time_ns: float,
+                    num_nodes: int) -> MeasurementSample:
+        """Build the controller's view of the window and reset it."""
+        delivered = self._win_delivered
+        sample = MeasurementSample(
+            window_cycles=window_cycles,
+            window_node_cycles=window_node_cycles,
+            window_ns=window_ns,
+            generated_flits=self._win_generated_flits,
+            delivered_packets=delivered,
+            mean_delay_ns=(self._win_delay_sum_ns / delivered
+                           if delivered else None),
+            mean_latency_cycles=(self._win_latency_sum / delivered
+                                 if delivered else None),
+            freq_hz=freq_hz,
+            time_ns=time_ns,
+            num_nodes=num_nodes,
+        )
+        self._win_generated_flits = 0
+        self._win_delay_sum_ns = 0.0
+        self._win_latency_sum = 0.0
+        self._win_delivered = 0
+        return sample
+
+    # --- end-of-run summaries ---------------------------------------------
+    @property
+    def measured_delivered(self) -> int:
+        return len(self.measured_latencies)
+
+    def mean_latency_cycles(self) -> float:
+        """Mean measured packet latency in network clock cycles."""
+        if not self.measured_latencies:
+            raise RuntimeError("no measured packets were delivered")
+        return sum(self.measured_latencies) / len(self.measured_latencies)
+
+    def mean_delay_ns(self) -> float:
+        """Mean measured packet delay in nanoseconds."""
+        if not self.measured_delays_ns:
+            raise RuntimeError("no measured packets were delivered")
+        return sum(self.measured_delays_ns) / len(self.measured_delays_ns)
+
+    def percentile_latency(self, q: float) -> float:
+        """``q``-quantile (0..1) of measured latency in cycles."""
+        if not self.measured_latencies:
+            raise RuntimeError("no measured packets were delivered")
+        data = sorted(self.measured_latencies)
+        idx = min(len(data) - 1, int(q * len(data)))
+        return float(data[idx])
+
+    def mean_hops(self) -> float:
+        if not self.measured_hops:
+            raise RuntimeError("no measured packets were delivered")
+        return sum(self.measured_hops) / len(self.measured_hops)

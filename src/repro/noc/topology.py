@@ -1,0 +1,112 @@
+"""2-D mesh topology: node numbering, port directions and adjacency.
+
+The paper evaluates k x k meshes (4x4, 5x5 and 8x8).  Nodes are numbered
+row-major: node ``(x, y)`` has id ``x + y * width`` with ``x`` growing
+eastward and ``y`` growing southward.  Every router has five ports: the
+local (injection/ejection) port plus one per compass direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Port indices.  LOCAL is 0 so that "network" ports are 1..4.
+LOCAL, EAST, WEST, NORTH, SOUTH = range(5)
+NUM_PORTS = 5
+
+PORT_NAMES = ("local", "east", "west", "north", "south")
+
+#: Port on the neighbouring router that a flit leaving through the keyed
+#: port arrives on (east-going flits arrive on the neighbour's west port).
+OPPOSITE = {EAST: WEST, WEST: EAST, NORTH: SOUTH, SOUTH: NORTH}
+
+
+@dataclass(frozen=True)
+class Coord:
+    """Cartesian position of a node in the mesh."""
+
+    x: int
+    y: int
+
+
+class Mesh:
+    """A ``width`` x ``height`` 2-D mesh without wraparound links.
+
+    Provides the node-id/coordinate mapping, neighbour lookup used to
+    wire routers together, and the hop-distance metric used by tests and
+    by the zero-load latency model.
+    """
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 2 or height < 2:
+            raise ValueError(
+                f"mesh must be at least 2x2, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self.num_nodes = width * height
+
+    def coord(self, node: int) -> Coord:
+        """Coordinates of ``node``."""
+        self._check_node(node)
+        return Coord(node % self.width, node // self.width)
+
+    def node_at(self, x: int, y: int) -> int:
+        """Node id at coordinates ``(x, y)``."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x}, {y}) outside {self.width}x{self.height}")
+        return x + y * self.width
+
+    def neighbor(self, node: int, port: int) -> int | None:
+        """Node reached by leaving ``node`` through ``port``.
+
+        Returns ``None`` for the local port and for mesh-edge ports that
+        have no link (no wraparound).
+        """
+        c = self.coord(node)
+        if port == EAST:
+            return self.node_at(c.x + 1, c.y) if c.x + 1 < self.width else None
+        if port == WEST:
+            return self.node_at(c.x - 1, c.y) if c.x - 1 >= 0 else None
+        if port == SOUTH:
+            return self.node_at(c.x, c.y + 1) if c.y + 1 < self.height else None
+        if port == NORTH:
+            return self.node_at(c.x, c.y - 1) if c.y - 1 >= 0 else None
+        if port == LOCAL:
+            return None
+        raise ValueError(f"invalid port {port}")
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Manhattan (minimal) hop count between two nodes."""
+        a, b = self.coord(src), self.coord(dst)
+        return abs(a.x - b.x) + abs(a.y - b.y)
+
+    def links(self) -> list[tuple[int, int, int]]:
+        """All directed inter-router links as ``(src, port, dst)``."""
+        out = []
+        for node in range(self.num_nodes):
+            for port in (EAST, WEST, NORTH, SOUTH):
+                nbr = self.neighbor(node, port)
+                if nbr is not None:
+                    out.append((node, port, nbr))
+        return out
+
+    def average_uniform_distance(self) -> float:
+        """Mean hop distance over all ordered src != dst pairs.
+
+        Used by the analytical zero-load latency estimate and by tests
+        that sanity-check measured latency against first principles.
+        """
+        total = 0
+        for s in range(self.num_nodes):
+            for d in range(self.num_nodes):
+                if s != d:
+                    total += self.hop_distance(s, d)
+        return total / (self.num_nodes * (self.num_nodes - 1))
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.num_nodes):
+            raise ValueError(
+                f"node {node} outside mesh of {self.num_nodes} nodes")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Mesh({self.width}x{self.height})"

@@ -1,0 +1,22 @@
+"""Power estimation: 28-nm FDSOI technology model + activity energy."""
+
+from .energy import DEFAULT_28NM, EnergyParameters
+from .model import PowerBreakdown, PowerModel
+from .report import (breakdown_table, comparison_row, power_heatmap,
+                     ratio)
+from .technology import FDSOI_28NM, PAPER_ANCHORS, Technology, VfAnchor
+
+__all__ = [
+    "DEFAULT_28NM",
+    "EnergyParameters",
+    "FDSOI_28NM",
+    "PAPER_ANCHORS",
+    "PowerBreakdown",
+    "PowerModel",
+    "Technology",
+    "VfAnchor",
+    "breakdown_table",
+    "comparison_row",
+    "power_heatmap",
+    "ratio",
+]

@@ -1,0 +1,66 @@
+"""Per-event energy and static power parameters.
+
+The paper imports switching-activity traces from Booksim into the
+Synopsys power-estimation flow against a synthesized 28-nm FDSOI
+router.  Without the EDA tools we use the identical *structure* —
+energy per microarchitectural event, clock-tree power proportional to
+``V^2 * f``, leakage growing with voltage — with constants calibrated
+so the absolute magnitude and the paper's headline ratios land in band
+(see DESIGN.md: No-DVFS 5x5 at 1 GHz spans roughly 45 mW near zero
+load to ~250 mW near saturation, Fig. 6).
+
+All event energies are given at the nominal voltage (0.9 V) and scale
+with ``(V / Vnom)^2``; leakage scales with ``(V / Vnom)^leak_exponent``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Calibration constants of the activity-based power model."""
+
+    #: energy per flit written into a VC buffer (pJ at Vnom)
+    e_buffer_write_pj: float = 1.2
+    #: energy per flit read out of a VC buffer (pJ at Vnom)
+    e_buffer_read_pj: float = 0.8
+    #: energy per flit crossing the switch (pJ at Vnom)
+    e_xbar_pj: float = 1.5
+    #: energy per flit traversing an inter-router link (pJ at Vnom)
+    e_link_pj: float = 1.8
+    #: energy per successful VC allocation (pJ at Vnom)
+    e_vc_alloc_pj: float = 0.6
+    #: energy per switch-allocator grant (pJ at Vnom)
+    e_sa_grant_pj: float = 0.25
+    #: clock tree + idle pipeline power per router at (Fmax, Vnom), mW
+    p_clock_router_mw: float = 1.9
+    #: leakage power per router at Vnom, mW
+    p_leak_router_mw: float = 0.35
+    #: voltage exponent of the leakage model (DIBL-dominated)
+    leak_exponent: float = 3.0
+    #: nominal voltage the event energies are characterized at
+    v_nom: float = 0.9
+    #: frequency the clock power is characterized at (Hz)
+    f_ref_hz: float = 1.0e9
+
+    def __post_init__(self) -> None:
+        numeric = (self.e_buffer_write_pj, self.e_buffer_read_pj,
+                   self.e_xbar_pj, self.e_link_pj, self.e_vc_alloc_pj,
+                   self.e_sa_grant_pj, self.p_clock_router_mw,
+                   self.p_leak_router_mw)
+        if any(v < 0 for v in numeric):
+            raise ValueError("energies and powers must be non-negative")
+        if self.v_nom <= 0 or self.f_ref_hz <= 0:
+            raise ValueError("nominal voltage and frequency must be positive")
+        if self.leak_exponent < 1.0:
+            raise ValueError("leakage exponent below 1 is unphysical")
+
+    def with_(self, **changes) -> "EnergyParameters":
+        """Copy with selected constants replaced (for ablations)."""
+        return replace(self, **changes)
+
+
+#: Default calibration targeting the paper's 5x5 power magnitudes.
+DEFAULT_28NM = EnergyParameters()

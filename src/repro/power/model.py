@@ -1,0 +1,150 @@
+"""Activity-based NoC power estimation (paper Sec. IV-A).
+
+``PowerModel.evaluate`` turns the per-frequency-interval activity
+records produced by a simulation (``PowerWindow``) into the total NoC
+power that paper Fig. 6 plots: dynamic energy per microarchitectural
+event scaled by ``(V/Vnom)^2`` at the voltage the DVFS controller
+selected, clock-tree power scaling with ``V^2 f``, and leakage scaling
+with a voltage power law.  Because windows are recorded per interval
+of *constant* frequency, DVFS trajectories integrate exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..noc.config import NocConfig
+from ..noc.stats import PowerWindow
+from .energy import DEFAULT_28NM, EnergyParameters
+from .technology import FDSOI_28NM, Technology
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """NoC power split by mechanism, all in milliwatts."""
+
+    buffer_mw: float
+    xbar_mw: float
+    link_mw: float
+    allocator_mw: float
+    clock_mw: float
+    leakage_mw: float
+
+    @property
+    def dynamic_mw(self) -> float:
+        return (self.buffer_mw + self.xbar_mw + self.link_mw
+                + self.allocator_mw + self.clock_mw)
+
+    @property
+    def total_mw(self) -> float:
+        return self.dynamic_mw + self.leakage_mw
+
+    def scaled(self, factor: float) -> "PowerBreakdown":
+        return PowerBreakdown(*(getattr(self, f) * factor
+                                for f in self.__dataclass_fields__))
+
+    def __add__(self, other: "PowerBreakdown") -> "PowerBreakdown":
+        return PowerBreakdown(*(getattr(self, f) + getattr(other, f)
+                                for f in self.__dataclass_fields__))
+
+    @classmethod
+    def zero(cls) -> "PowerBreakdown":
+        return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class PowerModel:
+    """Maps activity windows to power for a given NoC configuration."""
+
+    def __init__(self, config: NocConfig,
+                 params: EnergyParameters = DEFAULT_28NM,
+                 technology: Technology = FDSOI_28NM) -> None:
+        self.config = config
+        self.params = params
+        self.technology = technology
+
+    # ------------------------------------------------------------------
+    def window_power(self, window: PowerWindow) -> PowerBreakdown:
+        """Average power over one constant-frequency interval."""
+        if window.duration_ns <= 0:
+            raise ValueError("power window must have positive duration")
+        p = self.params
+        voltage = self.technology.voltage_for(window.freq_hz)
+        v_scale = (voltage / p.v_nom) ** 2
+        act = window.activity
+
+        # Dynamic switching energy: events * pJ -> mW over duration_ns
+        # (1 pJ / 1 ns = 1 mW).
+        def event_mw(count: int, pj: float) -> float:
+            return count * pj * v_scale / window.duration_ns
+
+        buffer_mw = (event_mw(act.buffer_writes, p.e_buffer_write_pj)
+                     + event_mw(act.buffer_reads, p.e_buffer_read_pj))
+        xbar_mw = event_mw(act.xbar_traversals, p.e_xbar_pj)
+        link_mw = event_mw(act.link_flits, p.e_link_pj)
+        alloc_mw = (event_mw(act.vc_allocs, p.e_vc_alloc_pj)
+                    + event_mw(act.sa_grants, p.e_sa_grant_pj))
+
+        routers = self.config.num_nodes
+        clock_mw = (p.p_clock_router_mw * routers * v_scale
+                    * window.freq_hz / p.f_ref_hz)
+        leak_mw = (p.p_leak_router_mw * routers
+                   * (voltage / p.v_nom) ** p.leak_exponent)
+        return PowerBreakdown(buffer_mw, xbar_mw, link_mw, alloc_mw,
+                              clock_mw, leak_mw)
+
+    def evaluate(self, windows: list[PowerWindow]) -> PowerBreakdown:
+        """Time-weighted mean power across a run's windows."""
+        usable = [w for w in windows if w.duration_ns > 0]
+        if not usable:
+            raise ValueError("no non-empty power windows to evaluate")
+        total_ns = sum(w.duration_ns for w in usable)
+        acc = PowerBreakdown.zero()
+        for w in usable:
+            acc = acc + self.window_power(w).scaled(w.duration_ns / total_ns)
+        return acc
+
+    # ------------------------------------------------------------------
+    def router_power_map(self, router_activities, freq_hz: float,
+                         duration_ns: float) -> list[float]:
+        """Per-router total power (mW) from per-router activity.
+
+        ``router_activities`` is what
+        :meth:`repro.noc.Network.router_activity_map` returns; the
+        clock and leakage floor is attributed uniformly per router.
+        This is the paper's "accurate power estimation ... for any
+        router in the NoC" view, useful for spatial hot-spot analysis.
+        """
+        if duration_ns <= 0:
+            raise ValueError("duration must be positive")
+        if len(router_activities) != self.config.num_nodes:
+            raise ValueError(
+                f"expected {self.config.num_nodes} routers, got "
+                f"{len(router_activities)}")
+        p = self.params
+        voltage = self.technology.voltage_for(freq_hz)
+        v_scale = (voltage / p.v_nom) ** 2
+        floor = (p.p_clock_router_mw * v_scale * freq_hz / p.f_ref_hz
+                 + p.p_leak_router_mw
+                 * (voltage / p.v_nom) ** p.leak_exponent)
+        out = []
+        for act in router_activities:
+            dynamic_pj = (act.buffer_writes * p.e_buffer_write_pj
+                          + act.buffer_reads * p.e_buffer_read_pj
+                          + act.xbar_traversals * p.e_xbar_pj
+                          + act.link_flits * p.e_link_pj
+                          + act.vc_allocs * p.e_vc_alloc_pj
+                          + act.sa_grants * p.e_sa_grant_pj)
+            out.append(floor + dynamic_pj * v_scale / duration_ns)
+        return out
+
+    # ------------------------------------------------------------------
+    def idle_power_mw(self, freq_hz: float) -> float:
+        """Clock + leakage floor at a frequency (zero traffic)."""
+        voltage = self.technology.voltage_for(freq_hz)
+        p = self.params
+        routers = self.config.num_nodes
+        v_scale = (voltage / p.v_nom) ** 2
+        return (p.p_clock_router_mw * routers * v_scale
+                * freq_hz / p.f_ref_hz
+                + p.p_leak_router_mw * routers
+                * (voltage / p.v_nom) ** p.leak_exponent)

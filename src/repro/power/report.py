@@ -1,0 +1,74 @@
+"""Human-readable power reports.
+
+Small formatting helpers shared by examples and experiment renderers:
+component breakdown tables and policy-vs-policy comparison rows in the
+style of the paper's Fig. 6 annotations ("2.2x", "1.3x").
+"""
+
+from __future__ import annotations
+
+from .model import PowerBreakdown
+
+_COMPONENT_LABELS = (
+    ("buffer_mw", "input buffers"),
+    ("xbar_mw", "crossbar"),
+    ("link_mw", "links"),
+    ("allocator_mw", "allocators"),
+    ("clock_mw", "clock tree"),
+    ("leakage_mw", "leakage"),
+)
+
+
+def breakdown_table(breakdown: PowerBreakdown, title: str = "NoC power") -> str:
+    """Render a component-by-component power table."""
+    lines = [f"{title}:"]
+    total = breakdown.total_mw
+    for attr, label in _COMPONENT_LABELS:
+        value = getattr(breakdown, attr)
+        share = 100.0 * value / total if total > 0 else 0.0
+        lines.append(f"  {label:<14} {value:8.2f} mW  ({share:5.1f}%)")
+    lines.append(f"  {'total':<14} {total:8.2f} mW")
+    return "\n".join(lines)
+
+
+def comparison_row(label: str, base_mw: float, other_mw: float) -> str:
+    """One 'A is Nx of B' comparison line (Fig. 6 style annotation)."""
+    if other_mw <= 0:
+        raise ValueError("reference power must be positive")
+    factor = base_mw / other_mw
+    return (f"{label}: {base_mw:7.2f} mW vs {other_mw:7.2f} mW  "
+            f"({factor:.2f}x)")
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe ratio helper used across reports."""
+    if b == 0:
+        raise ZeroDivisionError("reference value is zero")
+    return a / b
+
+
+def power_heatmap(per_router_mw: list[float], width: int,
+                  height: int) -> str:
+    """Render a per-router power map as a mesh-shaped text grid.
+
+    ``per_router_mw`` comes from
+    :meth:`repro.power.PowerModel.router_power_map`; values are laid
+    out row-major like node ids, with a shade marker scaled to the
+    hottest router.
+    """
+    if len(per_router_mw) != width * height:
+        raise ValueError(f"expected {width * height} values, got "
+                         f"{len(per_router_mw)}")
+    peak = max(per_router_mw)
+    shades = " .:-=+*#%@"
+    lines = [f"per-router power (mW), peak {peak:.2f}:"]
+    for y in range(height):
+        row = []
+        for x in range(width):
+            value = per_router_mw[x + y * width]
+            shade = shades[min(len(shades) - 1,
+                               int(value / peak * (len(shades) - 1))
+                               if peak > 0 else 0)]
+            row.append(f"{value:6.2f}{shade}")
+        lines.append(" ".join(row))
+    return "\n".join(lines)

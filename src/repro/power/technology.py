@@ -1,0 +1,109 @@
+"""28-nm FDSOI voltage–frequency characteristic (paper Fig. 5).
+
+The paper extracts the router's maximum clock frequency versus supply
+voltage from transistor-level (Eldo) simulation of the synthesized
+netlist, and reports two anchor operating points in the text:
+``333 MHz @ 0.56 V`` and ``1 GHz @ 0.90 V``.  We model the curve with
+the standard alpha-power delay law
+
+    f_max(V) = K * (V - Vt)^alpha / V
+
+whose two free parameters (``K``, ``alpha``) are fitted exactly
+through the published anchors for a fixed threshold ``Vt``.  Any
+smooth monotone curve through the anchors reproduces the paper's
+power *ratios*, which is all the evaluation consumes (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VfAnchor:
+    """One published (voltage, max frequency) operating point."""
+
+    voltage_v: float
+    freq_hz: float
+
+
+#: Anchors given in the paper's Sec. IV-A.
+PAPER_ANCHORS = (VfAnchor(0.56, 333e6), VfAnchor(0.90, 1.0e9))
+
+
+class Technology:
+    """Alpha-power-law V–F model with exact fit through two anchors."""
+
+    def __init__(self, anchors: tuple[VfAnchor, VfAnchor] = PAPER_ANCHORS,
+                 threshold_v: float = 0.35) -> None:
+        lo, hi = sorted(anchors, key=lambda a: a.voltage_v)
+        if lo.voltage_v <= threshold_v:
+            raise ValueError("anchor voltage must exceed the threshold")
+        if lo.freq_hz >= hi.freq_hz:
+            raise ValueError("frequency must increase with voltage")
+        self.threshold_v = threshold_v
+        self.v_min = lo.voltage_v
+        self.v_max = hi.voltage_v
+        self.f_min_hz = lo.freq_hz
+        self.f_max_hz = hi.freq_hz
+        # Solve f = K (V - Vt)^alpha / V exactly through both anchors.
+        ratio_f = (hi.freq_hz * hi.voltage_v) / (lo.freq_hz * lo.voltage_v)
+        ratio_v = (hi.voltage_v - threshold_v) / (lo.voltage_v - threshold_v)
+        self.alpha = math.log(ratio_f) / math.log(ratio_v)
+        self.k = (hi.freq_hz * hi.voltage_v
+                  / (hi.voltage_v - threshold_v) ** self.alpha)
+
+    # ------------------------------------------------------------------
+    def frequency_at(self, voltage_v: float) -> float:
+        """Maximum clock frequency (Hz) at supply ``voltage_v``."""
+        if voltage_v <= self.threshold_v:
+            return 0.0
+        return (self.k * (voltage_v - self.threshold_v) ** self.alpha
+                / voltage_v)
+
+    def voltage_for(self, freq_hz: float) -> float:
+        """Minimum supply (V) that sustains ``freq_hz``.
+
+        Inverts the alpha-power law by bisection.  Frequencies below
+        the published minimum clip to the minimum anchor voltage (the
+        regulator does not go lower); frequencies above the maximum
+        anchor raise, because the paper's DVFS range ends at 1 GHz.
+        """
+        if freq_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if freq_hz <= self.frequency_at(self.v_min):
+            return self.v_min
+        f_at_vmax = self.frequency_at(self.v_max)
+        if freq_hz > f_at_vmax * (1 + 1e-9):
+            raise ValueError(
+                f"{freq_hz/1e6:.0f} MHz exceeds the technology maximum "
+                f"{f_at_vmax/1e6:.0f} MHz at {self.v_max} V")
+        lo, hi = self.v_min, self.v_max
+        for _ in range(64):
+            mid = 0.5 * (lo + hi)
+            if self.frequency_at(mid) < freq_hz:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    # ------------------------------------------------------------------
+    def vf_table(self, points: int = 15) -> list[tuple[float, float]]:
+        """(voltage, frequency) samples across the DVFS range — Fig. 5."""
+        if points < 2:
+            raise ValueError("need at least two points")
+        step = (self.v_max - self.v_min) / (points - 1)
+        return [(self.v_min + i * step,
+                 self.frequency_at(self.v_min + i * step))
+                for i in range(points)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Technology(alpha={self.alpha:.3f}, "
+                f"Vt={self.threshold_v} V, "
+                f"{self.f_min_hz/1e6:.0f} MHz@{self.v_min} V .. "
+                f"{self.f_max_hz/1e6:.0f} MHz@{self.v_max} V)")
+
+
+#: Default instance used throughout the library.
+FDSOI_28NM = Technology()

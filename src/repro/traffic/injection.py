@@ -1,0 +1,242 @@
+"""Injection processes: what each node offers to the network.
+
+A ``TrafficSpec`` answers two questions for the simulation kernel:
+how many flits per *node* clock cycle does node ``i`` offer (the
+``lambda_node`` of the paper), and where does each packet go.  Packet
+arrivals are Bernoulli per node cycle with probability
+``node_rate / packet_length`` — the standard Booksim injection process —
+and they happen in the node clock domain, so the offered load is
+independent of the DVFS state of the network (Sec. III).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .matrix import TrafficMatrix
+from .patterns import TrafficPattern
+
+
+class TrafficSpec(ABC):
+    """Per-node offered rates plus destination selection."""
+
+    @abstractmethod
+    def node_rates(self) -> np.ndarray:
+        """Offered rate per node, flits per node clock cycle."""
+
+    @abstractmethod
+    def draw_dest(self, src: int, rng: np.random.Generator) -> int | None:
+        """Destination for a new packet from ``src`` (``None`` = drop)."""
+
+    @abstractmethod
+    def scaled(self, factor: float) -> "TrafficSpec":
+        """The same spatial distribution at ``factor`` times the rate."""
+
+    def mean_node_rate(self) -> float:
+        """Average offered rate across nodes (the sweep x-axis)."""
+        return float(self.node_rates().mean())
+
+
+class PiecewiseRateTraffic(TrafficSpec):
+    """A base traffic spec whose rate steps over node-cycle time.
+
+    Used for transient experiments: the DVFS controllers must track a
+    load step (e.g. an application phase change).  ``steps`` maps node
+    cycle thresholds to rate multipliers: ``[(0, 1.0), (50_000, 2.0)]``
+    doubles the offered load after node cycle 50,000.  The *spatial*
+    distribution is the base spec's at all times.
+
+    ``node_rates``/``mean_node_rate`` report the base (factor-1) rates;
+    time-dependent factors are queried by the injection process through
+    :meth:`rate_factors`.
+    """
+
+    def __init__(self, base: TrafficSpec,
+                 steps: list[tuple[int, float]]) -> None:
+        if not steps:
+            raise ValueError("need at least one (cycle, factor) step")
+        cycles = [c for c, _ in steps]
+        if cycles != sorted(cycles) or len(set(cycles)) != len(cycles):
+            raise ValueError("step cycles must be strictly increasing")
+        if cycles[0] != 0:
+            raise ValueError("first step must start at node cycle 0")
+        if any(f < 0 for _, f in steps):
+            raise ValueError("rate factors must be non-negative")
+        self.base = base
+        self.steps = list(steps)
+
+    def node_rates(self) -> np.ndarray:
+        return self.base.node_rates()
+
+    def max_factor(self) -> float:
+        return max(f for _, f in self.steps)
+
+    def factor_at(self, node_cycle: int) -> float:
+        current = self.steps[0][1]
+        for cycle, factor in self.steps:
+            if node_cycle < cycle:
+                break
+            current = factor
+        return current
+
+    def rate_factors(self, start_cycle: int, count: int) -> np.ndarray:
+        """Per-cycle rate multipliers for ``count`` cycles from start."""
+        out = np.empty(count)
+        for i in range(count):
+            out[i] = self.factor_at(start_cycle + i)
+        return out
+
+    def draw_dest(self, src: int, rng: np.random.Generator) -> int | None:
+        return self.base.draw_dest(src, rng)
+
+    def scaled(self, factor: float) -> "PiecewiseRateTraffic":
+        return PiecewiseRateTraffic(self.base.scaled(factor), self.steps)
+
+
+class PatternTraffic(TrafficSpec):
+    """All nodes offer the same rate; destinations follow a pattern.
+
+    This is the synthetic-traffic setup of paper Sec. V: the x-axis of
+    every figure is this common per-node rate in flits/cycle.
+
+    A deterministic pattern may leave some nodes without a destination
+    (``dest == src``); those nodes offer nothing, exactly as in
+    Booksim.
+    """
+
+    def __init__(self, pattern: TrafficPattern, node_rate: float) -> None:
+        if node_rate < 0:
+            raise ValueError("injection rate must be non-negative")
+        self.pattern = pattern
+        self.node_rate = node_rate
+        n = pattern.mesh.num_nodes
+        self._rates = np.full(n, node_rate)
+        if pattern.is_deterministic:
+            rng = np.random.default_rng(0)
+            for src in range(n):
+                if pattern.dest(src, rng) == src:
+                    self._rates[src] = 0.0
+
+    def node_rates(self) -> np.ndarray:
+        return self._rates
+
+    def draw_dest(self, src: int, rng: np.random.Generator) -> int | None:
+        d = self.pattern.dest(src, rng)
+        return None if d == src else d
+
+    def scaled(self, factor: float) -> "PatternTraffic":
+        return PatternTraffic(self.pattern, self.node_rate * factor)
+
+
+class MatrixTraffic(TrafficSpec):
+    """Per-pair rates given by a ``TrafficMatrix`` (multimedia apps)."""
+
+    def __init__(self, matrix: TrafficMatrix) -> None:
+        self.matrix = matrix
+
+    def node_rates(self) -> np.ndarray:
+        return np.array([self.matrix.node_rate(i)
+                         for i in range(self.matrix.num_nodes)])
+
+    def draw_dest(self, src: int, rng: np.random.Generator) -> int | None:
+        return self.matrix.draw_dest(src, rng)
+
+    def scaled(self, factor: float) -> "MatrixTraffic":
+        return MatrixTraffic(self.matrix.scaled(factor))
+
+
+class InjectionProcess:
+    """Bernoulli packet-arrival process for all nodes, node clock domain.
+
+    Vectorized: one call covers a contiguous range of node cycles for
+    every node at once, which keeps the Python overhead of the hot loop
+    low.  Arrivals are reproducible for a given seed regardless of the
+    network's DVFS trajectory, because the draws depend only on node
+    cycles, never on network state.
+    """
+
+    def __init__(self, spec: TrafficSpec, packet_length: int,
+                 rng: np.random.Generator) -> None:
+        if packet_length < 1:
+            raise ValueError("packet length must be >= 1")
+        self.spec = spec
+        self.packet_length = packet_length
+        self.rng = rng
+        rates = spec.node_rates()
+        self.packet_prob = rates / packet_length
+        peak_factor = (spec.max_factor()
+                       if isinstance(spec, PiecewiseRateTraffic) else 1.0)
+        if (self.packet_prob * peak_factor > 1.0).any():
+            bad = float(rates.max()) * peak_factor
+            raise ValueError(
+                f"offered rate {bad:.3f} flits/cycle exceeds one packet "
+                f"per node cycle for packet length {packet_length}")
+        self.num_nodes = len(rates)
+        self._cursor = 0  # next node cycle to be drawn
+
+    def arrivals(self, num_node_cycles: int) -> list[tuple[int, int, int]]:
+        """Draw arrivals for the next ``num_node_cycles`` node cycles.
+
+        Returns ``(cycle_offset, src, dst)`` tuples, where
+        ``cycle_offset`` is the index within the requested range.
+        Sources with no destination (deterministic self-traffic, empty
+        matrix rows) never appear.
+        """
+        if num_node_cycles <= 0:
+            return []
+        draws = self.rng.random((num_node_cycles, self.num_nodes))
+        if isinstance(self.spec, PiecewiseRateTraffic):
+            factors = self.spec.rate_factors(self._cursor, num_node_cycles)
+            threshold = factors[:, None] * self.packet_prob[None, :]
+        else:
+            threshold = self.packet_prob
+        self._cursor += num_node_cycles
+        hits = np.nonzero(draws < threshold)
+        out = []
+        for offset, src in zip(hits[0].tolist(), hits[1].tolist()):
+            dst = self.spec.draw_dest(src, self.rng)
+            if dst is not None:
+                out.append((offset, src, dst))
+        return out
+
+    def arrivals_per_node(self, counts: np.ndarray
+                          ) -> list[tuple[int, int, int]]:
+        """Draw arrivals when nodes tick at *different* rates.
+
+        ``counts[n]`` is how many node cycles completed at node ``n``
+        since the last call (from
+        :meth:`repro.noc.clock.MultiNodeClockBridge.elapsed_counts`).
+        Returns ``(node, cycle_offset, dst)`` tuples, where
+        ``cycle_offset`` indexes into node ``n``'s own delivered range.
+        Time-stepped (piecewise) traffic is not supported together with
+        heterogeneous node clocks.
+        """
+        if isinstance(self.spec, PiecewiseRateTraffic):
+            raise NotImplementedError(
+                "piecewise traffic with heterogeneous node clocks "
+                "is not supported")
+        counts = np.asarray(counts)
+        if len(counts) != self.num_nodes:
+            raise ValueError(f"expected {self.num_nodes} counts, got "
+                             f"{len(counts)}")
+        total = int(counts.sum())
+        if total <= 0:
+            return []
+        # One Bernoulli trial per (node, node-cycle) pair, flattened in
+        # node order so results are deterministic for a given seed.
+        nodes = np.repeat(np.arange(self.num_nodes), counts)
+        probs = self.packet_prob[nodes]
+        draws = self.rng.random(total)
+        hit_idx = np.nonzero(draws < probs)[0]
+        # Per-node cycle offset of each flattened trial.
+        firsts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        out = []
+        for idx in hit_idx.tolist():
+            src = int(nodes[idx])
+            offset = idx - int(firsts[src])
+            dst = self.spec.draw_dest(src, self.rng)
+            if dst is not None:
+                out.append((src, offset, dst))
+        return out

@@ -1,0 +1,100 @@
+"""Arbitrary traffic matrices (paper Sec. VI).
+
+The multimedia experiments need "custom traffic matrices" — the paper
+modified Booksim to support them.  A ``TrafficMatrix`` holds the rate,
+in flits per node clock cycle, offered from every source to every
+destination.  It provides per-node total rates (the injection process
+draws packet arrivals against these) and per-source destination
+distributions (sampled on each arrival).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TrafficMatrix:
+    """An ``N x N`` non-negative rate matrix with a zero diagonal."""
+
+    def __init__(self, rates: np.ndarray) -> None:
+        rates = np.asarray(rates, dtype=float)
+        if rates.ndim != 2 or rates.shape[0] != rates.shape[1]:
+            raise ValueError(f"traffic matrix must be square, got "
+                             f"{rates.shape}")
+        if (rates < 0).any():
+            raise ValueError("traffic rates must be non-negative")
+        if np.diagonal(rates).any():
+            raise ValueError("traffic matrix diagonal must be zero "
+                             "(no self-traffic)")
+        self.rates = rates
+        self._row_sums = rates.sum(axis=1)
+        # Pre-computed cumulative destination distribution per source,
+        # for O(log N) sampling on each packet arrival.
+        self._cum = np.cumsum(rates, axis=1)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.rates.shape[0]
+
+    def node_rate(self, node: int) -> float:
+        """Total offered rate from ``node`` (flits / node-cycle)."""
+        return float(self._row_sums[node])
+
+    def max_node_rate(self) -> float:
+        """Highest per-node offered rate — the saturation-critical node."""
+        return float(self._row_sums.max())
+
+    def mean_node_rate(self) -> float:
+        """Average per-node offered rate across all nodes."""
+        return float(self._row_sums.mean())
+
+    def total_rate(self) -> float:
+        """Aggregate offered rate over the whole NoC."""
+        return float(self._row_sums.sum())
+
+    def draw_dest(self, src: int, rng: np.random.Generator) -> int | None:
+        """Sample a destination for a packet from ``src``.
+
+        Returns ``None`` when the source offers no traffic.
+        """
+        total = self._row_sums[src]
+        if total <= 0.0:
+            return None
+        u = rng.random() * total
+        return int(np.searchsorted(self._cum[src], u, side="right"))
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A copy with every rate multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return TrafficMatrix(self.rates * factor)
+
+    def normalized_to_peak(self, peak_node_rate: float) -> "TrafficMatrix":
+        """Rescale so the most-loaded source offers ``peak_node_rate``."""
+        peak = self.max_node_rate()
+        if peak <= 0:
+            raise ValueError("cannot normalize an all-zero traffic matrix")
+        return self.scaled(peak_node_rate / peak)
+
+    @classmethod
+    def from_pairs(cls, num_nodes: int,
+                   pairs: list[tuple[int, int, float]]) -> "TrafficMatrix":
+        """Build from a list of ``(src, dst, rate)`` tuples."""
+        rates = np.zeros((num_nodes, num_nodes))
+        for src, dst, rate in pairs:
+            if not (0 <= src < num_nodes and 0 <= dst < num_nodes):
+                raise ValueError(f"pair ({src}, {dst}) outside 0..{num_nodes-1}")
+            if src == dst:
+                raise ValueError(f"self-traffic pair at node {src}")
+            rates[src, dst] += rate
+        return cls(rates)
+
+    @classmethod
+    def uniform(cls, num_nodes: int, node_rate: float) -> "TrafficMatrix":
+        """Uniform matrix: every node spreads ``node_rate`` over the others."""
+        if num_nodes < 2:
+            raise ValueError("need at least two nodes")
+        per_pair = node_rate / (num_nodes - 1)
+        rates = np.full((num_nodes, num_nodes), per_pair)
+        np.fill_diagonal(rates, 0.0)
+        return cls(rates)

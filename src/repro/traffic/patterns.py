@@ -1,0 +1,203 @@
+"""Synthetic traffic patterns (paper Sec. V).
+
+The paper evaluates uniform, tornado, bit-complement, transpose and
+neighbor traffic.  Each pattern maps a source node to a destination —
+either deterministically (permutation patterns) or randomly (uniform,
+hotspot).  Definitions follow Booksim's, generalized so they remain
+well-defined on non-power-of-two meshes such as the paper's 5x5:
+
+* *bit-complement* generalizes to the coordinate complement
+  ``(W-1-x, H-1-y)`` (identical to bit complement when each dimension
+  is a power of two);
+* *tornado* shifts each coordinate by ``ceil(k/2) - 1`` modulo ``k``;
+* *transpose* swaps coordinates (requires a square mesh);
+* *neighbor* sends to ``((x+1) mod W, y)``.
+
+A deterministic pattern may map a node onto itself (e.g. the center of
+an odd-width mesh under complement); such nodes generate no traffic,
+as in Booksim.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..noc.topology import Mesh
+
+
+class TrafficPattern(ABC):
+    """Maps sources to destinations on a given mesh."""
+
+    #: registry name, set by subclasses
+    name: str = "abstract"
+
+    def __init__(self, mesh: Mesh) -> None:
+        self.mesh = mesh
+
+    @abstractmethod
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        """Destination for a packet from ``src`` (may equal ``src``)."""
+
+    @property
+    def is_deterministic(self) -> bool:
+        """True when every source always targets the same destination."""
+        return True
+
+    def active_sources(self) -> list[int]:
+        """Nodes that generate traffic (i.e. have a destination != self)."""
+        rng = np.random.default_rng(0)
+        return [s for s in range(self.mesh.num_nodes)
+                if self.is_deterministic and self.dest(s, rng) != s
+                or not self.is_deterministic]
+
+
+class UniformTraffic(TrafficPattern):
+    """Uniform random: each packet targets a uniformly random other node."""
+
+    name = "uniform"
+
+    @property
+    def is_deterministic(self) -> bool:
+        return False
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        n = self.mesh.num_nodes
+        d = int(rng.integers(0, n - 1))
+        # Skip over src so the draw is uniform over the other n-1 nodes.
+        return d + 1 if d >= src else d
+
+
+class ComplementTraffic(TrafficPattern):
+    """Bit-complement, generalized to coordinate complement."""
+
+    name = "bitcomp"
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        c = self.mesh.coord(src)
+        return self.mesh.node_at(self.mesh.width - 1 - c.x,
+                                 self.mesh.height - 1 - c.y)
+
+
+class TransposeTraffic(TrafficPattern):
+    """Matrix transpose: ``(x, y) -> (y, x)``.  Requires a square mesh."""
+
+    name = "transpose"
+
+    def __init__(self, mesh: Mesh) -> None:
+        if mesh.width != mesh.height:
+            raise ValueError("transpose traffic requires a square mesh")
+        super().__init__(mesh)
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        c = self.mesh.coord(src)
+        return self.mesh.node_at(c.y, c.x)
+
+
+class TornadoTraffic(TrafficPattern):
+    """Tornado: shift each coordinate halfway around its dimension."""
+
+    name = "tornado"
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        c = self.mesh.coord(src)
+        w, h = self.mesh.width, self.mesh.height
+        dx = (c.x + (w + 1) // 2 - 1) % w
+        dy = (c.y + (h + 1) // 2 - 1) % h
+        return self.mesh.node_at(dx, dy)
+
+
+class NeighborTraffic(TrafficPattern):
+    """Nearest-neighbor: send one hop east (with wrap in the index)."""
+
+    name = "neighbor"
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        c = self.mesh.coord(src)
+        return self.mesh.node_at((c.x + 1) % self.mesh.width, c.y)
+
+
+class BitReverseTraffic(TrafficPattern):
+    """Bit-reversal of the node index (power-of-two node counts only)."""
+
+    name = "bitrev"
+
+    def __init__(self, mesh: Mesh) -> None:
+        n = mesh.num_nodes
+        if n & (n - 1):
+            raise ValueError(
+                "bit-reverse traffic requires a power-of-two node count")
+        super().__init__(mesh)
+        self._bits = n.bit_length() - 1
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        out = 0
+        for i in range(self._bits):
+            if src & (1 << i):
+                out |= 1 << (self._bits - 1 - i)
+        return out
+
+
+class ShuffleTraffic(TrafficPattern):
+    """Perfect shuffle: rotate the index bits left by one."""
+
+    name = "shuffle"
+
+    def __init__(self, mesh: Mesh) -> None:
+        n = mesh.num_nodes
+        if n & (n - 1):
+            raise ValueError(
+                "shuffle traffic requires a power-of-two node count")
+        super().__init__(mesh)
+        self._bits = n.bit_length() - 1
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        msb = (src >> (self._bits - 1)) & 1
+        return ((src << 1) | msb) & (self.mesh.num_nodes - 1)
+
+
+class HotspotTraffic(TrafficPattern):
+    """Uniform traffic with a fraction diverted to one hotspot node."""
+
+    name = "hotspot"
+
+    def __init__(self, mesh: Mesh, hotspot: int | None = None,
+                 fraction: float = 0.2) -> None:
+        super().__init__(mesh)
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("hotspot fraction must be in [0, 1]")
+        self.hotspot = (hotspot if hotspot is not None
+                        else mesh.node_at(mesh.width // 2, mesh.height // 2))
+        if not 0 <= self.hotspot < mesh.num_nodes:
+            raise ValueError(f"hotspot node {self.hotspot} outside mesh")
+        self.fraction = fraction
+        self._uniform = UniformTraffic(mesh)
+
+    @property
+    def is_deterministic(self) -> bool:
+        return False
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        if src != self.hotspot and rng.random() < self.fraction:
+            return self.hotspot
+        return self._uniform.dest(src, rng)
+
+
+PATTERNS: dict[str, type[TrafficPattern]] = {
+    cls.name: cls
+    for cls in (UniformTraffic, ComplementTraffic, TransposeTraffic,
+                TornadoTraffic, NeighborTraffic, BitReverseTraffic,
+                ShuffleTraffic, HotspotTraffic)
+}
+
+
+def make_pattern(name: str, mesh: Mesh, **kwargs) -> TrafficPattern:
+    """Instantiate a registered pattern by name."""
+    try:
+        cls = PATTERNS[name]
+    except KeyError:
+        known = ", ".join(sorted(PATTERNS))
+        raise ValueError(
+            f"unknown traffic pattern {name!r}; known: {known}") from None
+    return cls(mesh, **kwargs)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite.
+
+Tests use deliberately tiny configurations so the whole suite stays
+fast; the paper-scale 5x5/8x8 configurations are exercised by the
+benchmark harness instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noc import Mesh, NocConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mesh3() -> Mesh:
+    return Mesh(3, 3)
+
+
+@pytest.fixture
+def mesh4() -> Mesh:
+    return Mesh(4, 4)
+
+
+@pytest.fixture
+def tiny_config() -> NocConfig:
+    """3x3 mesh, 2 VCs, short packets: the fastest useful simulator."""
+    return NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                     packet_length=3)
+
+
+@pytest.fixture
+def small_config() -> NocConfig:
+    """4x4 mesh with paper-like knobs scaled down."""
+    return NocConfig(width=4, height=4, num_vcs=4, vc_buf_depth=4,
+                     packet_length=5)

@@ -1,0 +1,66 @@
+"""Unit tests for the round-robin arbitration primitives."""
+
+import pytest
+
+from repro.noc.allocator import MatrixArbiterPool, RoundRobinArbiter
+
+
+class TestRoundRobinArbiter:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+
+    def test_no_requests_no_grant(self):
+        assert RoundRobinArbiter(4).grant([]) is None
+
+    def test_single_request_granted(self):
+        assert RoundRobinArbiter(4).grant([2]) == 2
+
+    def test_rotates_after_grant(self):
+        arb = RoundRobinArbiter(3)
+        assert arb.grant([0, 1, 2]) == 0
+        assert arb.grant([0, 1, 2]) == 1
+        assert arb.grant([0, 1, 2]) == 2
+        assert arb.grant([0, 1, 2]) == 0
+
+    def test_skips_non_requesting_lines(self):
+        arb = RoundRobinArbiter(4)
+        arb.grant([0])          # pointer now at 1
+        assert arb.grant([3]) == 3
+
+    def test_no_starvation_under_contention(self):
+        """Every continuously-requesting line is granted once per round."""
+        arb = RoundRobinArbiter(5)
+        grants = [arb.grant([0, 2, 4]) for _ in range(9)]
+        for line in (0, 2, 4):
+            assert grants.count(line) == 3
+
+    def test_fairness_two_requesters(self):
+        arb = RoundRobinArbiter(2)
+        grants = [arb.grant([0, 1]) for _ in range(10)]
+        assert grants.count(0) == grants.count(1) == 5
+
+    def test_reset_restores_pointer(self):
+        arb = RoundRobinArbiter(3)
+        arb.grant([0, 1, 2])
+        arb.reset()
+        assert arb.grant([0, 1, 2]) == 0
+
+    def test_accepts_any_iterable(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant({1: "x", 3: "y"}) in (1, 3)
+
+
+class TestMatrixArbiterPool:
+    def test_independent_pointers(self):
+        pool = MatrixArbiterPool(num_resources=2, num_requesters=3)
+        assert pool.grant(0, [0, 1, 2]) == 0
+        # Resource 1 has its own pointer, still at 0.
+        assert pool.grant(1, [0, 1, 2]) == 0
+        assert pool.grant(0, [0, 1, 2]) == 1
+
+    def test_reset_all(self):
+        pool = MatrixArbiterPool(2, 3)
+        pool.grant(0, [0, 1])
+        pool.reset()
+        assert pool.grant(0, [0, 1]) == 0

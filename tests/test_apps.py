@@ -1,0 +1,99 @@
+"""Unit tests for the multimedia application graphs (paper Fig. 9)."""
+
+import pytest
+
+from repro.noc import NocConfig
+from repro.traffic import (H264_PUBLISHED_WEIGHTS, VCE_PUBLISHED_WEIGHTS,
+                           h264_encoder, vce_encoder)
+from repro.traffic.apps import ApplicationGraph, TaskEdge
+
+
+class TestPublishedWeights:
+    def test_h264_weight_multiset_matches_paper(self):
+        assert h264_encoder().weight_multiset() == H264_PUBLISHED_WEIGHTS
+
+    def test_vce_weight_multiset_matches_paper(self):
+        assert vce_encoder().weight_multiset() == VCE_PUBLISHED_WEIGHTS
+
+    def test_h264_edge_count(self):
+        assert len(h264_encoder().edges) == 19
+
+    def test_vce_edge_count(self):
+        assert len(vce_encoder().edges) == 31
+
+
+class TestMapping:
+    def test_h264_fits_4x4(self):
+        app = h264_encoder()
+        assert (app.mesh_width, app.mesh_height) == (4, 4)
+        assert all(0 <= n < 16 for n in app.mapping.values())
+
+    def test_vce_fills_5x5(self):
+        app = vce_encoder()
+        assert (app.mesh_width, app.mesh_height) == (5, 5)
+        assert len(app.mapping) == 25
+        assert sorted(app.mapping.values()) == list(range(25))
+
+    def test_no_two_tasks_share_a_node(self):
+        for app in (h264_encoder(), vce_encoder()):
+            nodes = list(app.mapping.values())
+            assert len(nodes) == len(set(nodes))
+
+    def test_validation_rejects_double_mapping(self):
+        with pytest.raises(ValueError, match="two tasks"):
+            ApplicationGraph("bad", [TaskEdge("a", "b", 1.0)],
+                             {"a": 0, "b": 0}, 2, 2)
+
+    def test_validation_rejects_unmapped_task(self):
+        with pytest.raises(ValueError, match="unmapped"):
+            ApplicationGraph("bad", [TaskEdge("a", "zz", 1.0)],
+                             {"a": 0, "b": 1}, 2, 2)
+
+    def test_validation_rejects_self_edge(self):
+        with pytest.raises(ValueError, match="self-edge"):
+            ApplicationGraph("bad", [TaskEdge("a", "a", 1.0)],
+                             {"a": 0}, 2, 2)
+
+
+class TestTrafficDerivation:
+    def test_matrix_scales_linearly_with_fps(self):
+        app = h264_encoder()
+        cfg = NocConfig(width=4, height=4)
+        slow = app.traffic_matrix(cfg, 10.0)
+        fast = app.traffic_matrix(cfg, 20.0)
+        assert fast.total_rate() == pytest.approx(2 * slow.total_rate())
+
+    def test_matrix_requires_matching_mesh(self):
+        app = h264_encoder()
+        with pytest.raises(ValueError, match="4x4"):
+            app.traffic_matrix(NocConfig(width=5, height=5), 10.0)
+
+    def test_speed1_hits_peak_node_rate(self):
+        app = vce_encoder()
+        cfg = NocConfig(width=5, height=5)
+        matrix = app.traffic_at_speed(cfg, 1.0, peak_node_rate=0.4)
+        assert matrix.max_node_rate() == pytest.approx(0.4)
+
+    def test_speed_scales_traffic(self):
+        app = vce_encoder()
+        cfg = NocConfig(width=5, height=5)
+        half = app.traffic_at_speed(cfg, 0.5, peak_node_rate=0.4)
+        assert half.max_node_rate() == pytest.approx(0.2)
+
+    def test_traffic_follows_edge_weights(self):
+        app = h264_encoder()
+        cfg = NocConfig(width=4, height=4)
+        matrix = app.traffic_matrix(cfg, 10.0)
+        src = app.mapping["video_in"]
+        dst = app.mapping["yuv_gen"]
+        expected = 840 * 10.0 * cfg.packet_length / cfg.f_node_hz
+        assert matrix.rates[src, dst] == pytest.approx(expected)
+
+    def test_total_packets_per_frame(self):
+        assert h264_encoder().total_packets_per_frame() \
+            == pytest.approx(sum(H264_PUBLISHED_WEIGHTS))
+
+    def test_zero_fps_means_zero_traffic(self):
+        app = h264_encoder()
+        cfg = NocConfig(width=4, height=4)
+        assert app.traffic_matrix(cfg, 0.0).total_rate() == 0.0

@@ -1,0 +1,86 @@
+"""Unit tests for virtual channels and their state machine."""
+
+import pytest
+
+from repro.noc.buffer import (ACTIVE, IDLE, ROUTING, VC_ALLOC,
+                              VirtualChannel)
+from repro.noc.flit import Packet, flits_of
+
+
+def fresh_vc(capacity=2):
+    return VirtualChannel(port=1, index=0, capacity=capacity)
+
+
+def some_flits(n=3):
+    return flits_of(Packet(0, 1, n, 0, 0.0))
+
+
+class TestFifoBehaviour:
+    def test_starts_empty_and_idle(self):
+        vc = fresh_vc()
+        assert len(vc) == 0
+        assert vc.state == IDLE
+        assert vc.front is None
+
+    def test_push_pop_fifo_order(self):
+        vc = fresh_vc(capacity=3)
+        flits = some_flits(3)
+        for f in flits:
+            vc.push(f)
+        assert [vc.pop() for _ in range(3)] == flits
+
+    def test_overflow_raises(self):
+        vc = fresh_vc(capacity=1)
+        flits = some_flits(2)
+        vc.push(flits[0])
+        with pytest.raises(OverflowError, match="credit"):
+            vc.push(flits[1])
+
+    def test_is_full(self):
+        vc = fresh_vc(capacity=2)
+        flits = some_flits(2)
+        vc.push(flits[0])
+        assert not vc.is_full
+        vc.push(flits[1])
+        assert vc.is_full
+
+    def test_front_peeks_without_removing(self):
+        vc = fresh_vc()
+        f = some_flits(1)[0]
+        vc.push(f)
+        assert vc.front is f
+        assert len(vc) == 1
+
+
+class TestStateMachine:
+    def test_routing_transition(self):
+        vc = fresh_vc()
+        vc.start_routing(out_port=2, ready_cycle=5)
+        assert vc.state == ROUTING
+        assert vc.out_port == 2
+        assert vc.ready_cycle == 5
+
+    def test_vc_alloc_transition(self):
+        vc = fresh_vc()
+        vc.start_routing(2, 5)
+        vc.enter_vc_alloc()
+        assert vc.state == VC_ALLOC
+
+    def test_grant_makes_active(self):
+        vc = fresh_vc()
+        vc.start_routing(2, 5)
+        vc.enter_vc_alloc()
+        vc.grant_output_vc(out_vc=1, ready_cycle=7)
+        assert vc.state == ACTIVE
+        assert vc.out_vc == 1
+        assert vc.ready_cycle == 7
+
+    def test_release_clears_route_state(self):
+        vc = fresh_vc()
+        vc.start_routing(2, 5)
+        vc.enter_vc_alloc()
+        vc.grant_output_vc(1, 7)
+        vc.release()
+        assert vc.state == IDLE
+        assert vc.out_port == -1
+        assert vc.out_vc == -1

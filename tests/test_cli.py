@@ -1,0 +1,30 @@
+"""Tests for the figure-regeneration CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import FIGURES, main, run_figure
+from repro.experiments.common import Workbench
+
+
+class TestCli:
+    def test_fig5_prints_table(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "regenerated in" in out
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_bad_profile_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--profile", "hero", "fig5"])
+
+    def test_run_figure_unknown_name(self):
+        with pytest.raises(ValueError):
+            run_figure("fig99", Workbench())
+
+    def test_all_known_figures_listed(self):
+        assert set(FIGURES) == {"fig2", "fig4", "fig5", "fig6", "fig7",
+                                "fig8", "fig10", "headline"}

@@ -1,0 +1,106 @@
+"""Unit tests for the clock domains — the paper's key mechanism."""
+
+import pytest
+
+from repro.noc.clock import NetworkClock, NodeClockBridge
+
+GHZ = 1e9
+
+
+class TestNetworkClock:
+    def test_initial_state(self):
+        clk = NetworkClock(1 * GHZ, GHZ / 3, 1 * GHZ)
+        assert clk.cycle == 0
+        assert clk.time_ns == 0.0
+        assert clk.freq_hz == 1 * GHZ
+
+    def test_tick_advances_by_period(self):
+        clk = NetworkClock(1 * GHZ, GHZ / 3, 1 * GHZ)
+        clk.tick()
+        assert clk.cycle == 1
+        assert clk.time_ns == pytest.approx(1.0)
+
+    def test_period_reflects_frequency(self):
+        clk = NetworkClock(GHZ / 2, GHZ / 3, 1 * GHZ)
+        assert clk.period_ns == pytest.approx(2.0)
+
+    def test_set_frequency_clips_low(self):
+        clk = NetworkClock(1 * GHZ, GHZ / 3, 1 * GHZ)
+        applied = clk.set_frequency(0.1 * GHZ)
+        assert applied == pytest.approx(GHZ / 3)
+
+    def test_set_frequency_clips_high(self):
+        clk = NetworkClock(GHZ / 2, GHZ / 3, 1 * GHZ)
+        applied = clk.set_frequency(5 * GHZ)
+        assert applied == pytest.approx(1 * GHZ)
+
+    def test_set_frequency_rejects_nonpositive(self):
+        clk = NetworkClock(1 * GHZ, GHZ / 3, 1 * GHZ)
+        with pytest.raises(ValueError):
+            clk.set_frequency(0.0)
+
+    def test_initial_frequency_is_clipped(self):
+        clk = NetworkClock(5 * GHZ, GHZ / 3, 1 * GHZ)
+        assert clk.freq_hz == 1 * GHZ
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            NetworkClock(GHZ, 2 * GHZ, GHZ)
+
+    def test_time_integrates_mixed_frequencies(self):
+        clk = NetworkClock(1 * GHZ, GHZ / 4, 1 * GHZ)
+        clk.tick()                       # +1 ns
+        clk.set_frequency(GHZ / 2)
+        clk.tick()                       # +2 ns
+        clk.tick()                       # +2 ns
+        assert clk.time_ns == pytest.approx(5.0)
+        assert clk.cycle == 3
+
+
+class TestNodeClockBridge:
+    def test_equal_frequencies_one_tick_per_cycle(self):
+        bridge = NodeClockBridge(1 * GHZ)
+        assert list(bridge.elapsed_node_cycles(0.0)) == [0]
+        assert list(bridge.elapsed_node_cycles(1.0)) == [1]
+        assert list(bridge.elapsed_node_cycles(2.0)) == [2]
+
+    def test_slow_network_gets_bursts(self):
+        """At Fnoc = Fnode/3 each network cycle delivers ~3 node ticks."""
+        bridge = NodeClockBridge(1 * GHZ)
+        assert list(bridge.elapsed_node_cycles(0.0)) == [0]
+        assert list(bridge.elapsed_node_cycles(3.0)) == [1, 2, 3]
+        assert list(bridge.elapsed_node_cycles(6.0)) == [4, 5, 6]
+
+    def test_each_node_cycle_delivered_once(self):
+        bridge = NodeClockBridge(1 * GHZ)
+        seen = []
+        t = 0.0
+        for _ in range(100):
+            t += 1.7  # irrational-ish period
+            seen.extend(bridge.elapsed_node_cycles(t))
+        assert seen == sorted(set(seen))
+        assert seen[0] == 0
+        assert seen == list(range(len(seen)))
+
+    def test_node_time(self):
+        bridge = NodeClockBridge(2 * GHZ)
+        assert bridge.node_time_ns(4) == pytest.approx(2.0)
+
+    def test_no_ticks_before_edge(self):
+        bridge = NodeClockBridge(1 * GHZ)
+        bridge.elapsed_node_cycles(0.0)
+        assert list(bridge.elapsed_node_cycles(0.4)) == []
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            NodeClockBridge(0.0)
+
+    def test_total_ticks_track_elapsed_time(self):
+        """Over a long window, delivered ticks == floor(t * f) + 1."""
+        bridge = NodeClockBridge(1 * GHZ)
+        count = 0
+        t = 0.0
+        for _ in range(1000):
+            t += 1 / 3
+            count += len(bridge.elapsed_node_cycles(t))
+        assert count == pytest.approx(t * 1.0, abs=2)

@@ -1,0 +1,82 @@
+"""Unit tests for NocConfig validation and derived quantities."""
+
+import pytest
+
+from repro.noc import GHZ, NocConfig, PAPER_BASELINE
+
+
+class TestValidation:
+    def test_paper_baseline_matches_paper(self):
+        cfg = PAPER_BASELINE
+        assert (cfg.width, cfg.height) == (5, 5)
+        assert cfg.num_vcs == 8
+        assert cfg.vc_buf_depth == 4
+        assert cfg.packet_length == 20
+        assert cfg.f_node_hz == pytest.approx(1 * GHZ)
+        assert cfg.f_min_hz == pytest.approx(GHZ / 3)
+        assert cfg.f_max_hz == pytest.approx(1 * GHZ)
+
+    def test_rejects_tiny_mesh(self):
+        with pytest.raises(ValueError):
+            NocConfig(width=1, height=5)
+
+    def test_rejects_zero_vcs(self):
+        with pytest.raises(ValueError):
+            NocConfig(num_vcs=0)
+
+    def test_rejects_zero_buffers(self):
+        with pytest.raises(ValueError):
+            NocConfig(vc_buf_depth=0)
+
+    def test_rejects_zero_packet_length(self):
+        with pytest.raises(ValueError):
+            NocConfig(packet_length=0)
+
+    def test_rejects_inverted_freq_range(self):
+        with pytest.raises(ValueError):
+            NocConfig(f_min_hz=2 * GHZ, f_max_hz=1 * GHZ)
+
+    def test_rejects_unknown_routing(self):
+        with pytest.raises(ValueError):
+            NocConfig(routing="magic")
+
+    def test_rejects_zero_link_latency(self):
+        with pytest.raises(ValueError):
+            NocConfig(link_latency=0)
+
+
+class TestDerived:
+    def test_num_nodes(self):
+        assert NocConfig(width=4, height=6).num_nodes == 24
+
+    def test_slowdown_ratio(self):
+        assert PAPER_BASELINE.slowdown_ratio == pytest.approx(3.0)
+
+    def test_with_replaces_fields(self):
+        cfg = PAPER_BASELINE.with_(num_vcs=2)
+        assert cfg.num_vcs == 2
+        assert cfg.width == PAPER_BASELINE.width
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            PAPER_BASELINE.with_(num_vcs=0)
+
+    def test_config_is_hashable(self):
+        """Configs key caches, so they must hash and compare by value."""
+        assert PAPER_BASELINE == NocConfig()
+        assert hash(PAPER_BASELINE) == hash(NocConfig())
+
+    def test_zero_load_latency_scales_with_mesh(self):
+        small = NocConfig(width=4, height=4).zero_load_latency_cycles()
+        large = NocConfig(width=8, height=8).zero_load_latency_cycles()
+        assert large > small
+
+    def test_zero_load_latency_includes_serialization(self):
+        short = NocConfig(packet_length=1).zero_load_latency_cycles()
+        long = NocConfig(packet_length=20).zero_load_latency_cycles()
+        assert long == pytest.approx(short + 19)
+
+    def test_make_mesh_dimensions(self):
+        mesh = NocConfig(width=3, height=4).make_mesh()
+        assert mesh.width == 3
+        assert mesh.height == 4

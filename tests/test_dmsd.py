@@ -1,0 +1,109 @@
+"""Unit tests for the DMSD policy (paper Sec. IV)."""
+
+import pytest
+
+from repro.core import DmsdController, PAPER_KI, PAPER_KP, \
+    dmsd_target_from_rmsd
+from repro.noc import GHZ, PAPER_BASELINE
+
+from .test_policy import sample
+
+
+class TestGains:
+    def test_paper_gains_are_default(self):
+        ctrl = DmsdController(target_delay_ns=150.0)
+        assert ctrl.pi.ki == PAPER_KI == 0.025
+        assert ctrl.pi.kp == PAPER_KP == 0.0125
+
+
+class TestUpdateDirection:
+    def test_delay_above_target_raises_frequency(self):
+        ctrl = DmsdController(target_delay_ns=150.0)
+        ctrl.reset(PAPER_BASELINE)
+        ctrl.pi.reset(u_init=0.5)
+        f0 = ctrl._frequency_of(0.5)
+        f1 = ctrl.update(sample(delay_ns=300.0))
+        assert f1 > f0
+
+    def test_delay_below_target_lowers_frequency(self):
+        ctrl = DmsdController(target_delay_ns=150.0)
+        ctrl.reset(PAPER_BASELINE)
+        ctrl.pi.reset(u_init=0.5)
+        f0 = ctrl._frequency_of(0.5)
+        f1 = ctrl.update(sample(delay_ns=80.0))
+        assert f1 < f0
+
+    def test_on_target_holds(self):
+        ctrl = DmsdController(target_delay_ns=150.0)
+        ctrl.reset(PAPER_BASELINE)
+        ctrl.pi.reset(u_init=0.5)
+        f1 = ctrl.update(sample(delay_ns=150.0))
+        assert f1 == pytest.approx(ctrl._frequency_of(0.5))
+
+    def test_missing_delay_holds_frequency(self):
+        """Empty measurement window: no update (paper's low-load case)."""
+        ctrl = DmsdController(target_delay_ns=150.0)
+        ctrl.reset(PAPER_BASELINE)
+        ctrl.pi.reset(u_init=0.7)
+        f = ctrl.update(sample(delay_ns=None))
+        assert f == pytest.approx(ctrl._frequency_of(0.7))
+
+
+class TestFrequencyMapping:
+    def test_u_zero_is_f_min(self):
+        ctrl = DmsdController(target_delay_ns=150.0)
+        ctrl.reset(PAPER_BASELINE)
+        assert ctrl._frequency_of(0.0) == pytest.approx(
+            PAPER_BASELINE.f_min_hz)
+
+    def test_u_one_is_f_max(self):
+        ctrl = DmsdController(target_delay_ns=150.0)
+        ctrl.reset(PAPER_BASELINE)
+        assert ctrl._frequency_of(1.0) == pytest.approx(
+            PAPER_BASELINE.f_max_hz)
+
+    def test_starts_at_f_max(self):
+        ctrl = DmsdController(target_delay_ns=150.0)
+        assert ctrl.reset(PAPER_BASELINE) == PAPER_BASELINE.f_max_hz
+
+
+class TestConvergence:
+    def test_converges_on_synthetic_plant(self):
+        """Delay model: delay = K / freq (pure frequency scaling).
+
+        The loop must settle at freq* = K / target.
+        """
+        ctrl = DmsdController(target_delay_ns=150.0)
+        f = ctrl.reset(PAPER_BASELINE)
+        k = 100.0 * GHZ * 1e-9 * 150.0  # chosen so f* = 2/3 GHz...
+        k = 100.0  # delay(f) = k * 1e9 / f ns -> f* = k*1e9/150
+        for _ in range(600):
+            delay = k * 1e9 / f
+            f = ctrl.update(sample(delay_ns=delay))
+        assert delay == pytest.approx(150.0, rel=0.05)
+
+    def test_saturates_at_f_min_when_target_unreachable_low(self):
+        """Even Fmin gives delay below target -> clamp at Fmin."""
+        ctrl = DmsdController(target_delay_ns=1000.0)
+        f = ctrl.reset(PAPER_BASELINE)
+        for _ in range(400):
+            f = ctrl.update(sample(delay_ns=50.0))
+        assert f == pytest.approx(PAPER_BASELINE.f_min_hz)
+
+    def test_saturates_at_f_max_when_target_unreachable_high(self):
+        ctrl = DmsdController(target_delay_ns=10.0)
+        f = ctrl.reset(PAPER_BASELINE)
+        for _ in range(400):
+            f = ctrl.update(sample(delay_ns=500.0))
+        assert f == pytest.approx(PAPER_BASELINE.f_max_hz)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            DmsdController(target_delay_ns=0.0)
+
+    def test_target_from_rmsd(self):
+        assert dmsd_target_from_rmsd(150.0) == 150.0
+        with pytest.raises(ValueError):
+            dmsd_target_from_rmsd(0.0)

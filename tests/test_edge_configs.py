@@ -1,0 +1,110 @@
+"""Simulations on boundary configurations.
+
+The library must stay correct at the edges of its parameter space:
+single-flit packets, a single virtual channel, the minimum 2x2 mesh,
+YX routing, deep/shallow buffers and long link latencies.
+"""
+
+import pytest
+
+from repro.noc import NocConfig, Simulation
+from repro.traffic import PatternTraffic, make_pattern
+
+
+def run(cfg, rate=0.1, seed=1, warmup=300, measure=700):
+    traffic = PatternTraffic(make_pattern("uniform", cfg.make_mesh()),
+                             rate)
+    return Simulation(cfg, traffic, seed=seed).run(warmup, measure)
+
+
+class TestSingleFlitPackets:
+    def test_delivery(self):
+        cfg = NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                        packet_length=1)
+        res = run(cfg)
+        assert res.complete
+        assert res.measured_delivered == res.measured_created
+
+    def test_lower_latency_than_long_packets(self):
+        short = run(NocConfig(width=3, height=3, num_vcs=2,
+                              vc_buf_depth=2, packet_length=1))
+        long = run(NocConfig(width=3, height=3, num_vcs=2,
+                             vc_buf_depth=2, packet_length=8))
+        assert short.mean_latency_cycles < long.mean_latency_cycles
+
+
+class TestSingleVirtualChannel:
+    def test_wormhole_without_vcs_works(self):
+        cfg = NocConfig(width=3, height=3, num_vcs=1, vc_buf_depth=4,
+                        packet_length=4)
+        res = run(cfg, rate=0.05)
+        assert res.complete
+
+    def test_single_vc_saturates_earlier(self):
+        one = run(NocConfig(width=3, height=3, num_vcs=1, vc_buf_depth=4,
+                            packet_length=4), rate=0.3, measure=1000)
+        four = run(NocConfig(width=3, height=3, num_vcs=4, vc_buf_depth=4,
+                             packet_length=4), rate=0.3, measure=1000)
+        assert four.mean_latency_cycles <= one.mean_latency_cycles * 1.1
+
+
+class TestMinimumMesh:
+    def test_2x2_mesh(self):
+        cfg = NocConfig(width=2, height=2, num_vcs=2, vc_buf_depth=2,
+                        packet_length=3)
+        res = run(cfg, rate=0.2)
+        assert res.complete
+        assert res.mean_hops <= 3.0
+
+
+class TestRectangularMesh:
+    def test_non_square_mesh(self):
+        cfg = NocConfig(width=5, height=2, num_vcs=2, vc_buf_depth=2,
+                        packet_length=3)
+        res = run(cfg)
+        assert res.complete
+
+
+class TestYxRouting:
+    def test_yx_delivers(self):
+        cfg = NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                        packet_length=3, routing="dor_yx")
+        res = run(cfg)
+        assert res.complete
+
+    def test_yx_and_xy_same_zero_load_latency(self):
+        xy = run(NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                           packet_length=3, routing="dor_xy"), rate=0.02)
+        yx = run(NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                           packet_length=3, routing="dor_yx"), rate=0.02)
+        assert xy.mean_latency_cycles == pytest.approx(
+            yx.mean_latency_cycles, rel=0.2)
+
+
+class TestLinkLatency:
+    def test_longer_links_raise_latency(self):
+        fast = run(NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                             packet_length=3, link_latency=1), rate=0.05)
+        slow = run(NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                             packet_length=3, link_latency=4), rate=0.05)
+        assert slow.mean_latency_cycles > fast.mean_latency_cycles + 2
+
+
+class TestDeepBuffers:
+    def test_deep_buffers_do_not_break_credits(self):
+        cfg = NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=16,
+                        packet_length=4)
+        res = run(cfg, rate=0.3, measure=1000)
+        assert res.measured_delivered == res.measured_created
+
+
+class TestAsymmetricFrequencies:
+    def test_node_clock_slower_than_network(self):
+        """Fnode < Fmax is legal: the network idles between node ticks."""
+        cfg = NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                        packet_length=3, f_node_hz=0.5e9)
+        res = run(cfg)
+        assert res.complete
+        # Delay in ns ~ latency cycles at 1 GHz network clock.
+        assert res.mean_delay_ns == pytest.approx(
+            res.mean_latency_cycles, rel=0.15)

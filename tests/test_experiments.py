@@ -1,0 +1,155 @@
+"""Tests for the experiments layer: rendering, workbench, fig5 driver.
+
+The heavier figure drivers (2, 4, 6, 7, 8, 10) run in the benchmark
+harness; here we exercise their plumbing on tiny configurations plus
+everything that is cheap (Fig. 5, rendering, caching, profiles).
+"""
+
+import pytest
+
+from repro.experiments import (FULL, QUICK, FigureResult, Series, Workbench,
+                               active_profile, figure2, figure5,
+                               render_figure, render_figures)
+from repro.experiments.common import Profile
+from repro.analysis.sweep import SimBudget
+from repro.noc import NocConfig
+
+TINY_PROFILE = Profile("tiny", SimBudget(200, 500, 1500),
+                       sweep_points=3, dmsd_iterations=3,
+                       saturation_iterations=3)
+
+
+@pytest.fixture
+def tiny_bench():
+    return Workbench(profile=TINY_PROFILE, seed=5)
+
+
+@pytest.fixture
+def cfg():
+    return NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                     packet_length=3)
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", [1.0, 2.0], [1.0])
+
+    def test_y_at_nearest(self):
+        s = Series("s", [0.1, 0.2, 0.3], [10.0, 20.0, 30.0])
+        assert s.y_at(0.19) == 20.0
+        assert s.y_at(0.0) == 10.0
+
+    def test_y_at_empty_raises(self):
+        with pytest.raises(ValueError):
+            Series("s", [], []).y_at(0.1)
+
+
+class TestRender:
+    def test_render_contains_all_series(self):
+        fig = FigureResult("figX", "demo", "x", "y", [
+            Series("a", [0.1, 0.2], [1.0, 2.0]),
+            Series("b", [0.1, 0.2], [3.0, None]),
+        ], annotations={"ratio": 2.0}, notes=["hello"])
+        text = render_figure(fig)
+        assert "figX" in text and "demo" in text
+        assert "a" in text and "b" in text
+        assert "[ratio: 2.00]" in text
+        assert "note: hello" in text
+        assert "-" in text  # the None cell
+
+    def test_series_named(self):
+        fig = FigureResult("f", "t", "x", "y",
+                           [Series("a", [1.0], [1.0])])
+        assert fig.series_named("a").name == "a"
+        with pytest.raises(KeyError):
+            fig.series_named("zz")
+
+    def test_render_figures_joins(self):
+        fig = FigureResult("f", "t", "x", "y",
+                           [Series("a", [1.0], [1.0])])
+        assert render_figures([fig, fig]).count("f — t") == 2
+
+    def test_disjoint_x_grids(self):
+        fig = FigureResult("f", "t", "x", "y", [
+            Series("a", [0.1], [1.0]),
+            Series("b", [0.2], [2.0]),
+        ])
+        text = render_figure(fig)
+        assert "0.100" in text and "0.200" in text
+
+
+class TestProfiles:
+    def test_default_profile_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_PROFILE", raising=False)
+        assert active_profile() is QUICK
+
+    def test_full_profile_selectable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "full")
+        assert active_profile() is FULL
+
+    def test_unknown_profile_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "hero")
+        with pytest.raises(ValueError):
+            active_profile()
+
+
+class TestWorkbenchCaching:
+    def test_saturation_cached(self, tiny_bench, cfg):
+        first = tiny_bench.saturation(cfg, "uniform")
+        second = tiny_bench.saturation(cfg, "uniform")
+        assert first is second
+
+    def test_sweep_cached(self, tiny_bench, cfg):
+        rates = (0.05, 0.1)
+        a = tiny_bench.pattern_sweep(cfg, "uniform", "no-dvfs", rates)
+        b = tiny_bench.pattern_sweep(cfg, "uniform", "no-dvfs", rates)
+        assert a is b
+
+    def test_rate_grid_includes_peak(self, tiny_bench, cfg):
+        grid = tiny_bench.rate_grid(cfg, "uniform")
+        lam_max = tiny_bench.saturation(cfg, "uniform").lambda_max
+        lam_min = lam_max * cfg.f_min_hz / cfg.f_max_hz
+        assert any(abs(g - round(lam_min, 4)) < 1e-9 for g in grid)
+        # Grid values are rounded for cache-key stability; allow the
+        # rounding to land a hair past lambda_max.
+        assert max(grid) <= lam_max + 1e-5
+
+    def test_unknown_policy_rejected(self, tiny_bench, cfg):
+        with pytest.raises(ValueError):
+            tiny_bench.strategy_for("magic", cfg, "uniform")
+
+
+class TestFig5:
+    def test_fig5_shape(self):
+        fig = figure5(points=6)
+        assert fig.figure_id == "fig5"
+        series = fig.series_named("f_max")
+        assert len(series.xs) == 6
+        assert series.ys[0] == pytest.approx(0.333, abs=0.01)
+        assert series.ys[-1] == pytest.approx(1.0, abs=0.01)
+
+    def test_fig5_monotone(self):
+        series = figure5(points=10).series_named("f_max")
+        assert series.ys == sorted(series.ys)
+
+
+class TestFig2OnTinyMesh:
+    """The full driver, on a 3x3 mesh so it stays fast."""
+
+    def test_fig2_panels(self, tiny_bench, cfg):
+        figs = figure2(tiny_bench, cfg, "uniform")
+        assert [f.figure_id for f in figs] == ["fig2a", "fig2b"]
+        lat, delay = figs
+        assert {s.name for s in lat.series} == {"no-dvfs", "rmsd"}
+        assert "lambda_min" in lat.annotations
+        assert delay.annotations["rmsd_peak_over_no_dvfs"] > 1.5
+
+    def test_fig2_rmsd_delay_above_no_dvfs(self, tiny_bench, cfg):
+        figs = figure2(tiny_bench, cfg, "uniform")
+        delay = figs[1]
+        rmsd = delay.series_named("rmsd")
+        base = delay.series_named("no-dvfs")
+        for r, b in zip(rmsd.ys, base.ys):
+            if r is not None and b is not None:
+                assert r >= b * 0.9

@@ -1,0 +1,121 @@
+"""Failure-injection tests: the simulator's protocol guard rails.
+
+A cycle-level model silently producing wrong numbers is worse than one
+that crashes; these tests corrupt internal state on purpose and verify
+the invariant checks trip loudly.
+"""
+
+import pytest
+
+from repro.noc import Network, NocConfig
+from repro.noc.buffer import ACTIVE
+from repro.noc.flit import Flit, Packet, flits_of
+from repro.noc.topology import EAST, LOCAL
+
+
+@pytest.fixture
+def net(tiny_config):
+    return Network(tiny_config)
+
+
+def drive(net, cycles, start=0):
+    for c in range(start, start + cycles):
+        net.step_cycle(c, float(c))
+    return start + cycles
+
+
+class TestCreditProtocolGuards:
+    def test_buffer_overflow_detected(self, net, tiny_config):
+        """Pushing past capacity (a credit-protocol violation) raises."""
+        router = net.routers[0]
+        packet = Packet(0, 2, tiny_config.vc_buf_depth + 1, 0, 0.0)
+        flits = flits_of(packet)
+        with pytest.raises(OverflowError, match="credit"):
+            for flit in flits:
+                router.in_vcs[EAST][0].push(flit)
+
+    def test_forged_credit_eventually_overflows(self, net, tiny_config):
+        """Granting the source a credit it was never owed corrupts the
+        flow control and is caught at the buffer, not silently."""
+        src = net.sources[0]
+        src.enqueue(Packet(0, 2, 10, 0, 0.0))
+        # Let the source fill the local VC while the router is frozen.
+        for cycle in range(tiny_config.vc_buf_depth):
+            src.step(cycle)
+        src.return_credit(src._vc)  # forged credit
+        with pytest.raises(OverflowError):
+            src.step(99)
+
+
+class TestWormholeGuards:
+    def test_body_flit_without_head_detected(self, net):
+        """A body flit at the front of an idle VC violates wormhole
+        ordering and must raise, not route garbage."""
+        router = net.routers[0]
+        packet = Packet(0, 2, 3, 0, 0.0)
+        body = Flit(packet, 1)  # not a head
+        router.receive_flit(EAST, 0, body)
+        with pytest.raises(RuntimeError, match="wormhole"):
+            router.step(0)
+
+
+class TestRoutingGuards:
+    def test_route_off_mesh_detected(self, net, tiny_config):
+        """If a VC's route points off the mesh edge, sending traps."""
+        router = net.routers[0]  # corner: no WEST/NORTH links
+        packet = Packet(0, 2, 1, 0, 0.0)
+        flit = flits_of(packet)[0]
+        vc = router.in_vcs[LOCAL][0]
+        vc.push(flit)
+        router.busy[vc] = None
+        # Sabotage: force a WEST route out of the corner router.
+        from repro.noc.topology import WEST
+        vc.state = ACTIVE
+        vc.out_port = WEST
+        vc.out_vc = 0
+        vc.ready_cycle = 0
+        with pytest.raises(RuntimeError, match="out of the mesh"):
+            router.step(0)
+
+
+class TestControllerMisbehaviour:
+    def test_nonpositive_controller_frequency_rejected(self, tiny_config):
+        """A controller returning 0 Hz is a bug; the clock traps it."""
+        from repro.noc import Simulation
+        from repro.traffic import PatternTraffic, make_pattern
+
+        class BrokenController:
+            def reset(self, config):
+                return config.f_max_hz
+
+            def update(self, sample):
+                return 0.0
+
+        traffic = PatternTraffic(
+            make_pattern("uniform", tiny_config.make_mesh()), 0.1)
+        sim = Simulation(tiny_config, traffic,
+                         controller=BrokenController(), seed=1,
+                         control_period_node_cycles=100)
+        with pytest.raises(ValueError, match="positive"):
+            sim.run(200, 400)
+
+    def test_out_of_range_frequency_is_clipped_not_fatal(self, tiny_config):
+        """Out-of-range (but positive) requests clip to the PLL range,
+        as the paper's Fig. 1/3 transfer curves specify."""
+        from repro.noc import Simulation
+        from repro.traffic import PatternTraffic, make_pattern
+
+        class GreedyController:
+            def reset(self, config):
+                return config.f_max_hz
+
+            def update(self, sample):
+                return 50e9  # far above Fmax
+
+        traffic = PatternTraffic(
+            make_pattern("uniform", tiny_config.make_mesh()), 0.1)
+        sim = Simulation(tiny_config, traffic,
+                         controller=GreedyController(), seed=1,
+                         control_period_node_cycles=100)
+        res = sim.run(200, 400)
+        assert res.mean_freq_hz == pytest.approx(tiny_config.f_max_hz)

@@ -1,0 +1,73 @@
+"""Unit tests for packets and flits."""
+
+import pytest
+
+from repro.noc.flit import Flit, Packet, flits_of
+
+
+def make_packet(length=4, src=0, dst=1):
+    return Packet(src, dst, length, created_cycle=10, created_ns=10.0)
+
+
+class TestPacket:
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            Packet(0, 1, 0, 0, 0.0)
+
+    def test_rejects_self_destination(self):
+        with pytest.raises(ValueError):
+            Packet(2, 2, 4, 0, 0.0)
+
+    def test_pids_are_unique(self):
+        a, b = make_packet(), make_packet()
+        assert a.pid != b.pid
+
+    def test_not_delivered_initially(self):
+        assert not make_packet().is_delivered
+
+    def test_latency_requires_delivery(self):
+        with pytest.raises(RuntimeError):
+            _ = make_packet().latency_cycles
+
+    def test_delay_requires_delivery(self):
+        with pytest.raises(RuntimeError):
+            _ = make_packet().delay_ns
+
+    def test_latency_and_delay_after_delivery(self):
+        p = make_packet()
+        p.ejected_cycle = 35
+        p.ejected_ns = 60.0
+        assert p.latency_cycles == 25
+        assert p.delay_ns == pytest.approx(50.0)
+
+    def test_measured_flag_default_false(self):
+        assert make_packet().measured is False
+
+
+class TestFlit:
+    def test_head_tail_flags(self):
+        p = make_packet(length=3)
+        flits = flits_of(p)
+        assert [f.is_head for f in flits] == [True, False, False]
+        assert [f.is_tail for f in flits] == [False, False, True]
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        flits = flits_of(make_packet(length=1))
+        assert len(flits) == 1
+        assert flits[0].is_head and flits[0].is_tail
+
+    def test_flit_count_matches_length(self):
+        assert len(flits_of(make_packet(length=7))) == 7
+
+    def test_flits_reference_their_packet(self):
+        p = make_packet()
+        assert all(f.packet is p for f in flits_of(p))
+
+    def test_flit_indices_are_ordered(self):
+        flits = flits_of(make_packet(length=5))
+        assert [f.index for f in flits] == list(range(5))
+
+    def test_direct_flit_construction(self):
+        p = make_packet(length=2)
+        f = Flit(p, 1)
+        assert f.is_tail and not f.is_head

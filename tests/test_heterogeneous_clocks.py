@@ -1,0 +1,146 @@
+"""Tests for heterogeneous node clocks (paper footnote 1)."""
+
+import numpy as np
+import pytest
+
+from repro.noc import NocConfig, Simulation
+from repro.noc.clock import MultiNodeClockBridge
+from repro.traffic import (InjectionProcess, PatternTraffic,
+                           PiecewiseRateTraffic, make_pattern)
+
+GHZ = 1e9
+
+
+class TestMultiNodeClockBridge:
+    def test_validates_frequencies(self):
+        with pytest.raises(ValueError):
+            MultiNodeClockBridge([1e9, 0.0])
+        with pytest.raises(ValueError):
+            MultiNodeClockBridge([])
+
+    def test_equal_frequencies_tick_together(self):
+        bridge = MultiNodeClockBridge([1 * GHZ, 1 * GHZ])
+        starts, counts = bridge.elapsed_counts(0.0)
+        assert list(counts) == [1, 1]
+        starts, counts = bridge.elapsed_counts(1.0)
+        assert list(starts) == [1, 1]
+        assert list(counts) == [1, 1]
+
+    def test_fast_node_ticks_more(self):
+        bridge = MultiNodeClockBridge([1 * GHZ, 2 * GHZ])
+        bridge.elapsed_counts(0.0)
+        __, counts = bridge.elapsed_counts(4.0)
+        assert counts[1] == 2 * counts[0]
+
+    def test_every_cycle_delivered_once(self):
+        bridge = MultiNodeClockBridge([1 * GHZ, 1.7 * GHZ, 0.4 * GHZ])
+        seen = [[] for _ in range(3)]
+        t = 0.0
+        for _ in range(200):
+            t += 0.9
+            starts, counts = bridge.elapsed_counts(t)
+            for n in range(3):
+                seen[n].extend(range(starts[n], starts[n] + counts[n]))
+        for n in range(3):
+            assert seen[n] == list(range(len(seen[n])))
+
+    def test_node_time(self):
+        bridge = MultiNodeClockBridge([1 * GHZ, 2 * GHZ])
+        assert bridge.node_time_ns(0, 3) == pytest.approx(3.0)
+        assert bridge.node_time_ns(1, 3) == pytest.approx(1.5)
+
+
+class TestArrivalsPerNode:
+    def test_counts_shape_validated(self, rng):
+        mesh = NocConfig(width=3, height=3).make_mesh()
+        spec = PatternTraffic(make_pattern("uniform", mesh), 0.2)
+        proc = InjectionProcess(spec, 4, rng)
+        with pytest.raises(ValueError):
+            proc.arrivals_per_node(np.array([1, 2]))
+
+    def test_zero_counts_no_arrivals(self, rng):
+        mesh = NocConfig(width=3, height=3).make_mesh()
+        spec = PatternTraffic(make_pattern("uniform", mesh), 0.5)
+        proc = InjectionProcess(spec, 4, rng)
+        assert proc.arrivals_per_node(np.zeros(9, dtype=int)) == []
+
+    def test_rate_proportional_to_counts(self, rng):
+        """A node given 3x the cycles generates ~3x the packets."""
+        mesh = NocConfig(width=3, height=3).make_mesh()
+        spec = PatternTraffic(make_pattern("uniform", mesh), 0.4)
+        proc = InjectionProcess(spec, 2, rng)
+        counts = np.full(9, 2000)
+        counts[0] = 6000
+        arrivals = proc.arrivals_per_node(counts)
+        from_node0 = sum(1 for n, _, _ in arrivals if n == 0)
+        from_node1 = sum(1 for n, _, _ in arrivals if n == 1)
+        assert from_node0 == pytest.approx(3 * from_node1, rel=0.25)
+
+    def test_offsets_within_node_range(self, rng):
+        mesh = NocConfig(width=3, height=3).make_mesh()
+        spec = PatternTraffic(make_pattern("uniform", mesh), 0.5)
+        proc = InjectionProcess(spec, 2, rng)
+        counts = np.arange(1, 10) * 50
+        for node, offset, _dst in proc.arrivals_per_node(counts):
+            assert 0 <= offset < counts[node]
+
+    def test_piecewise_unsupported(self, rng):
+        mesh = NocConfig(width=3, height=3).make_mesh()
+        base = PatternTraffic(make_pattern("uniform", mesh), 0.2)
+        spec = PiecewiseRateTraffic(base, [(0, 1.0)])
+        proc = InjectionProcess(spec, 4, rng)
+        with pytest.raises(NotImplementedError):
+            proc.arrivals_per_node(np.ones(9, dtype=int))
+
+
+class TestHeterogeneousSimulation:
+    def make_config(self, freqs):
+        return NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                         packet_length=3, node_freqs_hz=tuple(freqs))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="all 9"):
+            NocConfig(width=3, height=3, node_freqs_hz=(1e9, 2e9))
+        with pytest.raises(ValueError):
+            NocConfig(width=3, height=3,
+                      node_freqs_hz=tuple([1e9] * 8 + [0.0]))
+
+    def test_uniform_heterogeneous_matches_homogeneous_rates(self):
+        """All node clocks = Fnode: same offered load as the fast path."""
+        freqs = [1 * GHZ] * 9
+        cfg_het = self.make_config(freqs)
+        cfg_hom = NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                            packet_length=3)
+        traffic = PatternTraffic(
+            make_pattern("uniform", cfg_hom.make_mesh()), 0.1)
+        het = Simulation(cfg_het, traffic, seed=5).run(300, 900)
+        hom = Simulation(cfg_hom, traffic, seed=5).run(300, 900)
+        assert het.measured_created == pytest.approx(hom.measured_created,
+                                                     rel=0.2)
+
+    def test_fast_nodes_generate_more_traffic(self):
+        """Nodes clocked 3x faster offer ~3x the flits per second."""
+        freqs = [1 * GHZ] * 9
+        freqs[0] = 3 * GHZ
+        cfg = self.make_config(freqs)
+        traffic = PatternTraffic(
+            make_pattern("uniform", cfg.make_mesh()), 0.08)
+        sim = Simulation(cfg, traffic, seed=5)
+        res = sim.run(500, 2000)
+        assert res.complete
+        # Node 0 generates ~3x the packets per second of 1 GHz nodes.
+        by_src = [0] * 9
+        for packet in sim.network.delivered:
+            by_src[packet.src] += 1
+        others = sum(by_src[1:]) / 8
+        assert by_src[0] > 2.0 * others
+
+    def test_delays_still_measured(self):
+        freqs = [0.5 * GHZ if i % 2 else 1 * GHZ for i in range(9)]
+        cfg = self.make_config(freqs)
+        traffic = PatternTraffic(
+            make_pattern("uniform", cfg.make_mesh()), 0.1)
+        res = Simulation(cfg, traffic, seed=5).run(400, 1200)
+        assert res.complete
+        assert res.mean_delay_ns is not None
+        assert res.mean_delay_ns > 0

@@ -1,0 +1,141 @@
+"""Closed-loop integration tests: real controllers inside the simulator.
+
+These validate the paper's control architectures end to end: the
+measurement path (Fig. 1 / Fig. 3), the control actuation, and the
+steady states they converge to.
+"""
+
+import pytest
+
+from repro.core import DmsdController, NoDvfs, QuantizedPolicy, \
+    RmsdController
+from repro.noc import NocConfig, Simulation
+from repro.traffic import PatternTraffic, make_pattern
+
+
+@pytest.fixture
+def cfg():
+    # 3x3, short packets: fast but still a real multi-hop NoC.
+    return NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                     packet_length=3)
+
+
+def traffic(cfg, rate):
+    return PatternTraffic(make_pattern("uniform", cfg.make_mesh()), rate)
+
+
+class TestClosedLoopRmsd:
+    def test_converges_to_eq2_frequency(self, cfg):
+        """Measured-rate control settles on Fnode*lambda/lambda_max."""
+        lam, lam_max = 0.2, 0.5
+        ctrl = RmsdController(lambda_max=lam_max)
+        sim = Simulation(cfg, traffic(cfg, lam), controller=ctrl, seed=11,
+                         control_period_node_cycles=400)
+        res = sim.run(2500, 2500)
+        expected = cfg.f_node_hz * lam / lam_max
+        # Late-run frequency fluctuates around the open-loop value with
+        # the measurement noise of the finite window.
+        late = [f for _, f in res.freq_trace[-5:]]
+        mean_late = sum(late) / len(late)
+        assert mean_late == pytest.approx(expected, rel=0.2)
+
+    def test_clips_at_f_min_for_low_rate(self, cfg):
+        ctrl = RmsdController(lambda_max=0.5)
+        sim = Simulation(cfg, traffic(cfg, 0.02), controller=ctrl, seed=11,
+                         control_period_node_cycles=400)
+        res = sim.run(1500, 1500)
+        assert res.freq_trace[-1][1] == pytest.approx(cfg.f_min_hz)
+
+    def test_network_load_pinned_near_lambda_max(self, cfg):
+        """Latency under RMSD ~ latency at lambda_max under No-DVFS."""
+        lam_max = 0.5
+        ctrl = RmsdController(lambda_max=lam_max)
+        rmsd = Simulation(cfg, traffic(cfg, 0.25), controller=ctrl,
+                          seed=11, control_period_node_cycles=400
+                          ).run(2500, 2500)
+        ref = Simulation(cfg, traffic(cfg, lam_max), controller=None,
+                         seed=11).run(1500, 1500)
+        assert rmsd.mean_latency_cycles == pytest.approx(
+            ref.mean_latency_cycles, rel=0.35)
+
+
+class TestClosedLoopDmsd:
+    def test_tracks_reachable_target(self, cfg):
+        zero_load = cfg.zero_load_latency_cycles()
+        target = 2.0 * zero_load  # ns, reachable inside [Fmin, Fmax]
+        ctrl = DmsdController(target_delay_ns=target, ki=0.2, kp=0.1)
+        sim = Simulation(cfg, traffic(cfg, 0.1), controller=ctrl, seed=13,
+                         control_period_node_cycles=300)
+        res = sim.run(6000, 3000)
+        assert res.mean_delay_ns == pytest.approx(target, rel=0.25)
+
+    def test_clips_at_f_min_for_loose_target(self, cfg):
+        ctrl = DmsdController(target_delay_ns=10_000.0, ki=0.2, kp=0.1)
+        sim = Simulation(cfg, traffic(cfg, 0.05), controller=ctrl, seed=13,
+                         control_period_node_cycles=300)
+        res = sim.run(4000, 1500)
+        assert res.freq_trace[-1][1] == pytest.approx(cfg.f_min_hz)
+
+    def test_paper_gains_walk_down_gradually(self, cfg):
+        """With the paper's KI = 0.025 a -100% error moves U by ~0.025
+        per control period — the slow, stable descent the paper chose."""
+        ctrl = DmsdController(target_delay_ns=10_000.0)
+        sim = Simulation(cfg, traffic(cfg, 0.05), controller=ctrl, seed=13,
+                         control_period_node_cycles=300)
+        res = sim.run(4000, 1500)
+        n_updates = len(res.samples)
+        u_expected = max(0.0, 1.0 - 0.025 * n_updates)
+        f_expected = cfg.f_min_hz + u_expected * (cfg.f_max_hz
+                                                  - cfg.f_min_hz)
+        assert res.freq_trace[-1][1] == pytest.approx(f_expected, rel=0.1)
+
+    def test_paper_gains_are_stable(self, cfg):
+        """With KI=0.025/KP=0.0125 the loop must not oscillate wildly:
+        late-phase frequency excursions stay well inside the range."""
+        zero_load = cfg.zero_load_latency_cycles()
+        ctrl = DmsdController(target_delay_ns=2.0 * zero_load)
+        sim = Simulation(cfg, traffic(cfg, 0.1), controller=ctrl, seed=13,
+                         control_period_node_cycles=200)
+        res = sim.run(12_000, 3000)
+        late = [f for t, f in res.freq_trace if t > res.freq_trace[-1][0]
+                * 0.7]
+        if len(late) >= 2:
+            span = (max(late) - min(late)) / cfg.f_max_hz
+            assert span < 0.5
+
+    def test_quantized_dmsd_still_tracks(self, cfg):
+        zero_load = cfg.zero_load_latency_cycles()
+        target = 2.0 * zero_load
+        ctrl = QuantizedPolicy(
+            DmsdController(target_delay_ns=target, ki=0.2, kp=0.1),
+            num_levels=8)
+        sim = Simulation(cfg, traffic(cfg, 0.1), controller=ctrl, seed=13,
+                         control_period_node_cycles=300)
+        res = sim.run(6000, 3000)
+        # Quantization rounds the frequency up, so the achieved delay
+        # may only beat the target (never exceed it by much).
+        assert res.mean_delay_ns < target * 1.2
+
+
+class TestPolicyOrdering:
+    def test_rmsd_slowest_dmsd_between(self, cfg):
+        """Frequency order: RMSD <= DMSD <= No-DVFS (paper Fig. 4(a))."""
+        lam, lam_max = 0.15, 0.5
+        zero_load = cfg.zero_load_latency_cycles()
+        target = 1.8 * zero_load
+
+        rmsd = Simulation(cfg, traffic(cfg, lam),
+                          controller=RmsdController(lambda_max=lam_max),
+                          seed=17, control_period_node_cycles=400
+                          ).run(3000, 2000)
+        dmsd = Simulation(cfg, traffic(cfg, lam),
+                          controller=DmsdController(target, ki=0.2, kp=0.1),
+                          seed=17, control_period_node_cycles=400
+                          ).run(6000, 2000)
+        nod = Simulation(cfg, traffic(cfg, lam), controller=NoDvfs(),
+                         seed=17).run(1000, 1500)
+        assert rmsd.mean_freq_hz <= dmsd.mean_freq_hz * 1.05
+        assert dmsd.mean_freq_hz <= nod.mean_freq_hz
+        # and the delay order is reversed
+        assert nod.mean_delay_ns <= dmsd.mean_delay_ns * 1.1
+        assert dmsd.mean_delay_ns <= rmsd.mean_delay_ns * 1.1

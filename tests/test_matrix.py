@@ -1,0 +1,93 @@
+"""Unit tests for traffic matrices."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import TrafficMatrix
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix(np.zeros((3, 4)))
+
+    def test_rejects_negative_rates(self):
+        m = np.zeros((3, 3))
+        m[0, 1] = -0.1
+        with pytest.raises(ValueError):
+            TrafficMatrix(m)
+
+    def test_rejects_self_traffic(self):
+        m = np.zeros((3, 3))
+        m[1, 1] = 0.5
+        with pytest.raises(ValueError):
+            TrafficMatrix(m)
+
+    def test_from_pairs_validates_nodes(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix.from_pairs(4, [(0, 9, 1.0)])
+
+    def test_from_pairs_rejects_self(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix.from_pairs(4, [(2, 2, 1.0)])
+
+
+class TestRates:
+    def test_node_rate_sums_row(self):
+        m = TrafficMatrix.from_pairs(4, [(0, 1, 0.1), (0, 2, 0.3)])
+        assert m.node_rate(0) == pytest.approx(0.4)
+        assert m.node_rate(1) == 0.0
+
+    def test_from_pairs_accumulates_duplicates(self):
+        m = TrafficMatrix.from_pairs(3, [(0, 1, 0.1), (0, 1, 0.2)])
+        assert m.node_rate(0) == pytest.approx(0.3)
+
+    def test_max_and_mean_node_rate(self):
+        m = TrafficMatrix.from_pairs(4, [(0, 1, 0.4), (2, 3, 0.2)])
+        assert m.max_node_rate() == pytest.approx(0.4)
+        assert m.mean_node_rate() == pytest.approx(0.6 / 4)
+
+    def test_total_rate(self):
+        m = TrafficMatrix.from_pairs(4, [(0, 1, 0.4), (2, 3, 0.2)])
+        assert m.total_rate() == pytest.approx(0.6)
+
+    def test_scaled(self):
+        m = TrafficMatrix.from_pairs(3, [(0, 1, 0.2)]).scaled(2.5)
+        assert m.node_rate(0) == pytest.approx(0.5)
+
+    def test_scaled_rejects_negative(self):
+        m = TrafficMatrix.from_pairs(3, [(0, 1, 0.2)])
+        with pytest.raises(ValueError):
+            m.scaled(-1.0)
+
+    def test_normalized_to_peak(self):
+        m = TrafficMatrix.from_pairs(4, [(0, 1, 0.4), (2, 3, 0.1)])
+        norm = m.normalized_to_peak(0.8)
+        assert norm.max_node_rate() == pytest.approx(0.8)
+        assert norm.node_rate(2) == pytest.approx(0.2)
+
+    def test_normalize_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix(np.zeros((3, 3))).normalized_to_peak(0.5)
+
+    def test_uniform_matrix(self):
+        m = TrafficMatrix.uniform(5, 0.4)
+        for i in range(5):
+            assert m.node_rate(i) == pytest.approx(0.4)
+
+
+class TestDestinationSampling:
+    def test_draw_dest_empty_row_is_none(self, rng):
+        m = TrafficMatrix.from_pairs(4, [(0, 1, 0.2)])
+        assert m.draw_dest(3, rng) is None
+
+    def test_draw_dest_single_target(self, rng):
+        m = TrafficMatrix.from_pairs(4, [(0, 3, 0.2)])
+        assert all(m.draw_dest(0, rng) == 3 for _ in range(50))
+
+    def test_draw_dest_distribution(self, rng):
+        m = TrafficMatrix.from_pairs(4, [(0, 1, 0.3), (0, 2, 0.1)])
+        draws = [m.draw_dest(0, rng) for _ in range(4000)]
+        frac_1 = draws.count(1) / len(draws)
+        assert frac_1 == pytest.approx(0.75, abs=0.04)
+        assert set(draws) == {1, 2}

@@ -1,0 +1,134 @@
+"""Unit tests for network wiring and single-packet behaviour."""
+
+import pytest
+
+from repro.noc import Network, NocConfig
+from repro.noc.flit import Packet
+from repro.noc.topology import EAST, LOCAL, NUM_PORTS, OPPOSITE, WEST
+
+
+def drive(net: Network, cycles: int, freq_ghz: float = 1.0) -> None:
+    """Advance the network with a simple external clock."""
+    for c in range(cycles):
+        net.step_cycle(c, c / freq_ghz)
+
+
+class TestWiring:
+    def test_link_symmetry(self, tiny_config):
+        net = Network(tiny_config)
+        for router in net.routers:
+            for port in range(1, NUM_PORTS):
+                link = router.out_links[port]
+                if link is None:
+                    continue
+                nbr, nbr_port = link
+                assert nbr_port == OPPOSITE[port]
+                assert nbr.in_links[nbr_port] == (router, port)
+
+    def test_out_links_match_mesh(self, tiny_config):
+        net = Network(tiny_config)
+        mesh = net.mesh
+        for router in net.routers:
+            for port in (1, 2, 3, 4):
+                nbr = mesh.neighbor(router.node, port)
+                link = router.out_links[port]
+                if nbr is None:
+                    assert link is None
+                else:
+                    assert link[0].node == nbr
+
+    def test_one_source_per_node(self, tiny_config):
+        net = Network(tiny_config)
+        assert len(net.sources) == tiny_config.num_nodes
+        for i, src in enumerate(net.sources):
+            assert src.node == i
+
+
+class TestSinglePacket:
+    def test_packet_is_delivered(self, tiny_config):
+        net = Network(tiny_config)
+        p = Packet(0, 8, tiny_config.packet_length, 0, 0.0, measured=True)
+        net.enqueue_packet(p)
+        drive(net, 100)
+        assert p.is_delivered
+        assert net.is_drained()
+
+    def test_hops_equal_distance_plus_one(self, tiny_config):
+        """Every traversed router (incl. the destination) counts a hop."""
+        net = Network(tiny_config)
+        p = Packet(0, 8, tiny_config.packet_length, 0, 0.0)
+        net.enqueue_packet(p)
+        drive(net, 100)
+        assert p.hops == net.mesh.hop_distance(0, 8) + 1
+
+    def test_adjacent_delivery_latency_is_pipeline_depth(self, tiny_config):
+        """Zero-load latency = hops * per-hop pipeline + serialization."""
+        net = Network(tiny_config)
+        p = Packet(0, 1, tiny_config.packet_length, 0, 0.0)
+        net.enqueue_packet(p)
+        drive(net, 50)
+        assert p.is_delivered
+        # 2 routers, each RC(1)+VA(1)+SA(1) stages, 1 link between them,
+        # plus (len-1) serialization and the injection cycle.
+        hops = 2
+        per_hop = 3 + tiny_config.link_latency
+        expected = hops * per_hop + (tiny_config.packet_length - 1)
+        assert p.ejected_cycle - p.injected_cycle <= expected + 2
+
+    def test_credits_restored_after_drain(self, tiny_config):
+        net = Network(tiny_config)
+        net.enqueue_packet(Packet(0, 8, tiny_config.packet_length, 0, 0.0))
+        drive(net, 200)
+        assert net.is_drained()
+        for router in net.routers:
+            for port in (1, 2, 3, 4):
+                for vc in range(tiny_config.num_vcs):
+                    assert (router.out_credits[port][vc]
+                            == tiny_config.vc_buf_depth)
+
+    def test_output_vcs_released_after_drain(self, tiny_config):
+        net = Network(tiny_config)
+        net.enqueue_packet(Packet(0, 8, tiny_config.packet_length, 0, 0.0))
+        drive(net, 200)
+        for router in net.routers:
+            for port in range(NUM_PORTS):
+                assert all(o is None for o in router.out_vc_owner[port])
+
+    def test_flit_conservation(self, tiny_config):
+        net = Network(tiny_config)
+        for dst in (3, 7, 8):
+            net.enqueue_packet(Packet(0, dst, tiny_config.packet_length,
+                                      0, 0.0))
+        drive(net, 300)
+        stats = net.stats
+        assert stats.generated_flits == 3 * tiny_config.packet_length
+        assert stats.ejected_flits == stats.generated_flits
+        assert stats.injected_flits == stats.generated_flits
+
+
+class TestManyPackets:
+    def test_all_pairs_delivery(self, tiny_config):
+        """One packet from every node to every other node arrives."""
+        net = Network(tiny_config)
+        packets = []
+        n = tiny_config.num_nodes
+        for src in range(n):
+            for dst in range(n):
+                if src != dst:
+                    p = Packet(src, dst, tiny_config.packet_length, 0, 0.0)
+                    packets.append(p)
+                    net.enqueue_packet(p)
+        drive(net, 3000)
+        assert all(p.is_delivered for p in packets)
+        assert net.is_drained()
+
+    def test_two_packets_same_source_keep_order_per_vc(self, tiny_config):
+        """Serial injection: the first enqueued packet injects first."""
+        net = Network(tiny_config)
+        p1 = Packet(0, 8, tiny_config.packet_length, 0, 0.0)
+        p2 = Packet(0, 8, tiny_config.packet_length, 0, 0.0)
+        net.enqueue_packet(p1)
+        net.enqueue_packet(p2)
+        drive(net, 300)
+        assert p1.injected_cycle < p2.injected_cycle
+        assert p1.is_delivered and p2.is_delivered

@@ -1,0 +1,90 @@
+"""Unit tests for the PI controller primitive."""
+
+import pytest
+
+from repro.core import PiController
+
+
+class TestConstruction:
+    def test_defaults_to_u_max(self):
+        pi = PiController(ki=0.1, kp=0.05)
+        assert pi.u == 1.0
+
+    def test_initial_value_clamped(self):
+        pi = PiController(ki=0.1, kp=0.05, u_init=7.0)
+        assert pi.u == 1.0
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            PiController(0.1, 0.1, u_min=1.0, u_max=0.0)
+
+    def test_rejects_negative_gains(self):
+        with pytest.raises(ValueError):
+            PiController(-0.1, 0.1)
+
+
+class TestStep:
+    def test_positive_error_raises_u(self):
+        pi = PiController(ki=0.1, kp=0.05, u_init=0.5)
+        assert pi.step(1.0) > 0.5
+
+    def test_negative_error_lowers_u(self):
+        pi = PiController(ki=0.1, kp=0.05, u_init=0.5)
+        assert pi.step(-1.0) < 0.5
+
+    def test_zero_error_holds(self):
+        pi = PiController(ki=0.1, kp=0.05, u_init=0.5)
+        assert pi.step(0.0) == pytest.approx(0.5)
+
+    def test_paper_update_law(self):
+        """U_n = U_{n-1} + KI*E_n + KP*(E_n - E_{n-1}), exactly."""
+        pi = PiController(ki=0.025, kp=0.0125, u_init=0.5)
+        u1 = pi.step(0.4)   # first step: E_{-1} := E_0 (no P kick)
+        assert u1 == pytest.approx(0.5 + 0.025 * 0.4)
+        u2 = pi.step(0.1)
+        assert u2 == pytest.approx(u1 + 0.025 * 0.1 + 0.0125 * (0.1 - 0.4))
+
+    def test_clamps_high(self):
+        pi = PiController(ki=0.5, kp=0.0, u_init=0.9)
+        for _ in range(10):
+            pi.step(10.0)
+        assert pi.u == 1.0
+        assert pi.saturated_high
+
+    def test_clamps_low(self):
+        pi = PiController(ki=0.5, kp=0.0, u_init=0.1)
+        for _ in range(10):
+            pi.step(-10.0)
+        assert pi.u == 0.0
+        assert pi.saturated_low
+
+    def test_anti_windup_recovery_is_immediate(self):
+        """After long saturation, one opposite error moves U at once."""
+        pi = PiController(ki=0.1, kp=0.0, u_init=0.5)
+        for _ in range(100):
+            pi.step(-10.0)  # pegged at u_min with no hidden windup
+        u_after_one_up = pi.step(+1.0)
+        assert u_after_one_up == pytest.approx(0.1)
+
+    def test_converges_on_first_order_plant(self):
+        """Closed loop on y = u (unit plant) settles at the setpoint."""
+        pi = PiController(ki=0.2, kp=0.1, u_init=1.0)
+        target = 0.6
+        u = pi.u
+        for _ in range(200):
+            u = pi.step(target - u)
+        assert u == pytest.approx(target, abs=0.01)
+
+
+class TestReset:
+    def test_reset_clears_history(self):
+        pi = PiController(ki=0.1, kp=0.5, u_init=0.5)
+        pi.step(1.0)
+        pi.reset(u_init=0.5)
+        # After reset the proportional term sees no previous error.
+        assert pi.step(0.2) == pytest.approx(0.5 + 0.1 * 0.2)
+
+    def test_reset_defaults_to_u_max(self):
+        pi = PiController(ki=0.1, kp=0.1, u_init=0.2)
+        pi.reset()
+        assert pi.u == 1.0

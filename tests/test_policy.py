@@ -1,0 +1,50 @@
+"""Unit tests for the policy base classes and trivial policies."""
+
+import pytest
+
+from repro.core import FixedFrequency, NoDvfs
+from repro.noc import GHZ, NocConfig
+from repro.noc.stats import MeasurementSample
+
+
+def sample(delay_ns=100.0, node_lambda_flits=50, node_cycles=100,
+           num_nodes=4, freq_hz=1 * GHZ):
+    return MeasurementSample(
+        window_cycles=100, window_node_cycles=node_cycles,
+        window_ns=100.0, generated_flits=node_lambda_flits,
+        delivered_packets=10, mean_delay_ns=delay_ns,
+        mean_latency_cycles=delay_ns, freq_hz=freq_hz, time_ns=1000.0,
+        num_nodes=num_nodes)
+
+
+class TestMeasurementSample:
+    def test_node_lambda(self):
+        s = sample(node_lambda_flits=80, node_cycles=100, num_nodes=4)
+        assert s.node_lambda == pytest.approx(0.2)
+
+    def test_node_lambda_empty_window(self):
+        s = MeasurementSample(0, 0, 0.0, 0, 0, None, None, 1 * GHZ, 0.0, 4)
+        assert s.node_lambda == 0.0
+
+
+class TestNoDvfs:
+    def test_always_f_max(self):
+        cfg = NocConfig()
+        policy = NoDvfs()
+        assert policy.reset(cfg) == cfg.f_max_hz
+        assert policy.update(sample()) == cfg.f_max_hz
+
+    def test_update_before_reset_raises(self):
+        with pytest.raises(RuntimeError, match="reset"):
+            NoDvfs().update(sample())
+
+
+class TestFixedFrequency:
+    def test_holds_frequency(self):
+        policy = FixedFrequency(0.5 * GHZ)
+        assert policy.reset(NocConfig()) == 0.5 * GHZ
+        assert policy.update(sample()) == 0.5 * GHZ
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FixedFrequency(0.0)

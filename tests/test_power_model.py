@@ -1,0 +1,138 @@
+"""Unit tests for the activity-based power model."""
+
+import pytest
+
+from repro.noc import NocConfig, PAPER_BASELINE
+from repro.noc.stats import ActivityCounters, PowerWindow
+from repro.power import (DEFAULT_28NM, EnergyParameters, PowerBreakdown,
+                         PowerModel)
+from repro.power.report import breakdown_table, comparison_row
+
+GHZ = 1e9
+
+
+def window(freq_hz=1 * GHZ, duration_ns=1000.0, **activity):
+    return PowerWindow(duration_ns=duration_ns,
+                       cycles=int(duration_ns * freq_hz / 1e9),
+                       freq_hz=freq_hz,
+                       activity=ActivityCounters(**activity))
+
+
+@pytest.fixture
+def model():
+    return PowerModel(PAPER_BASELINE)
+
+
+class TestWindowPower:
+    def test_idle_window_is_clock_plus_leakage(self, model):
+        p = model.window_power(window())
+        assert p.buffer_mw == 0.0
+        assert p.xbar_mw == 0.0
+        assert p.clock_mw > 0.0
+        assert p.leakage_mw > 0.0
+        assert p.total_mw == pytest.approx(model.idle_power_mw(1 * GHZ))
+
+    def test_activity_adds_dynamic_power(self, model):
+        idle = model.window_power(window()).total_mw
+        busy = model.window_power(
+            window(buffer_writes=10_000, buffer_reads=10_000,
+                   xbar_traversals=10_000, link_flits=8_000)).total_mw
+        assert busy > idle
+
+    def test_power_scales_down_with_frequency(self, model):
+        """Same event count over the same wall time, lower V and f."""
+        hi = model.window_power(window(freq_hz=1 * GHZ,
+                                       buffer_writes=10_000))
+        lo = model.window_power(window(freq_hz=GHZ / 3,
+                                       buffer_writes=10_000))
+        assert lo.total_mw < hi.total_mw
+        # Event energy scales with (V/Vnom)^2 ~ (0.56/0.9)^2 ~ 0.39.
+        v_lo = model.technology.voltage_for(GHZ / 3)
+        assert lo.buffer_mw / hi.buffer_mw == pytest.approx(
+            (v_lo / 0.9) ** 2, rel=1e-6)
+        assert v_lo == pytest.approx(0.56, abs=0.005)
+
+    def test_leakage_always_present(self, model):
+        p = model.window_power(window(freq_hz=GHZ / 3))
+        assert p.leakage_mw > 0.0
+
+    def test_rejects_empty_window(self, model):
+        with pytest.raises(ValueError):
+            model.window_power(window(duration_ns=0.0))
+
+    def test_linear_in_event_count(self, model):
+        one = model.window_power(window(link_flits=1000)).link_mw
+        two = model.window_power(window(link_flits=2000)).link_mw
+        assert two == pytest.approx(2 * one)
+
+
+class TestEvaluate:
+    def test_single_window_passthrough(self, model):
+        w = window(buffer_writes=5000)
+        assert model.evaluate([w]).total_mw \
+            == pytest.approx(model.window_power(w).total_mw)
+
+    def test_time_weighted_average(self, model):
+        w1 = window(duration_ns=1000.0, freq_hz=1 * GHZ)
+        w2 = window(duration_ns=3000.0, freq_hz=GHZ / 3)
+        avg = model.evaluate([w1, w2]).total_mw
+        p1 = model.window_power(w1).total_mw
+        p2 = model.window_power(w2).total_mw
+        assert avg == pytest.approx((p1 * 1000 + p2 * 3000) / 4000)
+
+    def test_rejects_no_windows(self, model):
+        with pytest.raises(ValueError):
+            model.evaluate([])
+
+
+class TestCalibration:
+    def test_idle_floor_magnitude(self, model):
+        """5x5 idle at 1 GHz: tens of mW (paper Fig. 6 low-load zone)."""
+        idle = model.idle_power_mw(1 * GHZ)
+        assert 30.0 < idle < 90.0
+
+    def test_power_scales_with_mesh_size(self):
+        small = PowerModel(NocConfig(width=4, height=4))
+        large = PowerModel(NocConfig(width=8, height=8))
+        assert large.idle_power_mw(1 * GHZ) \
+            > 2 * small.idle_power_mw(1 * GHZ)
+
+    def test_min_freq_idle_well_below_max(self, model):
+        assert model.idle_power_mw(GHZ / 3) < 0.25 * model.idle_power_mw(GHZ)
+
+
+class TestEnergyParameters:
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ValueError):
+            EnergyParameters(e_link_pj=-1.0)
+
+    def test_rejects_weak_leakage_exponent(self):
+        with pytest.raises(ValueError):
+            EnergyParameters(leak_exponent=0.5)
+
+    def test_with_replaces(self):
+        p = DEFAULT_28NM.with_(e_link_pj=9.0)
+        assert p.e_link_pj == 9.0
+        assert p.e_xbar_pj == DEFAULT_28NM.e_xbar_pj
+
+
+class TestBreakdown:
+    def test_total_is_sum(self):
+        b = PowerBreakdown(1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+        assert b.total_mw == pytest.approx(21.0)
+        assert b.dynamic_mw == pytest.approx(15.0)
+
+    def test_add_and_scale(self):
+        b = PowerBreakdown(1, 1, 1, 1, 1, 1)
+        assert (b + b).total_mw == pytest.approx(12.0)
+        assert b.scaled(0.5).total_mw == pytest.approx(3.0)
+
+    def test_report_renders(self):
+        b = PowerBreakdown(1, 2, 3, 4, 5, 6)
+        text = breakdown_table(b)
+        assert "crossbar" in text
+        assert "21.00 mW" in text
+
+    def test_comparison_row(self):
+        row = comparison_row("NoDVFS vs DMSD", 200.0, 100.0)
+        assert "2.00x" in row

@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import SingleServerDvfs
+from repro.core import PiController, rmsd_frequency
+from repro.noc import GHZ, Mesh, NocConfig
+from repro.noc.allocator import RoundRobinArbiter
+from repro.noc.clock import NodeClockBridge
+from repro.noc.routing import route_path, xy_route
+from repro.noc.stats import ACTIVITY_FIELDS, ActivityCounters
+from repro.power import FDSOI_28NM
+from repro.traffic import TrafficMatrix
+
+# Simulation-free properties can afford many examples.
+FAST_SETTINGS = settings(max_examples=200, deadline=None)
+SLOW_SETTINGS = settings(max_examples=25, deadline=None,
+                         suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestArbiterProperties:
+    @FAST_SETTINGS
+    @given(size=st.integers(1, 16), data=st.data())
+    def test_grant_is_always_a_requester(self, size, data):
+        arb = RoundRobinArbiter(size)
+        for _ in range(10):
+            requests = data.draw(st.lists(st.integers(0, size - 1),
+                                          max_size=size))
+            grant = arb.grant(requests)
+            if requests:
+                assert grant in requests
+            else:
+                assert grant is None
+
+    @FAST_SETTINGS
+    @given(size=st.integers(2, 12),
+           requesters=st.sets(st.integers(0, 11), min_size=1))
+    def test_round_robin_fairness(self, size, requesters):
+        requesters = {r for r in requesters if r < size}
+        assume(requesters)
+        arb = RoundRobinArbiter(size)
+        rounds = 6
+        grants = [arb.grant(requesters)
+                  for _ in range(rounds * len(requesters))]
+        for r in requesters:
+            assert grants.count(r) == rounds
+
+
+class TestMeshProperties:
+    @FAST_SETTINGS
+    @given(w=st.integers(2, 9), h=st.integers(2, 9), data=st.data())
+    def test_xy_route_path_minimal_and_in_mesh(self, w, h, data):
+        mesh = Mesh(w, h)
+        src = data.draw(st.integers(0, mesh.num_nodes - 1))
+        dst = data.draw(st.integers(0, mesh.num_nodes - 1))
+        assume(src != dst)
+        path = route_path(mesh, xy_route, src, dst)
+        assert path[0] == src and path[-1] == dst
+        assert len(path) - 1 == mesh.hop_distance(src, dst)
+        assert all(0 <= n < mesh.num_nodes for n in path)
+
+    @FAST_SETTINGS
+    @given(w=st.integers(2, 9), h=st.integers(2, 9))
+    def test_triangle_inequality(self, w, h):
+        mesh = Mesh(w, h)
+        rng = np.random.default_rng(0)
+        nodes = rng.integers(0, mesh.num_nodes, size=(10, 3))
+        for a, b, c in nodes:
+            assert (mesh.hop_distance(a, c) <= mesh.hop_distance(a, b)
+                    + mesh.hop_distance(b, c))
+
+
+class TestPiProperties:
+    @FAST_SETTINGS
+    @given(ki=st.floats(0.0, 1.0), kp=st.floats(0.0, 1.0),
+           errors=st.lists(st.floats(-100, 100, allow_nan=False),
+                           min_size=1, max_size=50))
+    def test_output_always_clamped(self, ki, kp, errors):
+        pi = PiController(ki=ki, kp=kp, u_min=0.0, u_max=1.0, u_init=0.5)
+        for e in errors:
+            u = pi.step(e)
+            assert 0.0 <= u <= 1.0
+
+    @FAST_SETTINGS
+    @given(errors=st.lists(st.floats(0.001, 10, allow_nan=False),
+                           min_size=1, max_size=30))
+    def test_positive_errors_never_decrease_u(self, errors):
+        pi = PiController(ki=0.05, kp=0.0, u_init=0.0)
+        prev = pi.u
+        for e in errors:
+            u = pi.step(e)
+            assert u >= prev
+            prev = u
+
+
+class TestRmsdLawProperties:
+    @FAST_SETTINGS
+    @given(lam=st.floats(0.0, 1.0), lam_max=st.floats(0.05, 0.9))
+    def test_frequency_always_in_range(self, lam, lam_max):
+        cfg = NocConfig()
+        f = rmsd_frequency(cfg, lam, lam_max)
+        assert cfg.f_min_hz <= f <= cfg.f_max_hz
+
+    @FAST_SETTINGS
+    @given(lam_max=st.floats(0.1, 0.9), frac=st.floats(0.34, 1.0))
+    def test_network_rate_pinned_inside_band(self, lam_max, frac):
+        """For lambda in [lambda_min, lambda_max], lambda_noc == lambda_max."""
+        cfg = NocConfig()
+        lam = lam_max * frac
+        f = rmsd_frequency(cfg, lam, lam_max)
+        assume(cfg.f_min_hz < f < cfg.f_max_hz)
+        lam_noc = lam * cfg.f_node_hz / f
+        assert lam_noc == pytest.approx(lam_max, rel=1e-9)
+
+
+class TestTechnologyProperties:
+    @FAST_SETTINGS
+    @given(f=st.floats(334e6, 999e6))
+    def test_voltage_frequency_inverse(self, f):
+        v = FDSOI_28NM.voltage_for(f)
+        assert FDSOI_28NM.frequency_at(v) == pytest.approx(f, rel=1e-5)
+        assert 0.56 <= v <= 0.90
+
+    @FAST_SETTINGS
+    @given(v1=st.floats(0.56, 0.9), v2=st.floats(0.56, 0.9))
+    def test_frequency_monotone_in_voltage(self, v1, v2):
+        assume(abs(v1 - v2) > 1e-6)
+        lo, hi = sorted((v1, v2))
+        assert FDSOI_28NM.frequency_at(lo) < FDSOI_28NM.frequency_at(hi)
+
+
+class TestClockBridgeProperties:
+    @FAST_SETTINGS
+    @given(periods=st.lists(st.floats(0.5, 5.0), min_size=1, max_size=100))
+    def test_every_node_cycle_delivered_exactly_once(self, periods):
+        """For any network-frequency trajectory, node ticks are a gapless
+        increasing sequence starting at 0."""
+        bridge = NodeClockBridge(1 * GHZ)
+        t = 0.0
+        seen = []
+        for p in periods:
+            t += p
+            seen.extend(bridge.elapsed_node_cycles(t))
+        assert seen == list(range(len(seen)))
+
+
+class TestTrafficMatrixProperties:
+    @FAST_SETTINGS
+    @given(n=st.integers(2, 10), data=st.data())
+    def test_draw_dest_only_hits_nonzero_entries(self, n, data):
+        pairs = data.draw(st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1),
+                      st.floats(0.01, 1.0)),
+            min_size=1, max_size=12))
+        pairs = [(s, d, r) for s, d, r in pairs if s != d]
+        assume(pairs)
+        matrix = TrafficMatrix.from_pairs(n, pairs)
+        rng = np.random.default_rng(0)
+        allowed = {s: {d for ss, d, _ in pairs if ss == s}
+                   for s, _, _ in pairs}
+        for s in allowed:
+            for _ in range(20):
+                assert matrix.draw_dest(s, rng) in allowed[s]
+
+    @FAST_SETTINGS
+    @given(n=st.integers(2, 8), factor=st.floats(0.1, 10.0))
+    def test_scaling_scales_all_rates(self, n, factor):
+        matrix = TrafficMatrix.uniform(n, 0.5)
+        scaled = matrix.scaled(factor)
+        for i in range(n):
+            assert scaled.node_rate(i) == pytest.approx(0.5 * factor)
+
+
+class TestActivityCounterProperties:
+    @FAST_SETTINGS
+    @given(values=st.lists(
+        st.tuples(*[st.integers(0, 10_000)] * len(ACTIVITY_FIELDS)),
+        min_size=2, max_size=2))
+    def test_add_sub_roundtrip(self, values):
+        a = ActivityCounters(**dict(zip(ACTIVITY_FIELDS, values[0])))
+        b = ActivityCounters(**dict(zip(ACTIVITY_FIELDS, values[1])))
+        assert (a + b) - b == a
+        assert (a + b).total_events() == a.total_events() + b.total_events()
+
+
+class TestQueueingProperties:
+    @FAST_SETTINGS
+    @given(phi_min=st.floats(0.1, 0.9), rho_max=st.floats(0.5, 0.95),
+           lam=st.floats(0.01, 0.94))
+    def test_delay_based_never_worse_than_rate_based(self, phi_min,
+                                                     rho_max, lam):
+        """With the target set at the rate-based top-of-range delay,
+        delay-based control is never slower at any load (the paper's
+        trade-off claim in its purest form)."""
+        assume(lam < rho_max)
+        model = SingleServerDvfs(phi_min=phi_min, rho_max=rho_max)
+        target = model.rate_based_delay(rho_max)
+        assume(np.isfinite(target))
+        assert (model.delay_based_delay(lam, target)
+                <= model.rate_based_delay(lam) * (1 + 1e-9))
+
+    @FAST_SETTINGS
+    @given(phi_min=st.floats(0.15, 0.8), rho_max=st.floats(0.5, 0.95))
+    def test_rate_based_peak_is_global_max(self, phi_min, rho_max):
+        model = SingleServerDvfs(phi_min=phi_min, rho_max=rho_max)
+        lam_peak, peak = model.rate_based_peak()
+        for lam in np.linspace(0.01, rho_max * 0.999, 50):
+            assert model.rate_based_delay(float(lam)) <= peak * (1 + 1e-9)
+
+
+class TestSimulatorConservation:
+    """End-to-end property: flits are conserved for arbitrary seeds."""
+
+    @SLOW_SETTINGS
+    @given(seed=st.integers(0, 10_000), rate=st.floats(0.02, 0.25))
+    def test_all_measured_packets_delivered(self, seed, rate):
+        from repro.noc import Simulation
+        from repro.traffic import PatternTraffic, make_pattern
+
+        cfg = NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                        packet_length=2)
+        traffic = PatternTraffic(make_pattern("uniform", cfg.make_mesh()),
+                                 rate)
+        res = Simulation(cfg, traffic, seed=seed).run(150, 300)
+        assert res.complete
+        assert res.measured_delivered == res.measured_created

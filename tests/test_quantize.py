@@ -1,0 +1,68 @@
+"""Unit tests for discrete frequency quantization (paper footnote 2)."""
+
+import pytest
+
+from repro.core import (DmsdController, FixedFrequency, NoDvfs,
+                        QuantizedPolicy, uniform_levels)
+from repro.noc import GHZ, PAPER_BASELINE
+
+from .test_policy import sample
+
+
+class TestUniformLevels:
+    def test_spans_range(self):
+        levels = uniform_levels(PAPER_BASELINE, 4)
+        assert levels[0] == pytest.approx(PAPER_BASELINE.f_min_hz)
+        assert levels[-1] == pytest.approx(PAPER_BASELINE.f_max_hz)
+        assert len(levels) == 4
+
+    def test_evenly_spaced(self):
+        levels = uniform_levels(PAPER_BASELINE, 5)
+        steps = [b - a for a, b in zip(levels, levels[1:])]
+        assert all(s == pytest.approx(steps[0]) for s in steps)
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError):
+            uniform_levels(PAPER_BASELINE, 1)
+
+
+class TestSnap:
+    def test_snaps_up_never_down(self):
+        q = QuantizedPolicy(NoDvfs(), num_levels=4)
+        q.reset(PAPER_BASELINE)
+        for f in (0.4 * GHZ, 0.5 * GHZ, 0.7 * GHZ, 0.95 * GHZ):
+            snapped = q.snap(f)
+            assert snapped >= f - 1e-3
+            assert snapped in q.levels or snapped == q.levels[-1]
+
+    def test_exact_level_unchanged(self):
+        q = QuantizedPolicy(NoDvfs(), num_levels=4)
+        q.reset(PAPER_BASELINE)
+        for level in q.levels:
+            assert q.snap(level) == pytest.approx(level)
+
+    def test_above_top_clips(self):
+        q = QuantizedPolicy(NoDvfs(), num_levels=4)
+        q.reset(PAPER_BASELINE)
+        assert q.snap(2 * GHZ) == q.levels[-1]
+
+
+class TestWrapping:
+    def test_inner_policy_output_is_quantized(self):
+        q = QuantizedPolicy(FixedFrequency(0.6 * GHZ), num_levels=3)
+        f = q.reset(PAPER_BASELINE)
+        # Levels: 1/3, 2/3, 1 GHz; 0.6 snaps up to 2/3.
+        assert q.update(sample()) == pytest.approx(GHZ * 2 / 3)
+
+    def test_reset_returns_snapped_initial(self):
+        q = QuantizedPolicy(FixedFrequency(0.6 * GHZ), num_levels=3)
+        assert q.reset(PAPER_BASELINE) == pytest.approx(GHZ * 2 / 3)
+
+    def test_name_derives_from_inner(self):
+        q = QuantizedPolicy(DmsdController(150.0))
+        assert q.name == "dmsd-q"
+
+    def test_explicit_levels_must_span(self):
+        q = QuantizedPolicy(NoDvfs(), levels=[0.5 * GHZ, 1.0 * GHZ])
+        with pytest.raises(ValueError, match="span"):
+            q.reset(PAPER_BASELINE)

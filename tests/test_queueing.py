@@ -1,0 +1,114 @@
+"""Unit tests for the single-server DVFS queueing model (ref. [12])."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SingleServerDvfs, mm1_sojourn
+
+
+class TestMm1:
+    def test_sojourn_formula(self):
+        assert mm1_sojourn(0.5, 1.0) == pytest.approx(2.0)
+
+    def test_infinite_at_saturation(self):
+        assert mm1_sojourn(1.0, 1.0) == float("inf")
+        assert mm1_sojourn(1.2, 1.0) == float("inf")
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            mm1_sojourn(-0.1, 1.0)
+
+
+class TestRateBasedControl:
+    def test_phi_clips_low(self):
+        model = SingleServerDvfs(phi_min=1 / 3, rho_max=0.9)
+        assert model.rate_based_phi(0.05) == pytest.approx(1 / 3)
+
+    def test_phi_tracks_utilization(self):
+        model = SingleServerDvfs(phi_min=1 / 3, rho_max=0.9)
+        assert model.rate_based_phi(0.45) == pytest.approx(0.5)
+
+    def test_phi_clips_high(self):
+        model = SingleServerDvfs(phi_min=1 / 3, rho_max=0.9)
+        assert model.rate_based_phi(0.95) == 1.0
+
+    def test_lam_min_boundary(self):
+        model = SingleServerDvfs(phi_min=1 / 3, rho_max=0.9)
+        assert model.lam_min == pytest.approx(0.3)
+
+    def test_delay_is_non_monotonic(self):
+        """The anomaly: delay rises to lam_min then falls (Fig. 2(b))."""
+        model = SingleServerDvfs(phi_min=1 / 3, rho_max=0.9)
+        lam_peak, peak = model.rate_based_peak()
+        below = model.rate_based_delay(lam_peak * 0.5)
+        above = model.rate_based_delay(min(0.89, lam_peak * 1.8))
+        assert peak > below
+        assert peak > above
+
+    def test_peak_at_clip_boundary(self):
+        model = SingleServerDvfs(phi_min=1 / 3, rho_max=0.9)
+        lam_peak, _ = model.rate_based_peak()
+        assert lam_peak == pytest.approx(model.lam_min)
+
+    def test_constant_utilization_inside_range(self):
+        """Inside [lam_min, rho_max] the delay falls as 1/lam."""
+        model = SingleServerDvfs(phi_min=1 / 3, rho_max=0.9)
+        for lam in (0.35, 0.5, 0.7):
+            phi = model.rate_based_phi(lam)
+            assert lam / phi == pytest.approx(0.9)
+
+    def test_peak_much_higher_than_no_dvfs(self):
+        """The paper's ~9x blow-up has a queueing-theory analogue."""
+        model = SingleServerDvfs(phi_min=1 / 3, rho_max=0.9)
+        lam_peak, peak = model.rate_based_peak()
+        assert peak / model.no_dvfs_delay(lam_peak) > 5.0
+
+
+class TestDelayBasedControl:
+    def test_meets_target_exactly_in_band(self):
+        model = SingleServerDvfs(phi_min=1 / 3, rho_max=0.9)
+        target = 5.0
+        for lam in (0.3, 0.5, 0.7):
+            phi = model.delay_based_phi(lam, target)
+            if model.phi_min < phi < 1.0:
+                assert model.delay_based_delay(lam, target) \
+                    == pytest.approx(target)
+
+    def test_beats_target_at_low_load(self):
+        """When clipped at phi_min the delay is below target."""
+        model = SingleServerDvfs(phi_min=1 / 3, rho_max=0.9)
+        target = 30.0
+        assert model.delay_based_delay(0.01, target) < target
+
+    def test_delay_based_never_exceeds_rate_based(self):
+        model = SingleServerDvfs(phi_min=1 / 3, rho_max=0.9)
+        target = model.rate_based_delay(0.9)  # rate-based delay at top
+        for lam in np.linspace(0.05, 0.85, 15):
+            assert (model.delay_based_delay(lam, target)
+                    <= model.rate_based_delay(lam) + 1e-9)
+
+    def test_validation(self):
+        model = SingleServerDvfs()
+        with pytest.raises(ValueError):
+            model.delay_based_phi(0.5, 0.0)
+
+
+class TestCurvesAndPower:
+    def test_delay_curves_keys(self):
+        model = SingleServerDvfs()
+        curves = model.delay_curves(np.linspace(0.05, 0.8, 5), target=5.0)
+        assert set(curves) == {"no-dvfs", "rate-based", "delay-based"}
+
+    def test_power_proxy_monotone(self):
+        model = SingleServerDvfs()
+        assert model.power_proxy(0.5) < model.power_proxy(1.0)
+
+    def test_power_proxy_validation(self):
+        with pytest.raises(ValueError):
+            SingleServerDvfs().power_proxy(0.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SingleServerDvfs(phi_min=0.0)
+        with pytest.raises(ValueError):
+            SingleServerDvfs(rho_max=1.0)

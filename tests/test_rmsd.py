@@ -1,0 +1,90 @@
+"""Unit tests for the RMSD policy (paper Sec. III)."""
+
+import pytest
+
+from repro.core import RmsdController, lambda_min_for, rmsd_frequency
+from repro.noc import GHZ, NocConfig, PAPER_BASELINE
+
+from .test_policy import sample
+
+
+class TestFrequencyLaw:
+    def test_eq2_inside_range(self):
+        """Fnoc = Fnode * lambda / lambda_max (paper eq. (2))."""
+        f = rmsd_frequency(PAPER_BASELINE, 0.2, lambda_max=0.4)
+        assert f == pytest.approx(0.5 * GHZ)
+
+    def test_clips_at_f_min(self):
+        f = rmsd_frequency(PAPER_BASELINE, 0.01, lambda_max=0.4)
+        assert f == pytest.approx(PAPER_BASELINE.f_min_hz)
+
+    def test_clips_at_f_max(self):
+        f = rmsd_frequency(PAPER_BASELINE, 0.9, lambda_max=0.4)
+        assert f == pytest.approx(PAPER_BASELINE.f_max_hz)
+
+    def test_at_lambda_max_runs_full_speed(self):
+        f = rmsd_frequency(PAPER_BASELINE, 0.4, lambda_max=0.4)
+        assert f == pytest.approx(PAPER_BASELINE.f_max_hz)
+
+    def test_constant_network_rate_inside_range(self):
+        """lambda_noc = lambda * Fnode/Fnoc stays at lambda_max."""
+        for lam in (0.15, 0.2, 0.3, 0.38):
+            f = rmsd_frequency(PAPER_BASELINE, lam, lambda_max=0.4)
+            lam_noc = lam * PAPER_BASELINE.f_node_hz / f
+            assert lam_noc == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rmsd_frequency(PAPER_BASELINE, 0.2, lambda_max=0.0)
+        with pytest.raises(ValueError):
+            rmsd_frequency(PAPER_BASELINE, -0.1, lambda_max=0.4)
+
+
+class TestLambdaMin:
+    def test_paper_ratio(self):
+        """lambda_min = lambda_max * Fmin/Fmax = lambda_max/3."""
+        lam_min = lambda_min_for(PAPER_BASELINE, 0.42)
+        assert lam_min == pytest.approx(0.14)
+
+    def test_scales_with_f_min(self):
+        cfg = NocConfig(f_min_hz=0.5 * GHZ)
+        assert lambda_min_for(cfg, 0.4) == pytest.approx(0.2)
+
+
+class TestController:
+    def test_tracks_measured_rate(self):
+        ctrl = RmsdController(lambda_max=0.4)
+        ctrl.reset(PAPER_BASELINE)
+        # 0.2 flits/node-cycle measured -> Fnoc = 0.5 GHz.
+        f = ctrl.update(sample(node_lambda_flits=80, node_cycles=100,
+                               num_nodes=4))
+        assert f == pytest.approx(0.5 * GHZ)
+
+    def test_starts_at_f_max(self):
+        ctrl = RmsdController(lambda_max=0.4)
+        assert ctrl.reset(PAPER_BASELINE) == PAPER_BASELINE.f_max_hz
+
+    def test_smoothing_damps_jumps(self):
+        smooth = RmsdController(lambda_max=0.4, smoothing=0.8)
+        smooth.reset(PAPER_BASELINE)
+        smooth.update(sample(node_lambda_flits=80, node_cycles=100,
+                             num_nodes=4))          # estimate = 0.2
+        f = smooth.update(sample(node_lambda_flits=160, node_cycles=100,
+                                 num_nodes=4))      # measured jumps to 0.4
+        # EWMA: 0.8*0.2 + 0.2*0.4 = 0.24 -> 0.6 GHz, not 1 GHz.
+        assert f == pytest.approx(0.6 * GHZ)
+
+    def test_memoryless_by_default(self):
+        ctrl = RmsdController(lambda_max=0.4)
+        ctrl.reset(PAPER_BASELINE)
+        ctrl.update(sample(node_lambda_flits=80, node_cycles=100,
+                           num_nodes=4))
+        f = ctrl.update(sample(node_lambda_flits=160, node_cycles=100,
+                               num_nodes=4))
+        assert f == pytest.approx(1.0 * GHZ)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RmsdController(lambda_max=0.0)
+        with pytest.raises(ValueError):
+            RmsdController(lambda_max=0.4, smoothing=1.0)

@@ -1,0 +1,90 @@
+"""Tests for per-router activity tracking and the power map."""
+
+import pytest
+
+from repro.noc import Network, Simulation
+from repro.noc.flit import Packet
+from repro.power import PowerModel, power_heatmap
+from repro.traffic import PatternTraffic, make_pattern
+
+
+def drive(net, cycles):
+    for c in range(cycles):
+        net.step_cycle(c, float(c))
+
+
+class TestPerRouterCounters:
+    def test_only_path_routers_count_traffic(self, tiny_config):
+        """A single 0 -> 2 packet touches only the routers on its path."""
+        net = Network(tiny_config)
+        net.enqueue_packet(Packet(0, 2, tiny_config.packet_length, 0, 0.0))
+        drive(net, 200)
+        # XY path 0 -> 1 -> 2 in a 3x3 mesh.
+        touched = {r.node for r in net.routers
+                   if r.activity.buffer_writes > 0}
+        assert touched == {0, 1, 2}
+
+    def test_aggregate_equals_sum_of_routers(self, tiny_config):
+        net = Network(tiny_config)
+        for dst in (2, 6, 8):
+            net.enqueue_packet(Packet(0, dst, tiny_config.packet_length,
+                                      0, 0.0))
+        drive(net, 400)
+        agg = net.aggregate_activity()
+        manual = net.router_activity_map()[0]
+        for other in net.router_activity_map()[1:]:
+            manual = manual + other
+        assert agg == manual
+
+    def test_aggregate_buffer_writes_count_all_hops(self, tiny_config):
+        net = Network(tiny_config)
+        p = Packet(0, 8, tiny_config.packet_length, 0, 0.0)
+        net.enqueue_packet(p)
+        drive(net, 300)
+        hops = net.mesh.hop_distance(0, 8) + 1
+        assert net.aggregate_activity().buffer_writes \
+            == hops * tiny_config.packet_length
+
+    def test_activity_map_is_a_copy(self, tiny_config):
+        net = Network(tiny_config)
+        net.enqueue_packet(Packet(0, 2, tiny_config.packet_length, 0, 0.0))
+        drive(net, 200)
+        snapshot = net.router_activity_map()
+        before = snapshot[0].buffer_writes
+        net.enqueue_packet(Packet(0, 2, tiny_config.packet_length, 0, 0.0))
+        drive(net, 200)
+        assert snapshot[0].buffer_writes == before
+
+
+class TestRouterPowerMap:
+    def test_map_via_simulation(self, tiny_config):
+        traffic = PatternTraffic(
+            make_pattern("uniform", tiny_config.make_mesh()), 0.1)
+        sim = Simulation(tiny_config, traffic, seed=1)
+        res = sim.run(300, 600)
+        model = PowerModel(tiny_config)
+        per_router = model.router_power_map(
+            sim.network.router_activity_map(),
+            freq_hz=tiny_config.f_max_hz,
+            duration_ns=res.measure_duration_ns)
+        assert len(per_router) == tiny_config.num_nodes
+        assert all(p > 0 for p in per_router)
+        # The centre router of a mesh carries more than the average
+        # uniform through-traffic (short runs are too noisy to demand
+        # it be the strict maximum).
+        mean = sum(per_router) / len(per_router)
+        assert per_router[4] > mean
+
+    def test_map_validates_inputs(self, tiny_config):
+        model = PowerModel(tiny_config)
+        with pytest.raises(ValueError):
+            model.router_power_map([], 1e9, 100.0)
+
+    def test_heatmap_renders(self):
+        text = power_heatmap([1.0, 2.0, 3.0, 4.0], width=2, height=2)
+        assert "peak 4.00" in text
+        assert text.count("\n") == 2
+
+    def test_heatmap_validates_shape(self):
+        with pytest.raises(ValueError):
+            power_heatmap([1.0, 2.0], width=2, height=2)

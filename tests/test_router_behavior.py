@@ -1,0 +1,137 @@
+"""White-box router behaviour tests: contention, exhaustion, backpressure.
+
+These drive the Network with hand-placed packets so specific router
+mechanisms are exercised deterministically: output-port contention in
+switch allocation, VC exhaustion under many concurrent flows, credit
+backpressure chains, and single-flit-per-cycle port bandwidth.
+"""
+
+import pytest
+
+from repro.noc import Network, NocConfig
+from repro.noc.flit import Packet
+from repro.noc.topology import EAST, NUM_PORTS
+
+
+def drive(net, cycles, start=0):
+    for c in range(start, start + cycles):
+        net.step_cycle(c, float(c))
+    return start + cycles
+
+
+class TestOutputContention:
+    def test_port_bandwidth_is_one_flit_per_cycle(self):
+        """Two flows merging onto one link: total throughput caps at 1
+        flit/cycle through the shared output port."""
+        cfg = NocConfig(width=4, height=2, num_vcs=2, vc_buf_depth=4,
+                        packet_length=8)
+        net = Network(cfg)
+        # Flows 0->3 and 4->3: (XY) 0->1->2->3 and 4->5->6->7->3? No:
+        # 4 is (0,1): XY to 3 = (3,0): east along row 1 then north.
+        # Use 0->2 and 4->... simpler: two sources injecting to the
+        # same destination column via the same final link.
+        p1 = Packet(0, 3, 8, 0, 0.0)
+        p2 = Packet(1, 3, 8, 0, 0.0)   # shares links 1->2->3 with p1
+        net.enqueue_packet(p1)
+        net.enqueue_packet(p2)
+        drive(net, 200)
+        assert p1.is_delivered and p2.is_delivered
+        # Serialization through the shared path: the two packets cannot
+        # both finish as fast as one alone would.
+        first = min(p1.ejected_cycle, p2.ejected_cycle)
+        second = max(p1.ejected_cycle, p2.ejected_cycle)
+        assert second >= first + 4
+
+    def test_fairness_between_contending_inputs(self):
+        """Round-robin SA: neither of two long-lived flows starves."""
+        cfg = NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                        packet_length=4)
+        net = Network(cfg)
+        packets = []
+        for i in range(6):
+            # Flows from west (node 3) and from north (node 1) both
+            # crossing router 4 toward node 5.
+            pa = Packet(3, 5, 4, 0, 0.0)
+            pb = Packet(1, 7, 4, 0, 0.0)
+            packets.extend([pa, pb])
+            net.enqueue_packet(pa)
+            net.enqueue_packet(pb)
+        drive(net, 500)
+        assert all(p.is_delivered for p in packets)
+
+
+class TestVcExhaustion:
+    def test_more_flows_than_vcs_still_progress(self):
+        """With 1 VC, concurrent flows time-share the channel."""
+        cfg = NocConfig(width=4, height=2, num_vcs=1, vc_buf_depth=2,
+                        packet_length=4)
+        net = Network(cfg)
+        packets = [Packet(0, 3, 4, 0, 0.0) for _ in range(5)]
+        for p in packets:
+            net.enqueue_packet(p)
+        drive(net, 600)
+        assert all(p.is_delivered for p in packets)
+
+    def test_wormhole_lock_released_on_tail(self):
+        cfg = NocConfig(width=3, height=2, num_vcs=1, vc_buf_depth=2,
+                        packet_length=3)
+        net = Network(cfg)
+        p1 = Packet(0, 2, 3, 0, 0.0)
+        p2 = Packet(0, 2, 3, 0, 0.0)
+        net.enqueue_packet(p1)
+        net.enqueue_packet(p2)
+        drive(net, 300)
+        assert p1.is_delivered and p2.is_delivered
+        for router in net.routers:
+            for port in range(NUM_PORTS):
+                assert all(owner is None
+                           for owner in router.out_vc_owner[port])
+
+
+class TestCreditBackpressure:
+    def test_credits_never_exceed_depth(self):
+        cfg = NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=3,
+                        packet_length=5)
+        net = Network(cfg)
+        for i in range(8):
+            net.enqueue_packet(Packet(0, 8, 5, 0, 0.0))
+            net.enqueue_packet(Packet(2, 6, 5, 0, 0.0))
+        cursor = 0
+        for _ in range(40):
+            cursor = drive(net, 10, cursor)
+            for router in net.routers:
+                for port in (1, 2, 3, 4):
+                    for vc in range(cfg.num_vcs):
+                        credits = router.out_credits[port][vc]
+                        assert 0 <= credits <= cfg.vc_buf_depth
+
+    def test_buffer_occupancy_never_exceeds_capacity(self):
+        cfg = NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                        packet_length=6)
+        net = Network(cfg)
+        for _ in range(10):
+            net.enqueue_packet(Packet(0, 8, 6, 0, 0.0))
+        cursor = 0
+        for _ in range(50):
+            cursor = drive(net, 5, cursor)
+            for router in net.routers:
+                for port_vcs in router.in_vcs:
+                    for vc in port_vcs:
+                        assert len(vc) <= cfg.vc_buf_depth
+
+
+class TestRoutingIntegration:
+    def test_packet_follows_xy_path(self):
+        """The set of routers with activity equals the XY path."""
+        from repro.noc.routing import route_path, xy_route
+
+        cfg = NocConfig(width=4, height=4, num_vcs=2, vc_buf_depth=2,
+                        packet_length=3)
+        net = Network(cfg)
+        p = Packet(1, 14, 3, 0, 0.0)
+        net.enqueue_packet(p)
+        drive(net, 200)
+        expected = set(route_path(net.mesh, xy_route, 1, 14))
+        touched = {r.node for r in net.routers
+                   if r.activity.buffer_writes > 0}
+        assert touched == expected

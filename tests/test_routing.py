@@ -1,0 +1,90 @@
+"""Unit tests for dimension-ordered routing."""
+
+import pytest
+
+from repro.noc.routing import (get_routing_function, route_path, xy_route,
+                               yx_route)
+from repro.noc.topology import EAST, LOCAL, Mesh, NORTH, SOUTH, WEST
+
+
+class TestXyRoute:
+    def test_corrects_x_first(self, mesh4):
+        # from (0,0) to (2,2): must go EAST first under XY.
+        assert xy_route(mesh4, 0, mesh4.node_at(2, 2)) == EAST
+
+    def test_goes_west_when_needed(self, mesh4):
+        assert xy_route(mesh4, mesh4.node_at(3, 0), 0) == WEST
+
+    def test_y_after_x_aligned(self, mesh4):
+        src = mesh4.node_at(2, 0)
+        dst = mesh4.node_at(2, 3)
+        assert xy_route(mesh4, src, dst) == SOUTH
+
+    def test_north_when_above(self, mesh4):
+        src = mesh4.node_at(1, 3)
+        dst = mesh4.node_at(1, 1)
+        assert xy_route(mesh4, src, dst) == NORTH
+
+    def test_local_at_destination(self, mesh4):
+        assert xy_route(mesh4, 5, 5) == LOCAL
+
+
+class TestYxRoute:
+    def test_corrects_y_first(self, mesh4):
+        assert yx_route(mesh4, 0, mesh4.node_at(2, 2)) == SOUTH
+
+    def test_x_after_y_aligned(self, mesh4):
+        src = mesh4.node_at(0, 2)
+        dst = mesh4.node_at(3, 2)
+        assert yx_route(mesh4, src, dst) == EAST
+
+
+class TestRegistry:
+    def test_lookup_known(self):
+        assert get_routing_function("dor_xy") is xy_route
+        assert get_routing_function("dor_yx") is yx_route
+
+    def test_lookup_unknown_raises_with_names(self):
+        with pytest.raises(ValueError, match="dor_xy"):
+            get_routing_function("adaptive")
+
+
+class TestRoutePath:
+    def test_path_is_minimal(self, mesh4):
+        for src in range(mesh4.num_nodes):
+            for dst in range(mesh4.num_nodes):
+                if src == dst:
+                    continue
+                path = route_path(mesh4, xy_route, src, dst)
+                assert len(path) - 1 == mesh4.hop_distance(src, dst)
+
+    def test_path_endpoints(self, mesh4):
+        path = route_path(mesh4, xy_route, 1, 14)
+        assert path[0] == 1
+        assert path[-1] == 14
+
+    def test_path_of_self_is_single_node(self, mesh4):
+        assert route_path(mesh4, xy_route, 3, 3) == [3]
+
+    def test_xy_path_turns_at_most_once(self, mesh4):
+        """XY routing: all x-moves strictly precede all y-moves."""
+        for src in range(mesh4.num_nodes):
+            for dst in range(mesh4.num_nodes):
+                if src == dst:
+                    continue
+                path = route_path(mesh4, xy_route, src, dst)
+                moves = []
+                for a, b in zip(path, path[1:]):
+                    ca, cb = mesh4.coord(a), mesh4.coord(b)
+                    moves.append("x" if ca.y == cb.y else "y")
+                assert "".join(moves).count("xy") <= 1
+                assert "yx" not in "".join(moves)
+
+    def test_xy_and_yx_paths_have_equal_length(self, mesh4):
+        for src in (0, 5, 10):
+            for dst in (15, 3, 12):
+                if src == dst:
+                    continue
+                p1 = route_path(mesh4, xy_route, src, dst)
+                p2 = route_path(mesh4, yx_route, src, dst)
+                assert len(p1) == len(p2)

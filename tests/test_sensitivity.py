@@ -1,0 +1,47 @@
+"""Tests for the Fig. 8 sensitivity-case generator."""
+
+import pytest
+
+from repro.analysis import sensitivity_cases
+from repro.analysis.sensitivity import (BUFFER_VALUES, MESH_VALUES,
+                                        PACKET_VALUES, VC_VALUES)
+from repro.noc import PAPER_BASELINE
+
+
+class TestCases:
+    def test_paper_parameter_families(self):
+        cases = sensitivity_cases(PAPER_BASELINE)
+        assert set(cases) == {"virtual_channels", "vc_buffers",
+                              "packet_size", "mesh_size"}
+
+    def test_paper_values(self):
+        assert VC_VALUES == (2, 4, 8)
+        assert BUFFER_VALUES == (4, 8, 16)
+        assert PACKET_VALUES == (10, 15, 20)
+        assert MESH_VALUES == ((4, 4), (5, 5), (8, 8))
+
+    def test_vc_cases_change_only_vcs(self):
+        cases = sensitivity_cases(PAPER_BASELINE)["virtual_channels"]
+        for case, vcs in zip(cases, VC_VALUES):
+            assert case.config.num_vcs == vcs
+            assert case.config.vc_buf_depth == PAPER_BASELINE.vc_buf_depth
+            assert case.config.width == PAPER_BASELINE.width
+
+    def test_mesh_cases_change_dimensions(self):
+        cases = sensitivity_cases(PAPER_BASELINE)["mesh_size"]
+        dims = [(c.config.width, c.config.height) for c in cases]
+        assert dims == list(MESH_VALUES)
+
+    def test_baseline_is_among_cases(self):
+        """Each family contains the unmodified baseline value."""
+        cases = sensitivity_cases(PAPER_BASELINE)
+        assert any(c.config == PAPER_BASELINE
+                   for c in cases["virtual_channels"])
+        assert any(c.config == PAPER_BASELINE for c in cases["vc_buffers"])
+        assert any(c.config == PAPER_BASELINE for c in cases["packet_size"])
+        assert any(c.config == PAPER_BASELINE for c in cases["mesh_size"])
+
+    def test_labels_are_descriptive(self):
+        cases = sensitivity_cases(PAPER_BASELINE)
+        assert cases["mesh_size"][0].label == "4x4"
+        assert cases["virtual_channels"][0].label == "2 VCs"

@@ -1,0 +1,204 @@
+"""Integration tests for the simulation kernel."""
+
+import pytest
+
+from repro.noc import GHZ, NocConfig, Simulation
+from repro.traffic import MatrixTraffic, PatternTraffic, TrafficMatrix, \
+    make_pattern
+
+
+def uniform_traffic(config, rate):
+    return PatternTraffic(make_pattern("uniform", config.make_mesh()), rate)
+
+
+class TestBasicRun:
+    def test_packets_delivered_and_measured(self, tiny_config):
+        sim = Simulation(tiny_config, uniform_traffic(tiny_config, 0.1),
+                         seed=1)
+        res = sim.run(warmup_cycles=300, measure_cycles=600)
+        assert res.measured_created > 0
+        assert res.measured_delivered == res.measured_created
+        assert res.complete
+
+    def test_latency_close_to_zero_load_at_low_rate(self, tiny_config):
+        sim = Simulation(tiny_config, uniform_traffic(tiny_config, 0.02),
+                         seed=1)
+        res = sim.run(300, 800)
+        zero_load = tiny_config.zero_load_latency_cycles()
+        assert res.mean_latency_cycles == pytest.approx(zero_load,
+                                                        rel=0.45)
+
+    def test_latency_equals_delay_at_full_speed(self, tiny_config):
+        """At Fnoc = 1 GHz one cycle is one ns."""
+        sim = Simulation(tiny_config, uniform_traffic(tiny_config, 0.1),
+                         seed=2)
+        res = sim.run(300, 600)
+        assert res.mean_delay_ns == pytest.approx(res.mean_latency_cycles,
+                                                  rel=1e-6)
+
+    def test_accepted_tracks_offered_below_saturation(self, tiny_config):
+        sim = Simulation(tiny_config, uniform_traffic(tiny_config, 0.1),
+                         seed=3)
+        res = sim.run(400, 1500)
+        assert res.accepted_node_rate == pytest.approx(0.1, rel=0.25)
+        assert not res.saturated
+
+    def test_zero_rate_completes_without_packets(self, tiny_config):
+        sim = Simulation(tiny_config, uniform_traffic(tiny_config, 0.0),
+                         seed=1)
+        res = sim.run(100, 200)
+        assert res.measured_created == 0
+        assert res.mean_latency_cycles is None
+        assert res.complete
+
+    def test_run_parameter_validation(self, tiny_config):
+        sim = Simulation(tiny_config, uniform_traffic(tiny_config, 0.1))
+        with pytest.raises(ValueError):
+            sim.run(warmup_cycles=-1, measure_cycles=100)
+        with pytest.raises(ValueError):
+            sim.run(warmup_cycles=10, measure_cycles=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, tiny_config):
+        results = []
+        for _ in range(2):
+            sim = Simulation(tiny_config,
+                             uniform_traffic(tiny_config, 0.12), seed=99)
+            results.append(sim.run(300, 700))
+        a, b = results
+        assert a.mean_latency_cycles == b.mean_latency_cycles
+        assert a.mean_delay_ns == b.mean_delay_ns
+        assert a.measured_created == b.measured_created
+
+    def test_different_seeds_differ(self, tiny_config):
+        a = Simulation(tiny_config, uniform_traffic(tiny_config, 0.12),
+                       seed=1).run(300, 700)
+        b = Simulation(tiny_config, uniform_traffic(tiny_config, 0.12),
+                       seed=2).run(300, 700)
+        assert a.measured_created != b.measured_created \
+            or a.mean_latency_cycles != b.mean_latency_cycles
+
+
+class TestClockDecoupling:
+    def test_delay_scales_with_slowdown(self, tiny_config):
+        """At Fnoc = Fmax/2, delay in ns ~ 2x the latency in cycles.
+
+        The ratio slightly exceeds 2.0 because packets are created at
+        node-clock instants but picked up at the next network-cycle
+        boundary (sub-cycle alignment), which delay includes and the
+        cycle count does not.
+        """
+        cfg = tiny_config
+        sim = Simulation(cfg, uniform_traffic(cfg, 0.05),
+                         controller=cfg.f_max_hz / 2, seed=5)
+        res = sim.run(400, 800)
+        ratio = res.mean_delay_ns / res.mean_latency_cycles
+        assert 2.0 <= ratio < 2.15
+
+    def test_network_load_rises_when_slowed(self, tiny_config):
+        """Slowing the clock raises latency in cycles (eq. (1))."""
+        fast = Simulation(tiny_config, uniform_traffic(tiny_config, 0.1),
+                          controller=tiny_config.f_max_hz, seed=5
+                          ).run(400, 800)
+        slow = Simulation(tiny_config, uniform_traffic(tiny_config, 0.1),
+                          controller=tiny_config.f_min_hz, seed=5
+                          ).run(400, 800)
+        assert slow.mean_latency_cycles > fast.mean_latency_cycles
+
+    def test_offered_load_independent_of_frequency(self, tiny_config):
+        """Arrival draws live in the node clock: same seed, same packets."""
+        fast = Simulation(tiny_config, uniform_traffic(tiny_config, 0.1),
+                          controller=tiny_config.f_max_hz, seed=7
+                          ).run(400, 800)
+        slow = Simulation(tiny_config, uniform_traffic(tiny_config, 0.1),
+                          controller=tiny_config.f_min_hz, seed=7
+                          ).run(400, 800)
+        # Same node-cycle span => same generation process; the slow run
+        # spans ~3x the node cycles for the same network cycles, so
+        # compare rates rather than counts.
+        fast_rate = fast.measured_created / fast.measure_node_cycles
+        slow_rate = slow.measured_created / slow.measure_node_cycles
+        assert slow_rate == pytest.approx(fast_rate, rel=0.2)
+
+    def test_mean_freq_reflects_fixed_controller(self, tiny_config):
+        sim = Simulation(tiny_config, uniform_traffic(tiny_config, 0.05),
+                         controller=0.5 * GHZ, seed=1)
+        res = sim.run(300, 600)
+        assert res.mean_freq_hz == pytest.approx(0.5 * GHZ)
+
+
+class TestPowerWindows:
+    def test_windows_cover_measurement(self, tiny_config):
+        sim = Simulation(tiny_config, uniform_traffic(tiny_config, 0.1),
+                         seed=1)
+        res = sim.run(300, 600)
+        assert res.power_windows
+        total = sum(w.duration_ns for w in res.power_windows)
+        assert total == pytest.approx(res.measure_duration_ns, rel=1e-9)
+
+    def test_window_activity_nonzero_under_load(self, tiny_config):
+        sim = Simulation(tiny_config, uniform_traffic(tiny_config, 0.1),
+                         seed=1)
+        res = sim.run(300, 600)
+        act = res.power_windows[0].activity
+        assert act.buffer_writes > 0
+        assert act.link_flits > 0
+        assert act.xbar_traversals == act.buffer_reads
+
+    def test_no_windows_outside_measurement(self, tiny_config):
+        """Warmup and drain activity is excluded from power windows."""
+        sim = Simulation(tiny_config, uniform_traffic(tiny_config, 0.1),
+                         seed=1)
+        res = sim.run(300, 600)
+        cycles = sum(w.cycles for w in res.power_windows)
+        assert cycles == res.measure_cycles
+
+
+class TestControlLoop:
+    def test_controller_samples_arrive(self, tiny_config):
+        sim = Simulation(tiny_config, uniform_traffic(tiny_config, 0.1),
+                         seed=1, control_period_node_cycles=200)
+        res = sim.run(300, 600)
+        assert len(res.samples) >= 3
+
+    def test_sample_rate_measurement(self, tiny_config):
+        sim = Simulation(tiny_config, uniform_traffic(tiny_config, 0.15),
+                         seed=1, control_period_node_cycles=300)
+        res = sim.run(600, 1200)
+        lambdas = [s.node_lambda for s in res.samples[1:]]
+        mean = sum(lambdas) / len(lambdas)
+        assert mean == pytest.approx(0.15, rel=0.3)
+
+    def test_invalid_control_period(self, tiny_config):
+        with pytest.raises(ValueError):
+            Simulation(tiny_config, uniform_traffic(tiny_config, 0.1),
+                       control_period_node_cycles=0)
+
+
+class TestSaturatedRun:
+    def test_overload_flags_saturation(self, tiny_config):
+        sim = Simulation(tiny_config, uniform_traffic(tiny_config, 0.9),
+                         seed=1)
+        res = sim.run(300, 600, drain_cycles=800)
+        assert res.saturated
+        assert res.accepted_node_rate < 0.9
+
+    def test_saturated_run_terminates(self, tiny_config):
+        """The drain cap guarantees termination past saturation."""
+        sim = Simulation(tiny_config, uniform_traffic(tiny_config, 0.95),
+                         seed=2)
+        res = sim.run(200, 400, drain_cycles=500)
+        assert res.measured_delivered <= res.measured_created
+
+
+class TestMatrixTrafficRun:
+    def test_single_flow_matrix(self, tiny_config):
+        n = tiny_config.num_nodes
+        matrix = TrafficMatrix.from_pairs(n, [(0, n - 1, 0.2)])
+        sim = Simulation(tiny_config, MatrixTraffic(matrix), seed=4)
+        res = sim.run(300, 900)
+        assert res.measured_created > 0
+        assert res.complete
+        # Only node 0 transmits: offered mean rate is 0.2 / n.
+        assert res.offered_node_rate == pytest.approx(0.2 / n)

@@ -1,0 +1,139 @@
+"""Unit tests for the statistics collector and measurement windows."""
+
+import pytest
+
+from repro.noc.flit import Packet
+from repro.noc.stats import (ACTIVITY_FIELDS, ActivityCounters,
+                             MeasurementSample, PowerWindow,
+                             StatsCollector)
+
+GHZ = 1e9
+
+
+def delivered_packet(latency=30, delay_ns=30.0, measured=True, length=4):
+    p = Packet(0, 1, length, created_cycle=100, created_ns=100.0,
+               measured=measured)
+    p.ejected_cycle = 100 + latency
+    p.ejected_ns = 100.0 + delay_ns
+    return p
+
+
+class TestActivityCounters:
+    def test_starts_at_zero(self):
+        act = ActivityCounters()
+        assert act.total_events() == 0
+
+    def test_kwargs_init(self):
+        act = ActivityCounters(buffer_writes=3, link_flits=2)
+        assert act.buffer_writes == 3
+        assert act.total_events() == 5
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            ActivityCounters(warp_drives=1)
+
+    def test_copy_is_independent(self):
+        a = ActivityCounters(buffer_writes=1)
+        b = a.copy()
+        b.buffer_writes += 1
+        assert a.buffer_writes == 1
+
+    def test_as_dict_covers_all_fields(self):
+        assert set(ActivityCounters().as_dict()) == set(ACTIVITY_FIELDS)
+
+    def test_subtraction(self):
+        a = ActivityCounters(buffer_writes=5, sa_grants=3)
+        b = ActivityCounters(buffer_writes=2, sa_grants=1)
+        d = a - b
+        assert d.buffer_writes == 3
+        assert d.sa_grants == 2
+
+    def test_equality(self):
+        assert ActivityCounters(link_flits=1) == ActivityCounters(
+            link_flits=1)
+        assert ActivityCounters(link_flits=1) != ActivityCounters()
+
+
+class TestStatsCollector:
+    def test_generation_counts(self):
+        stats = StatsCollector()
+        p = Packet(0, 1, 4, 0, 0.0, measured=True)
+        stats.on_packet_generated(p)
+        assert stats.generated_packets == 1
+        assert stats.generated_flits == 4
+        assert stats.measured_created == 1
+
+    def test_unmeasured_packets_not_tagged(self):
+        stats = StatsCollector()
+        stats.on_packet_generated(Packet(0, 1, 4, 0, 0.0))
+        assert stats.measured_created == 0
+
+    def test_delivery_records_measured_only(self):
+        stats = StatsCollector()
+        stats.on_packet_delivered(delivered_packet(measured=True))
+        stats.on_packet_delivered(delivered_packet(measured=False))
+        assert stats.delivered_packets == 2
+        assert stats.measured_delivered == 1
+
+    def test_mean_latency_and_delay(self):
+        stats = StatsCollector()
+        stats.on_packet_delivered(delivered_packet(latency=20,
+                                                   delay_ns=40.0))
+        stats.on_packet_delivered(delivered_packet(latency=40,
+                                                   delay_ns=80.0))
+        assert stats.mean_latency_cycles() == pytest.approx(30.0)
+        assert stats.mean_delay_ns() == pytest.approx(60.0)
+
+    def test_empty_stats_raise(self):
+        stats = StatsCollector()
+        with pytest.raises(RuntimeError):
+            stats.mean_latency_cycles()
+        with pytest.raises(RuntimeError):
+            stats.mean_delay_ns()
+        with pytest.raises(RuntimeError):
+            stats.percentile_latency(0.99)
+
+    def test_percentile(self):
+        stats = StatsCollector()
+        for latency in (10, 20, 30, 40, 100):
+            stats.on_packet_delivered(delivered_packet(latency=latency))
+        assert stats.percentile_latency(0.5) == 30.0
+        assert stats.percentile_latency(0.99) == 100.0
+
+
+class TestMeasurementWindows:
+    def test_take_sample_aggregates_window(self):
+        stats = StatsCollector()
+        stats.on_packet_generated(Packet(0, 1, 4, 0, 0.0))
+        stats.on_packet_delivered(delivered_packet(delay_ns=50.0))
+        sample = stats.take_sample(window_cycles=100,
+                                   window_node_cycles=100,
+                                   window_ns=100.0, freq_hz=1 * GHZ,
+                                   time_ns=100.0, num_nodes=2)
+        assert sample.generated_flits == 4
+        assert sample.delivered_packets == 1
+        assert sample.mean_delay_ns == pytest.approx(50.0)
+        assert sample.node_lambda == pytest.approx(4 / 200)
+
+    def test_take_sample_resets_window(self):
+        stats = StatsCollector()
+        stats.on_packet_generated(Packet(0, 1, 4, 0, 0.0))
+        stats.take_sample(100, 100, 100.0, 1 * GHZ, 100.0, 2)
+        empty = stats.take_sample(100, 100, 100.0, 1 * GHZ, 200.0, 2)
+        assert empty.generated_flits == 0
+        assert empty.mean_delay_ns is None
+
+    def test_lifetime_counters_survive_sampling(self):
+        stats = StatsCollector()
+        stats.on_packet_generated(Packet(0, 1, 4, 0, 0.0, measured=True))
+        stats.take_sample(100, 100, 100.0, 1 * GHZ, 100.0, 2)
+        assert stats.generated_flits == 4
+        assert stats.measured_created == 1
+
+
+class TestPowerWindow:
+    def test_immutable_record(self):
+        w = PowerWindow(duration_ns=10.0, cycles=10, freq_hz=1 * GHZ,
+                        activity=ActivityCounters())
+        with pytest.raises(AttributeError):
+            w.duration_ns = 5.0

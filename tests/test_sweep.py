@@ -1,0 +1,125 @@
+"""Tests for the steady-state sweep machinery."""
+
+import pytest
+
+from repro.analysis import (DmsdSteadyState, FAST, NoDvfsSteadyState,
+                            RmsdSteadyState, SimBudget, run_fixed_point,
+                            run_sweep)
+from repro.noc import GHZ
+from repro.power import PowerModel
+from repro.traffic import PatternTraffic, make_pattern
+
+TINY_BUDGET = SimBudget(200, 500, 1500)
+
+
+@pytest.fixture
+def factory(tiny_config):
+    mesh = tiny_config.make_mesh()
+    pattern = make_pattern("uniform", mesh)
+    return lambda rate: PatternTraffic(pattern, rate)
+
+
+class TestRunFixedPoint:
+    def test_runs_at_requested_frequency(self, tiny_config, factory):
+        res = run_fixed_point(tiny_config, factory(0.05), 0.5 * GHZ,
+                              TINY_BUDGET, seed=1)
+        assert res.mean_freq_hz == pytest.approx(0.5 * GHZ)
+
+    def test_budget_respected(self, tiny_config, factory):
+        res = run_fixed_point(tiny_config, factory(0.05),
+                              tiny_config.f_max_hz, TINY_BUDGET, seed=1)
+        assert res.warmup_cycles == TINY_BUDGET.warmup_cycles
+        assert res.measure_cycles == TINY_BUDGET.measure_cycles
+
+
+class TestStrategies:
+    def test_no_dvfs_is_f_max(self, tiny_config, factory):
+        strat = NoDvfsSteadyState()
+        f = strat.frequency_for(tiny_config, factory(0.1), TINY_BUDGET, 1)
+        assert f == tiny_config.f_max_hz
+
+    def test_rmsd_applies_eq2(self, tiny_config, factory):
+        strat = RmsdSteadyState(lambda_max=0.4)
+        f = strat.frequency_for(tiny_config, factory(0.2), TINY_BUDGET, 1)
+        assert f == pytest.approx(0.5 * GHZ)
+
+    def test_dmsd_low_target_goes_fast(self, tiny_config, factory):
+        """A target below the Fmax delay forces Fmax."""
+        strat = DmsdSteadyState(target_delay_ns=5.0, iterations=3,
+                                search_budget=TINY_BUDGET)
+        f = strat.frequency_for(tiny_config, factory(0.1), TINY_BUDGET, 1)
+        assert f == tiny_config.f_max_hz
+
+    def test_dmsd_loose_target_goes_slow(self, tiny_config, factory):
+        """A target above the Fmin delay allows Fmin."""
+        strat = DmsdSteadyState(target_delay_ns=5000.0, iterations=3,
+                                search_budget=TINY_BUDGET)
+        f = strat.frequency_for(tiny_config, factory(0.05), TINY_BUDGET, 1)
+        assert f == tiny_config.f_min_hz
+
+    def test_dmsd_mid_target_meets_it(self, tiny_config, factory):
+        """The bisected frequency lands the delay near the target."""
+        zero_load = tiny_config.zero_load_latency_cycles()
+        target = 2.2 * zero_load  # ns; reachable between Fmin and Fmax
+        strat = DmsdSteadyState(target_delay_ns=target, iterations=6,
+                                search_budget=TINY_BUDGET)
+        f = strat.frequency_for(tiny_config, factory(0.05), TINY_BUDGET, 1)
+        assert tiny_config.f_min_hz < f < tiny_config.f_max_hz
+        res = run_fixed_point(tiny_config, factory(0.05), f,
+                              TINY_BUDGET, seed=1)
+        assert res.mean_delay_ns == pytest.approx(target, rel=0.25)
+
+    def test_strategy_validation(self):
+        with pytest.raises(ValueError):
+            RmsdSteadyState(lambda_max=0.0)
+        with pytest.raises(ValueError):
+            DmsdSteadyState(target_delay_ns=-1.0)
+        with pytest.raises(ValueError):
+            DmsdSteadyState(target_delay_ns=10.0, iterations=0)
+
+
+class TestRunSweep:
+    def test_sweep_shape(self, tiny_config, factory):
+        series = run_sweep(tiny_config, factory, [0.05, 0.1],
+                           NoDvfsSteadyState(), TINY_BUDGET, seed=1)
+        assert series.policy == "no-dvfs"
+        assert series.xs == [0.05, 0.1]
+        assert len(series.points) == 2
+
+    def test_sweep_has_power(self, tiny_config, factory):
+        pm = PowerModel(tiny_config)
+        series = run_sweep(tiny_config, factory, [0.05],
+                           NoDvfsSteadyState(), TINY_BUDGET, 1, pm)
+        point = series.points[0]
+        assert point.power is not None
+        assert point.power_mw > 0
+
+    def test_delay_grows_with_rate(self, tiny_config, factory):
+        series = run_sweep(tiny_config, factory, [0.03, 0.25],
+                           NoDvfsSteadyState(), TINY_BUDGET, seed=1)
+        d = series.delays_ns()
+        assert d[1] > d[0]
+
+    def test_point_at_picks_nearest(self, tiny_config, factory):
+        series = run_sweep(tiny_config, factory, [0.05, 0.2],
+                           NoDvfsSteadyState(), TINY_BUDGET, seed=1)
+        assert series.point_at(0.19).x == 0.2
+        assert series.point_at(0.01).x == 0.05
+
+    def test_rmsd_frequency_recorded(self, tiny_config, factory):
+        series = run_sweep(tiny_config, factory, [0.1],
+                           RmsdSteadyState(0.4), TINY_BUDGET, seed=1)
+        assert series.points[0].freq_hz == pytest.approx(0.25 * GHZ * 1.3333333, rel=0.05)
+        assert series.points[0].voltage_v < 0.9
+
+
+class TestSimBudget:
+    def test_scaled(self):
+        b = SimBudget(1000, 2000, 4000).scaled(0.5)
+        assert b.warmup_cycles == 500
+        assert b.measure_cycles == 1000
+
+    def test_scaled_floors(self):
+        b = SimBudget(1000, 2000, 4000).scaled(0.01)
+        assert b.warmup_cycles >= 200
+        assert b.measure_cycles >= 400

@@ -1,0 +1,83 @@
+"""Unit tests for the 28-nm FDSOI V–F model (paper Fig. 5)."""
+
+import pytest
+
+from repro.power import FDSOI_28NM, Technology
+from repro.power.technology import VfAnchor
+
+
+class TestAnchors:
+    def test_fit_passes_through_low_anchor(self):
+        assert FDSOI_28NM.frequency_at(0.56) == pytest.approx(333e6,
+                                                              rel=1e-9)
+
+    def test_fit_passes_through_high_anchor(self):
+        assert FDSOI_28NM.frequency_at(0.90) == pytest.approx(1e9,
+                                                              rel=1e-9)
+
+    def test_alpha_in_physical_range(self):
+        """Velocity-saturated short-channel devices: alpha in (1, 2)."""
+        assert 1.0 < FDSOI_28NM.alpha < 2.0
+
+
+class TestFrequencyAt:
+    def test_monotone_increasing(self):
+        freqs = [FDSOI_28NM.frequency_at(v)
+                 for v in (0.56, 0.6, 0.7, 0.8, 0.9)]
+        assert freqs == sorted(freqs)
+        assert len(set(freqs)) == len(freqs)
+
+    def test_zero_below_threshold(self):
+        assert FDSOI_28NM.frequency_at(0.3) == 0.0
+
+
+class TestVoltageFor:
+    def test_inverts_frequency(self):
+        for f in (333e6, 500e6, 750e6, 1e9):
+            v = FDSOI_28NM.voltage_for(f)
+            assert FDSOI_28NM.frequency_at(v) == pytest.approx(f, rel=1e-6)
+
+    def test_clips_at_minimum_voltage(self):
+        assert FDSOI_28NM.voltage_for(100e6) == pytest.approx(0.56)
+
+    def test_rejects_above_maximum(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            FDSOI_28NM.voltage_for(1.5e9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FDSOI_28NM.voltage_for(0.0)
+
+    def test_monotone(self):
+        vs = [FDSOI_28NM.voltage_for(f)
+              for f in (350e6, 500e6, 700e6, 950e6)]
+        assert vs == sorted(vs)
+
+
+class TestVfTable:
+    def test_table_spans_range(self):
+        table = FDSOI_28NM.vf_table(10)
+        assert table[0][0] == pytest.approx(0.56)
+        assert table[-1][0] == pytest.approx(0.90)
+        assert len(table) == 10
+
+    def test_table_validation(self):
+        with pytest.raises(ValueError):
+            FDSOI_28NM.vf_table(1)
+
+
+class TestCustomTechnology:
+    def test_custom_anchors(self):
+        tech = Technology((VfAnchor(0.6, 400e6), VfAnchor(1.0, 1.2e9)),
+                          threshold_v=0.4)
+        assert tech.frequency_at(0.6) == pytest.approx(400e6)
+        assert tech.frequency_at(1.0) == pytest.approx(1.2e9)
+
+    def test_rejects_anchor_below_threshold(self):
+        with pytest.raises(ValueError):
+            Technology((VfAnchor(0.3, 1e8), VfAnchor(0.9, 1e9)),
+                       threshold_v=0.35)
+
+    def test_rejects_non_monotone_anchors(self):
+        with pytest.raises(ValueError):
+            Technology((VfAnchor(0.56, 1e9), VfAnchor(0.9, 333e6)))

@@ -1,0 +1,119 @@
+"""Unit tests for the mesh topology."""
+
+import pytest
+
+from repro.noc.topology import (EAST, LOCAL, Mesh, NORTH, OPPOSITE, SOUTH,
+                                WEST)
+
+
+class TestMeshConstruction:
+    def test_node_count(self):
+        assert Mesh(4, 5).num_nodes == 20
+
+    def test_rejects_degenerate_width(self):
+        with pytest.raises(ValueError):
+            Mesh(1, 4)
+
+    def test_rejects_degenerate_height(self):
+        with pytest.raises(ValueError):
+            Mesh(4, 1)
+
+    def test_minimum_size_allowed(self):
+        assert Mesh(2, 2).num_nodes == 4
+
+
+class TestCoordinates:
+    def test_row_major_numbering(self):
+        mesh = Mesh(4, 4)
+        c = mesh.coord(6)
+        assert (c.x, c.y) == (2, 1)
+
+    def test_coord_roundtrip(self):
+        mesh = Mesh(5, 3)
+        for node in range(mesh.num_nodes):
+            c = mesh.coord(node)
+            assert mesh.node_at(c.x, c.y) == node
+
+    def test_node_at_rejects_outside(self):
+        with pytest.raises(ValueError):
+            Mesh(3, 3).node_at(3, 0)
+
+    def test_coord_rejects_bad_node(self):
+        with pytest.raises(ValueError):
+            Mesh(3, 3).coord(9)
+
+    def test_coord_rejects_negative_node(self):
+        with pytest.raises(ValueError):
+            Mesh(3, 3).coord(-1)
+
+
+class TestNeighbors:
+    def test_east_neighbor(self):
+        mesh = Mesh(3, 3)
+        assert mesh.neighbor(0, EAST) == 1
+
+    def test_south_neighbor(self):
+        mesh = Mesh(3, 3)
+        assert mesh.neighbor(0, SOUTH) == 3
+
+    def test_no_wraparound_west(self):
+        mesh = Mesh(3, 3)
+        assert mesh.neighbor(0, WEST) is None
+
+    def test_no_wraparound_north(self):
+        mesh = Mesh(3, 3)
+        assert mesh.neighbor(0, NORTH) is None
+
+    def test_no_wraparound_east_edge(self):
+        mesh = Mesh(3, 3)
+        assert mesh.neighbor(2, EAST) is None
+
+    def test_local_port_has_no_neighbor(self):
+        mesh = Mesh(3, 3)
+        assert mesh.neighbor(4, LOCAL) is None
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh(3, 3).neighbor(0, 7)
+
+    def test_neighbor_symmetry(self):
+        """Going out a port and back through its opposite returns home."""
+        mesh = Mesh(4, 3)
+        for node in range(mesh.num_nodes):
+            for port, opposite in OPPOSITE.items():
+                nbr = mesh.neighbor(node, port)
+                if nbr is not None:
+                    assert mesh.neighbor(nbr, opposite) == node
+
+
+class TestDistancesAndLinks:
+    def test_hop_distance_manhattan(self):
+        mesh = Mesh(4, 4)
+        assert mesh.hop_distance(0, 15) == 6
+
+    def test_hop_distance_self(self):
+        assert Mesh(3, 3).hop_distance(4, 4) == 0
+
+    def test_hop_distance_symmetric(self):
+        mesh = Mesh(4, 3)
+        for a in range(mesh.num_nodes):
+            for b in range(mesh.num_nodes):
+                assert mesh.hop_distance(a, b) == mesh.hop_distance(b, a)
+
+    def test_link_count(self):
+        # A w x h mesh has 2*(w-1)*h + 2*w*(h-1) directed links.
+        mesh = Mesh(4, 4)
+        assert len(mesh.links()) == 2 * 3 * 4 + 2 * 4 * 3
+
+    def test_links_are_unit_distance(self):
+        mesh = Mesh(3, 4)
+        for src, _port, dst in mesh.links():
+            assert mesh.hop_distance(src, dst) == 1
+
+    def test_average_uniform_distance_2x2(self):
+        # 2x2: distances over ordered pairs: 1,1,2 per node -> mean 4/3.
+        assert Mesh(2, 2).average_uniform_distance() == pytest.approx(4 / 3)
+
+    def test_average_uniform_distance_grows_with_size(self):
+        assert (Mesh(8, 8).average_uniform_distance()
+                > Mesh(4, 4).average_uniform_distance())

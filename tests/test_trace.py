@@ -1,0 +1,98 @@
+"""Tests for per-packet trace export/analysis and ASCII charts."""
+
+import pytest
+
+from repro.analysis import (DelayDistribution, delay_distribution,
+                            packet_records, per_flow_mean_delay,
+                            read_trace_csv, write_trace_csv)
+from repro.experiments import FigureResult, Series, ascii_chart
+from repro.noc import Simulation
+from repro.traffic import PatternTraffic, make_pattern
+
+
+@pytest.fixture
+def finished_sim(tiny_config):
+    traffic = PatternTraffic(
+        make_pattern("uniform", tiny_config.make_mesh()), 0.1)
+    sim = Simulation(tiny_config, traffic, seed=3)
+    result = sim.run(300, 800)
+    return sim, result
+
+
+class TestPacketRecords:
+    def test_measured_records_match_result(self, finished_sim):
+        sim, result = finished_sim
+        records = packet_records(sim.network)
+        assert len(records) == result.measured_delivered
+
+    def test_all_records_include_warmup(self, finished_sim):
+        sim, result = finished_sim
+        all_records = packet_records(sim.network, measured_only=False)
+        assert len(all_records) > result.measured_delivered
+
+    def test_record_fields_consistent(self, finished_sim):
+        sim, _ = finished_sim
+        for record in packet_records(sim.network):
+            assert record["latency_cycles"] == (record["ejected_cycle"]
+                                                - record["created_cycle"])
+            assert record["delay_ns"] == pytest.approx(
+                record["ejected_ns"] - record["created_ns"])
+            assert record["src"] != record["dst"]
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, finished_sim, tmp_path):
+        sim, _ = finished_sim
+        records = packet_records(sim.network)
+        path = tmp_path / "trace.csv"
+        write_trace_csv(records, path)
+        loaded = read_trace_csv(path)
+        assert len(loaded) == len(records)
+        assert loaded[0]["pid"] == records[0]["pid"]
+        assert loaded[0]["delay_ns"] == pytest.approx(
+            records[0]["delay_ns"])
+        assert isinstance(loaded[0]["src"], int)
+
+
+class TestDistribution:
+    def test_summary_ordering(self, finished_sim):
+        sim, _ = finished_sim
+        dist = delay_distribution(packet_records(sim.network))
+        assert dist.p50_ns <= dist.p95_ns <= dist.p99_ns <= dist.max_ns
+        assert dist.count > 0
+        assert "p99" in dist.render()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DelayDistribution.from_delays([])
+
+    def test_per_flow_means(self, finished_sim):
+        sim, _ = finished_sim
+        flows = per_flow_mean_delay(packet_records(sim.network))
+        assert flows
+        for (src, dst), mean in flows.items():
+            assert src != dst
+            assert mean > 0
+
+
+class TestAsciiChart:
+    def test_chart_renders_all_series(self):
+        fig = FigureResult("figX", "demo", "rate", "delay", [
+            Series("a", [0.1, 0.2, 0.3], [10.0, 20.0, 30.0]),
+            Series("b", [0.1, 0.2, 0.3], [30.0, 20.0, 10.0]),
+        ])
+        chart = ascii_chart(fig, width=30, height=8)
+        assert "o=a" in chart and "x=b" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_chart_requires_data(self):
+        fig = FigureResult("figX", "demo", "x", "y",
+                           [Series("a", [0.1], [None])])
+        with pytest.raises(ValueError):
+            ascii_chart(fig)
+
+    def test_flat_series_handled(self):
+        fig = FigureResult("figX", "demo", "x", "y",
+                           [Series("a", [0.1, 0.2], [5.0, 5.0])])
+        chart = ascii_chart(fig, width=20, height=5)
+        assert "o" in chart

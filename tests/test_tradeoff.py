@@ -1,0 +1,84 @@
+"""Tests for trade-off metrics and headline-claim extraction."""
+
+import pytest
+
+from repro.analysis import (SweepSeries, compare_at, energy_delay_product,
+                            headline_claims)
+from repro.analysis.sweep import SweepPoint
+from repro.power import PowerBreakdown
+
+
+def fake_point(policy, x, delay_ns, power_mw):
+    power = PowerBreakdown(power_mw, 0, 0, 0, 0, 0)
+    return SweepPoint(policy=policy, x=x, freq_hz=1e9, voltage_v=0.9,
+                      latency_cycles=delay_ns, delay_ns=delay_ns,
+                      power=power, accepted_rate=x, saturated=False,
+                      result=None)
+
+
+def fake_series(policy, rows):
+    return SweepSeries(policy, [fake_point(policy, x, d, p)
+                                for x, d, p in rows])
+
+
+@pytest.fixture
+def three_policies():
+    return {
+        "no-dvfs": fake_series("no-dvfs", [(0.1, 40, 120), (0.2, 50, 160)]),
+        "rmsd": fake_series("rmsd", [(0.1, 300, 40), (0.2, 280, 60)]),
+        "dmsd": fake_series("dmsd", [(0.1, 150, 50), (0.2, 150, 75)]),
+    }
+
+
+class TestCompareAt:
+    def test_ratios(self, three_policies):
+        cmp2 = compare_at(three_policies, 0.2)
+        assert cmp2.power_ratio("no-dvfs", "dmsd") == pytest.approx(160 / 75)
+        assert cmp2.delay_ratio("rmsd", "dmsd") == pytest.approx(280 / 150)
+
+    def test_named_properties(self, three_policies):
+        cmp2 = compare_at(three_policies, 0.2)
+        assert cmp2.dmsd_power_overhead_pct == pytest.approx(25.0)
+        assert cmp2.rmsd_delay_penalty == pytest.approx(280 / 150)
+        assert cmp2.dvfs_power_saving == pytest.approx(160 / 75)
+
+    def test_nearest_point_used(self, three_policies):
+        cmp2 = compare_at(three_policies, 0.17)
+        assert cmp2.x == 0.17
+        assert cmp2.power_mw["no-dvfs"] == 160
+
+    def test_missing_data_raises(self):
+        series = {"solo": fake_series("solo", [(0.1, None, 10)])}
+        series["solo"].points[0].delay_ns = None
+        with pytest.raises(ValueError):
+            compare_at(series, 0.1)
+
+
+class TestEdp:
+    def test_energy_delay_product(self, three_policies):
+        edp = energy_delay_product(three_policies["dmsd"])
+        assert edp == [(0.1, 150 * 50), (0.2, 150 * 75)]
+
+    def test_dmsd_wins_edp(self, three_policies):
+        """The paper's trade-off argument, in EDP form."""
+        edp_rmsd = dict(energy_delay_product(three_policies["rmsd"]))
+        edp_dmsd = dict(energy_delay_product(three_policies["dmsd"]))
+        for x in (0.1, 0.2):
+            assert edp_dmsd[x] < edp_rmsd[x]
+
+
+class TestHeadlineClaims:
+    def test_claims_computed(self, three_policies):
+        claims = headline_claims(three_policies, [0.1, 0.2],
+                                 reference_x=0.2)
+        assert claims.max_delay_penalty == pytest.approx(2.0)
+        lo, hi = claims.power_overhead_range_pct
+        assert lo == pytest.approx(25.0)
+        assert hi == pytest.approx(25.0)
+        assert claims.nodvfs_over_dmsd_power_at_ref \
+            == pytest.approx(160 / 75)
+
+    def test_empty_positions_raise(self, three_policies):
+        bad = {"dmsd": fake_series("dmsd", [])}
+        with pytest.raises(ValueError):
+            headline_claims(bad, [], reference_x=0.2)
