@@ -35,6 +35,8 @@ from .noc import (GHZ, MHZ, NocConfig, PAPER_BASELINE, SMALL_TEST,
                   SimResult, Simulation)
 from .power import (EnergyParameters, FDSOI_28NM, PowerBreakdown,
                     PowerModel, Technology)
+from .runner import (SweepRunner, UnitCache, UnitResult, WorkUnit,
+                     default_jobs)
 from .traffic import (ApplicationGraph, MatrixTraffic, PatternTraffic,
                       TrafficMatrix, h264_encoder, make_pattern,
                       vce_encoder)
@@ -68,10 +70,15 @@ __all__ = [
     "SimResult",
     "Simulation",
     "SingleServerDvfs",
+    "SweepRunner",
     "SweepSeries",
     "Technology",
     "TrafficMatrix",
+    "UnitCache",
+    "UnitResult",
+    "WorkUnit",
     "__version__",
+    "default_jobs",
     "find_saturation_rate",
     "h264_encoder",
     "make_pattern",

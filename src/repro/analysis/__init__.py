@@ -7,8 +7,8 @@ from .sensitivity import (BUFFER_VALUES, MESH_VALUES, PACKET_VALUES,
                           SensitivityCase, VC_VALUES, sensitivity_cases)
 from .sweep import (DEFAULT, DmsdSteadyState, FAST, NoDvfsSteadyState,
                     RmsdSteadyState, SimBudget, SteadyStateStrategy,
-                    SweepPoint, SweepSeries, THOROUGH, run_fixed_point,
-                    run_sweep)
+                    SweepPoint, SweepSeries, THOROUGH, point_from_unit,
+                    run_fixed_point, run_sweep, sweep_units)
 from .trace import (DelayDistribution, delay_distribution,
                     packet_records, per_flow_mean_delay, read_trace_csv,
                     write_trace_csv)
@@ -45,9 +45,11 @@ __all__ = [
     "mm1_sojourn",
     "packet_records",
     "per_flow_mean_delay",
+    "point_from_unit",
     "read_trace_csv",
     "run_fixed_point",
     "run_sweep",
     "sensitivity_cases",
+    "sweep_units",
     "write_trace_csv",
 ]

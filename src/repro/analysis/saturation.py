@@ -15,9 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..noc.budget import DEFAULT, SimBudget, run_fixed_point
 from ..noc.config import NocConfig
 from ..traffic.injection import TrafficSpec
-from .sweep import DEFAULT, SimBudget, run_fixed_point
 
 
 @dataclass(frozen=True)

@@ -26,40 +26,21 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..core.rmsd import rmsd_frequency
+from ..noc.budget import (DEFAULT, FAST, SimBudget, THOROUGH,
+                          run_fixed_point)
 from ..noc.config import NocConfig
-from ..noc.simulator import SimResult, Simulation
+from ..noc.simulator import SimResult
 from ..power.model import PowerBreakdown, PowerModel
+from ..runner.executor import SweepRunner
+from ..runner.units import UnitResult, WorkUnit
 from ..traffic.injection import TrafficSpec
 
-
-@dataclass(frozen=True)
-class SimBudget:
-    """Cycle budget for one simulation run."""
-
-    warmup_cycles: int = 2000
-    measure_cycles: int = 4000
-    drain_cycles: int = 10000
-
-    def scaled(self, factor: float) -> "SimBudget":
-        return SimBudget(max(200, int(self.warmup_cycles * factor)),
-                         max(400, int(self.measure_cycles * factor)),
-                         max(800, int(self.drain_cycles * factor)))
-
-
-#: Budgets: FAST for benchmarks/sweeps, DEFAULT for normal studies,
-#: THOROUGH for final numbers.
-FAST = SimBudget(1200, 2500, 6000)
-DEFAULT = SimBudget(2000, 4000, 10000)
-THOROUGH = SimBudget(4000, 10000, 30000)
-
-
-def run_fixed_point(config: NocConfig, traffic: TrafficSpec,
-                    freq_hz: float, budget: SimBudget,
-                    seed: int = 1) -> SimResult:
-    """One simulation at a pinned network frequency."""
-    sim = Simulation(config, traffic, controller=freq_hz, seed=seed)
-    return sim.run(budget.warmup_cycles, budget.measure_cycles,
-                   budget.drain_cycles)
+__all__ = [
+    "DEFAULT", "DmsdSteadyState", "FAST", "NoDvfsSteadyState",
+    "RmsdSteadyState", "SimBudget", "SteadyStateStrategy", "SweepPoint",
+    "SweepSeries", "THOROUGH", "point_from_unit", "run_fixed_point",
+    "run_sweep",
+]
 
 
 @dataclass
@@ -120,6 +101,14 @@ class SteadyStateStrategy(ABC):
                       budget: SimBudget, seed: int) -> float:
         """Steady-state network frequency (Hz) for this traffic."""
 
+    def spec_key(self) -> tuple:
+        """Canonical identity tuple (sweep-runner cache/seed key).
+
+        Subclasses with parameters that influence the chosen frequency
+        must extend the tuple with them.
+        """
+        return (self.name,)
+
 
 class NoDvfsSteadyState(SteadyStateStrategy):
     name = "no-dvfs"
@@ -144,6 +133,9 @@ class RmsdSteadyState(SteadyStateStrategy):
         return rmsd_frequency(config, traffic.mean_node_rate(),
                               self.lambda_max)
 
+    def spec_key(self) -> tuple:
+        return (self.name, repr(self.lambda_max))
+
 
 class DmsdSteadyState(SteadyStateStrategy):
     """Bisection for the PI loop's fixed point ``delay(F*) = target``."""
@@ -159,6 +151,13 @@ class DmsdSteadyState(SteadyStateStrategy):
         self.target_delay_ns = target_delay_ns
         self.iterations = iterations
         self.search_budget = search_budget
+
+    def spec_key(self) -> tuple:
+        search = self.search_budget
+        return (self.name, repr(self.target_delay_ns), self.iterations,
+                None if search is None else
+                (search.warmup_cycles, search.measure_cycles,
+                 search.drain_cycles))
 
     def _delay_at(self, config: NocConfig, traffic: TrafficSpec,
                   freq_hz: float, budget: SimBudget, seed: int) -> float:
@@ -191,39 +190,66 @@ class DmsdSteadyState(SteadyStateStrategy):
         return hi
 
 
+def sweep_units(config: NocConfig,
+                traffic_factory: Callable[[float], TrafficSpec],
+                xs: list[float],
+                strategy: SteadyStateStrategy,
+                budget: SimBudget = DEFAULT,
+                seed: int = 1) -> list[WorkUnit]:
+    """The work units of one policy's sweep, one per sweep position."""
+    return [WorkUnit(policy=strategy.name, x=x, config=config,
+                     traffic=traffic_factory(x), strategy=strategy,
+                     budget=budget, run_seed=seed)
+            for x in xs]
+
+
+def point_from_unit(unit_result: UnitResult,
+                    power_model: PowerModel) -> SweepPoint:
+    """Fold one executed unit into a sweep point (adds power figures)."""
+    result = unit_result.result
+    power = (power_model.evaluate(result.power_windows)
+             if result.power_windows else None)
+    return SweepPoint(
+        policy=unit_result.policy,
+        x=unit_result.x,
+        freq_hz=unit_result.freq_hz,
+        voltage_v=power_model.technology.voltage_for(unit_result.freq_hz),
+        latency_cycles=result.mean_latency_cycles,
+        delay_ns=result.mean_delay_ns,
+        power=power,
+        accepted_rate=result.accepted_node_rate,
+        saturated=result.saturated,
+        result=result,
+    )
+
+
 def run_sweep(config: NocConfig,
               traffic_factory: Callable[[float], TrafficSpec],
               xs: list[float],
               strategy: SteadyStateStrategy,
               budget: SimBudget = DEFAULT,
               seed: int = 1,
-              power_model: PowerModel | None = None) -> SweepSeries:
+              power_model: PowerModel | None = None,
+              runner: SweepRunner | None = None) -> SweepSeries:
     """Evaluate one policy at every sweep position.
 
     ``traffic_factory`` maps the sweep coordinate (injection rate or
     app speed) to a traffic spec; ``strategy`` picks each point's
     steady-state frequency; the simulator then measures that operating
     point and, when a ``power_model`` is given, its power breakdown.
+
+    Points are independent work units submitted through ``runner`` (a
+    serial, uncached :class:`~repro.runner.SweepRunner` by default).
+    Results are identical for any worker count: every unit's random
+    stream derives from ``seed`` and the unit's own spec, never from
+    the execution schedule.
     """
     if power_model is None:
         power_model = PowerModel(config)
-    points = []
-    for x in xs:
-        traffic = traffic_factory(x)
-        freq = strategy.frequency_for(config, traffic, budget, seed)
-        result = run_fixed_point(config, traffic, freq, budget, seed)
-        power = (power_model.evaluate(result.power_windows)
-                 if result.power_windows else None)
-        points.append(SweepPoint(
-            policy=strategy.name,
-            x=x,
-            freq_hz=freq,
-            voltage_v=power_model.technology.voltage_for(freq),
-            latency_cycles=result.mean_latency_cycles,
-            delay_ns=result.mean_delay_ns,
-            power=power,
-            accepted_rate=result.accepted_node_rate,
-            saturated=result.saturated,
-            result=result,
-        ))
+    if runner is None:
+        runner = SweepRunner(jobs=1)
+    units = sweep_units(config, traffic_factory, xs, strategy, budget,
+                        seed)
+    points = [point_from_unit(out, power_model)
+              for out in runner.run(units)]
     return SweepSeries(policy=strategy.name, points=points)

@@ -4,12 +4,22 @@ Usage::
 
     python -m repro.experiments fig5
     python -m repro.experiments fig2 fig4 fig6
-    python -m repro.experiments --profile full fig7
+    python -m repro.experiments --profile full --jobs 8 fig7
+    python -m repro.experiments --tiny --jobs 2 fig2   # CI smoke run
     python -m repro.experiments all
 
 Prints each regenerated figure as a text table.  Figures sharing
 simulations (2/4/6) share one memoized workbench, so requesting them
 together costs little more than the most expensive one.
+
+``--jobs N`` evaluates sweep points on ``N`` worker processes through
+the parallel sweep runner; results are bit-identical to ``--jobs 1``
+because every work unit derives its own seed from the run seed and the
+unit spec (see :mod:`repro.runner`).  ``--no-cache`` disables the
+runner's per-unit result cache (the workbench still memoizes whole
+sweeps, but nothing is reused across different sweep grids).
+``--tiny`` swaps in a small 3x3 configuration — not the
+paper's numbers, just a fast end-to-end smoke of the whole pipeline.
 """
 
 from __future__ import annotations
@@ -18,7 +28,8 @@ import argparse
 import sys
 import time
 
-from ..noc.config import PAPER_BASELINE
+from ..noc.config import NocConfig, PAPER_BASELINE
+from ..runner import default_jobs, print_progress
 from .common import FULL, QUICK, Workbench
 from .fig2 import figure2
 from .fig4 import figure4
@@ -33,25 +44,32 @@ from .render import render_figures
 FIGURES = ("fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
            "headline")
 
+#: The --tiny smoke configuration: small and fast, same code paths.
+TINY_CONFIG = NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                        packet_length=3)
 
-def run_figure(name: str, bench: Workbench) -> str:
+
+def run_figure(name: str, bench: Workbench,
+               config: NocConfig = PAPER_BASELINE) -> str:
     """Regenerate one figure by name and return its rendering."""
     if name == "fig2":
-        return render_figures(figure2(bench))
+        return render_figures(figure2(bench, config))
     if name == "fig4":
-        return render_figures(figure4(bench))
+        return render_figures(figure4(bench, config))
     if name == "fig5":
         return render_figures([figure5()])
     if name == "fig6":
-        return render_figures([figure6(bench)])
+        return render_figures([figure6(bench, config)])
     if name == "fig7":
-        return render_figures(figure7(bench))
+        # Transpose/tornado need the full panel set only on square
+        # meshes; the standard pattern set works for any config.
+        return render_figures(figure7(bench, config))
     if name == "fig8":
-        return render_figures(figure8(bench))
+        return render_figures(figure8(bench, config))
     if name == "fig10":
-        return render_figures(figure10(bench, PAPER_BASELINE))
+        return render_figures(figure10(bench, config))
     if name == "headline":
-        return headline_report(bench).render()
+        return headline_report(bench, config).render()
     raise ValueError(f"unknown figure {name!r}; known: "
                      f"{', '.join(FIGURES)}")
 
@@ -67,6 +85,20 @@ def main(argv: list[str] | None = None) -> int:
                         default="quick",
                         help="simulation effort (default: quick)")
     parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        metavar="N",
+                        help="worker processes for sweep points "
+                             "(default 1 = serial; 0 = all cores); "
+                             "results are identical for any value")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the per-unit result cache (no "
+                             "simulation reuse across different sweep "
+                             "grids or batched submissions)")
+    parser.add_argument("--tiny", action="store_true",
+                        help="run on a tiny 3x3 mesh (smoke runs/CI, "
+                             "not the paper's numbers)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print per-unit progress to stderr")
     args = parser.parse_args(argv)
 
     names = list(args.figures)
@@ -76,16 +108,26 @@ def main(argv: list[str] | None = None) -> int:
         if name not in FIGURES:
             parser.error(f"unknown figure {name!r}; known: "
                          f"{', '.join(FIGURES)} or 'all'")
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
 
     profile = FULL if args.profile == "full" else QUICK
-    bench = Workbench(profile=profile, seed=args.seed)
+    bench = Workbench(profile=profile, seed=args.seed, jobs=jobs,
+                      unit_cache=not args.no_cache)
+    if args.progress:
+        bench.runner.progress = print_progress
+    config = TINY_CONFIG if args.tiny else PAPER_BASELINE
     for name in names:
         start = time.time()
-        output = run_figure(name, bench)
+        output = run_figure(name, bench, config)
         elapsed = time.time() - start
         print(output)
         print(f"[{name} regenerated in {elapsed:.1f}s]")
         print()
+    totals = bench.runner.totals
+    if totals.total_units:
+        print(f"[runner: {totals.render()}, jobs={jobs}]")
     return 0
 
 

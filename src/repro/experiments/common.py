@@ -20,9 +20,10 @@ from typing import Callable
 from ..analysis.saturation import SaturationEstimate, find_saturation_rate
 from ..analysis.sweep import (DmsdSteadyState, FAST, NoDvfsSteadyState,
                               RmsdSteadyState, SimBudget, SweepSeries,
-                              run_fixed_point, run_sweep)
+                              run_fixed_point, run_sweep, sweep_units)
 from ..noc.config import NocConfig
 from ..power.model import PowerModel
+from ..runner import SweepRunner, UnitCache
 from ..traffic.injection import PatternTraffic, TrafficSpec
 from ..traffic.patterns import make_pattern
 
@@ -58,11 +59,23 @@ def active_profile() -> Profile:
 
 
 class Workbench:
-    """Memoizing driver for policy-comparison experiments."""
+    """Memoizing driver for policy-comparison experiments.
 
-    def __init__(self, profile: Profile | None = None, seed: int = 3) -> None:
+    Simulations are submitted as work units through one shared
+    :class:`~repro.runner.SweepRunner`: ``jobs`` controls how many
+    worker processes evaluate sweep points concurrently (1 = in
+    process), and the runner's unit cache deduplicates simulations
+    across figures on top of the workbench's own series-level memos.
+    Results are independent of ``jobs`` — see :mod:`repro.runner`.
+    """
+
+    def __init__(self, profile: Profile | None = None, seed: int = 3,
+                 jobs: int = 1, unit_cache: bool = True,
+                 runner: SweepRunner | None = None) -> None:
         self.profile = profile or active_profile()
         self.seed = seed
+        self.runner = runner if runner is not None else SweepRunner(
+            jobs=jobs, cache=UnitCache() if unit_cache else None)
         self._saturation: dict = {}
         self._target: dict = {}
         self._sweeps: dict = {}
@@ -146,13 +159,30 @@ class Workbench:
                 config, self.pattern_factory(config, pattern), list(rates),
                 self.strategy_for(policy, config, pattern),
                 budget=self.budget_for(config), seed=self.seed,
-                power_model=self.power_model(config))
+                power_model=self.power_model(config), runner=self.runner)
         return self._sweeps[key]
 
     def policy_comparison(self, config: NocConfig, pattern: str,
                           rates: tuple[float, ...]
                           ) -> dict[str, SweepSeries]:
-        """All three policies swept over the same rates."""
+        """All three policies swept over the same rates.
+
+        With a parallel runner the three policies' pending points are
+        submitted as *one* batch, so the worker pool sees
+        ``3 x len(rates)`` independent units instead of three separate
+        sweeps — per-sweep results are then served from the unit cache.
+        """
+        if self.runner.jobs > 1 and self.runner.cache is not None:
+            units = []
+            for policy in POLICIES:
+                if (config, pattern, policy, rates) in self._sweeps:
+                    continue
+                units.extend(sweep_units(
+                    config, self.pattern_factory(config, pattern),
+                    list(rates), self.strategy_for(policy, config, pattern),
+                    self.budget_for(config), self.seed))
+            if units:
+                self.runner.run(units)
         return {policy: self.pattern_sweep(config, pattern, policy, rates)
                 for policy in POLICIES}
 
@@ -165,7 +195,7 @@ class Workbench:
             self._sweeps[cache_key] = run_sweep(
                 config, traffic_factory, list(xs), strategy,
                 budget=self.budget_for(config), seed=self.seed,
-                power_model=self.power_model(config))
+                power_model=self.power_model(config), runner=self.runner)
         return self._sweeps[cache_key]
 
     # --- standard rate grids -----------------------------------------------
@@ -194,8 +224,12 @@ _SHARED: Workbench | None = None
 
 
 def shared_workbench() -> Workbench:
-    """Process-wide workbench (benchmarks reuse each other's runs)."""
+    """Process-wide workbench (benchmarks reuse each other's runs).
+
+    ``REPRO_JOBS`` selects the worker count for the shared runner
+    (default 1, i.e. serial); results do not depend on it.
+    """
     global _SHARED
     if _SHARED is None:
-        _SHARED = Workbench()
+        _SHARED = Workbench(jobs=int(os.environ.get("REPRO_JOBS", "1")))
     return _SHARED

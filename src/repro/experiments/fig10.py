@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from ..analysis.saturation import find_saturation_rate
 from ..analysis.sweep import (DmsdSteadyState, NoDvfsSteadyState,
-                              RmsdSteadyState, run_fixed_point)
+                              RmsdSteadyState)
+from ..noc.budget import run_fixed_point
 from ..noc.config import NocConfig
 from ..traffic.apps import ApplicationGraph, h264_encoder, vce_encoder
 from ..traffic.injection import MatrixTraffic

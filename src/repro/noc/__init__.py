@@ -6,6 +6,7 @@ simulator whose network clock is decoupled from the node clock so that
 global DVFS policies can be studied.
 """
 
+from .budget import DEFAULT, FAST, SimBudget, THOROUGH, run_fixed_point
 from .clock import MultiNodeClockBridge, NetworkClock, NodeClockBridge
 from .config import GHZ, MHZ, NocConfig, PAPER_BASELINE, SMALL_TEST
 from .flit import Flit, Packet, flits_of
@@ -20,7 +21,9 @@ from .topology import EAST, LOCAL, Mesh, NORTH, NUM_PORTS, SOUTH, WEST
 __all__ = [
     "ActivityCounters",
     "Controller",
+    "DEFAULT",
     "EAST",
+    "FAST",
     "Flit",
     "GHZ",
     "LOCAL",
@@ -41,11 +44,14 @@ __all__ = [
     "Router",
     "SMALL_TEST",
     "SOUTH",
+    "SimBudget",
     "SimResult",
     "Simulation",
     "StatsCollector",
+    "THOROUGH",
     "WEST",
     "flits_of",
     "get_routing_function",
     "route_path",
+    "run_fixed_point",
 ]

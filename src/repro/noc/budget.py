@@ -1,0 +1,48 @@
+"""Cycle budgets and single fixed-frequency simulation runs.
+
+A ``SimBudget`` is the warmup/measure/drain cycle allocation of one
+simulator invocation; ``run_fixed_point`` executes one simulation at a
+pinned network frequency under such a budget.  Both used to live in
+``repro.analysis.sweep`` but are simulator-level concepts: the parallel
+runner (``repro.runner``) schedules fixed-point runs without depending
+on the analysis layer, so they sit next to the kernel instead.
+``repro.analysis.sweep`` re-exports them for compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..traffic.injection import TrafficSpec
+from .config import NocConfig
+from .simulator import SimResult, Simulation
+
+
+@dataclass(frozen=True)
+class SimBudget:
+    """Cycle budget for one simulation run."""
+
+    warmup_cycles: int = 2000
+    measure_cycles: int = 4000
+    drain_cycles: int = 10000
+
+    def scaled(self, factor: float) -> "SimBudget":
+        return SimBudget(max(200, int(self.warmup_cycles * factor)),
+                         max(400, int(self.measure_cycles * factor)),
+                         max(800, int(self.drain_cycles * factor)))
+
+
+#: Budgets: FAST for benchmarks/sweeps, DEFAULT for normal studies,
+#: THOROUGH for final numbers.
+FAST = SimBudget(1200, 2500, 6000)
+DEFAULT = SimBudget(2000, 4000, 10000)
+THOROUGH = SimBudget(4000, 10000, 30000)
+
+
+def run_fixed_point(config: NocConfig, traffic: TrafficSpec,
+                    freq_hz: float, budget: SimBudget,
+                    seed: int = 1) -> SimResult:
+    """One simulation at a pinned network frequency."""
+    sim = Simulation(config, traffic, controller=freq_hz, seed=seed)
+    return sim.run(budget.warmup_cycles, budget.measure_cycles,
+                   budget.drain_cycles)

@@ -1,0 +1,33 @@
+"""Parallel sweep runner: deterministic, cached work-unit execution.
+
+Every evaluation figure of the paper is a sweep whose points are
+independent simulations.  This package turns each point into a
+:class:`WorkUnit`, derives a per-unit random seed from the run seed
+and the unit's spec hash (:mod:`repro.runner.seeding`), caches results
+by that hash (:class:`UnitCache`), and executes units serially or on a
+process pool (:class:`SweepRunner`) — with the guarantee that the
+execution mode can never change a result.
+"""
+
+from .cache import CacheStats, UnitCache
+from .executor import (RunReport, RunTotals, SweepRunner, default_jobs,
+                       print_progress)
+from .seeding import derive_unit_seed, unit_generator, unit_seed_sequence
+from .units import FrequencyStrategy, UnitResult, WorkUnit, strategy_key
+
+__all__ = [
+    "CacheStats",
+    "FrequencyStrategy",
+    "RunReport",
+    "RunTotals",
+    "SweepRunner",
+    "UnitCache",
+    "UnitResult",
+    "WorkUnit",
+    "default_jobs",
+    "derive_unit_seed",
+    "print_progress",
+    "strategy_key",
+    "unit_generator",
+    "unit_seed_sequence",
+]

@@ -1,0 +1,72 @@
+"""Per-unit result caching, keyed on the unit spec digest.
+
+The cache sits *below* the sweep layer: any two units with identical
+specs — even when built by different figures, from different traffic
+factory instances, in different submission orders — share one result.
+This is what lets Fig. 2, Fig. 4 and Fig. 6 reuse the same simulations
+(as the paper does) without the figures coordinating with each other.
+
+Only results of completed executions are stored; the cache is
+process-local and unbounded (a full figure campaign is a few hundred
+units, each a few kilobytes of ``SimResult``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .units import UnitResult
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class UnitCache:
+    """In-memory map from unit spec digests to unit results."""
+
+    def __init__(self) -> None:
+        self._results: dict[str, UnitResult] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, digest: str) -> UnitResult | None:
+        """The cached result for ``digest``, marked ``from_cache``."""
+        found = self._results.get(digest)
+        if found is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        return found.cached()
+
+    def put(self, result: UnitResult) -> None:
+        self._results[result.digest] = result
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._results
+
+    def clear(self) -> None:
+        self._results.clear()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self._hits, misses=self._misses,
+                          size=len(self._results))

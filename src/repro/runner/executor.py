@@ -1,0 +1,214 @@
+"""The sweep runner: cached, parallel execution of work units.
+
+``SweepRunner.run`` takes a list of :class:`~repro.runner.units.WorkUnit`
+and returns their results *in submission order*.  Under the hood it
+
+1. serves every unit whose spec digest is already in the
+   :class:`~repro.runner.cache.UnitCache`;
+2. executes the remaining unique units — serially for ``jobs=1``, or
+   on a ``ProcessPoolExecutor`` with ``jobs`` workers otherwise;
+3. reports progress and timing through an optional callback and a
+   :class:`RunReport`.
+
+Determinism: each unit carries its own derived seed (see
+:mod:`repro.runner.seeding`), so the parallel schedule can never leak
+into the results — ``jobs=8`` is bit-identical to ``jobs=1``.  If the
+host cannot create a process pool (restricted sandboxes, missing
+semaphores) or the pool dies mid-run, the runner falls back to serial
+execution of whatever is left, with identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .cache import UnitCache
+from .units import UnitResult, WorkUnit
+
+#: Progress callback signature: (units done, units total, latest result).
+ProgressFn = Callable[[int, int, UnitResult], None]
+
+
+def _execute_unit(unit: WorkUnit) -> UnitResult:
+    """Top-level trampoline so units cross process boundaries."""
+    return unit.execute()
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this host (at least 1).
+
+    Prefers the scheduling affinity mask over the raw core count so
+    containers with a CPU quota don't oversubscribe.
+    """
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux platforms
+        cores = os.cpu_count() or 1
+    return max(1, cores)
+
+
+def print_progress(done: int, total: int, latest: UnitResult) -> None:
+    """Simple stderr progress line, usable as a ``progress`` callback."""
+    origin = "cache" if latest.from_cache else f"{latest.elapsed_s:.1f}s"
+    print(f"  [{done}/{total}] {latest.policy} @ x={latest.x:.4g} "
+          f"({origin})", file=sys.stderr)
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Timing and accounting of one ``SweepRunner.run`` call."""
+
+    total_units: int
+    executed: int
+    cache_hits: int
+    jobs: int
+    parallel: bool
+    elapsed_s: float
+    #: summed single-unit execution time; with ``parallel`` this can
+    #: exceed ``elapsed_s`` — the ratio is the realized speedup
+    busy_s: float = 0.0
+
+    @property
+    def units_per_s(self) -> float:
+        return self.executed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Realized parallel speedup over running the same units serially."""
+        return self.busy_s / self.elapsed_s if self.elapsed_s > 0 else 1.0
+
+    def render(self) -> str:
+        mode = (f"{self.jobs} workers" if self.parallel else "serial")
+        return (f"{self.total_units} units ({self.cache_hits} cached, "
+                f"{self.executed} run, {mode}) in {self.elapsed_s:.1f}s"
+                + (f", speedup {self.speedup:.1f}x" if self.parallel
+                   else ""))
+
+
+@dataclass
+class RunTotals:
+    """Accumulated accounting across every run of one runner."""
+
+    total_units: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    elapsed_s: float = 0.0
+    busy_s: float = 0.0
+    reports: list[RunReport] = field(default_factory=list)
+
+    def add(self, report: RunReport) -> None:
+        self.total_units += report.total_units
+        self.executed += report.executed
+        self.cache_hits += report.cache_hits
+        self.elapsed_s += report.elapsed_s
+        self.busy_s += report.busy_s
+        self.reports.append(report)
+
+    def render(self) -> str:
+        return (f"{self.total_units} units total, "
+                f"{self.cache_hits} cache hits, "
+                f"{self.executed} executed in {self.elapsed_s:.1f}s")
+
+
+class SweepRunner:
+    """Executes work units with caching and optional parallelism.
+
+    ``jobs=1`` (the default) runs everything in-process — no pool, no
+    pickling, no surprises.  ``jobs=N`` fans unique units out to ``N``
+    worker processes.  ``cache=None`` disables result caching.
+    """
+
+    def __init__(self, jobs: int = 1, cache: UnitCache | None = None,
+                 progress: ProgressFn | None = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+        self.last_report: RunReport | None = None
+        self.totals = RunTotals()
+
+    # ------------------------------------------------------------------
+    def run(self, units: Sequence[WorkUnit]) -> list[UnitResult]:
+        """Execute every unit; results come back in submission order."""
+        start = time.perf_counter()
+        digests = [u.digest() for u in units]
+        results: list[UnitResult | None] = [None] * len(units)
+
+        cache_hits = 0
+        pending: dict[str, list[int]] = {}  # digest -> unit indices
+        for i, (unit, digest) in enumerate(zip(units, digests)):
+            found = self.cache.get(digest) if self.cache is not None else None
+            if found is not None:
+                results[i] = found
+                cache_hits += 1
+            else:
+                pending.setdefault(digest, []).append(i)
+
+        todo = [units[indices[0]] for indices in pending.values()]
+        done_count = cache_hits
+        busy_s = 0.0
+
+        def finish(result: UnitResult) -> None:
+            nonlocal done_count, busy_s
+            busy_s += result.elapsed_s
+            if self.cache is not None:
+                self.cache.put(result)
+            indices = pending[result.digest]
+            for i in indices:
+                results[i] = result if i == indices[0] else result.cached()
+            done_count += len(indices)
+            if self.progress is not None:
+                self.progress(done_count, len(units), result)
+
+        remaining = list(todo)
+        if self.jobs > 1 and len(todo) > 1:
+            remaining = self._run_parallel(todo, finish)
+        ran_parallel = len(remaining) < len(todo)
+        for unit in remaining:  # serial path and parallel fallback
+            finish(_execute_unit(unit))
+
+        elapsed = time.perf_counter() - start
+        report = RunReport(
+            total_units=len(units), executed=len(todo),
+            cache_hits=cache_hits, jobs=self.jobs,
+            parallel=ran_parallel, elapsed_s=elapsed, busy_s=busy_s)
+        self.last_report = report
+        self.totals.add(report)
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _run_parallel(self, todo: list[WorkUnit],
+                      finish: Callable[[UnitResult], None]
+                      ) -> list[WorkUnit]:
+        """Run units on a process pool; return whatever still needs
+        running serially (all of ``todo`` when no pool can be made)."""
+        workers = min(self.jobs, len(todo))
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, PermissionError, ValueError):
+            # Hosts without working multiprocessing primitives: the
+            # runner still works, just without the speedup.
+            return list(todo)
+        unfinished = {}
+        try:
+            with pool:
+                for unit in todo:
+                    unfinished[pool.submit(_execute_unit, unit)] = unit
+                pending_futures = set(unfinished)
+                while pending_futures:
+                    finished, pending_futures = wait(
+                        pending_futures, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        finish(future.result())
+                        del unfinished[future]
+        except BrokenProcessPool:
+            return list(unfinished.values())
+        return []

@@ -11,6 +11,7 @@ independent of the DVFS state of the network (Sec. III).
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -33,6 +34,17 @@ class TrafficSpec(ABC):
     @abstractmethod
     def scaled(self, factor: float) -> "TrafficSpec":
         """The same spatial distribution at ``factor`` times the rate."""
+
+    def spec_key(self) -> tuple:
+        """Canonical identity tuple (sweep-runner cache/seed key).
+
+        The default keys on the class name and the exact per-node rate
+        vector.  Subclasses whose destination distribution is not
+        determined by those (it usually isn't) must override.
+        """
+        rates = np.ascontiguousarray(self.node_rates())
+        return (type(self).__name__,
+                hashlib.sha256(rates.tobytes()).hexdigest())
 
     def mean_node_rate(self) -> float:
         """Average offered rate across nodes (the sweep x-axis)."""
@@ -91,6 +103,10 @@ class PiecewiseRateTraffic(TrafficSpec):
     def draw_dest(self, src: int, rng: np.random.Generator) -> int | None:
         return self.base.draw_dest(src, rng)
 
+    def spec_key(self) -> tuple:
+        return ("piecewise", self.base.spec_key(),
+                tuple((c, repr(f)) for c, f in self.steps))
+
     def scaled(self, factor: float) -> "PiecewiseRateTraffic":
         return PiecewiseRateTraffic(self.base.scaled(factor), self.steps)
 
@@ -126,6 +142,10 @@ class PatternTraffic(TrafficSpec):
         d = self.pattern.dest(src, rng)
         return None if d == src else d
 
+    def spec_key(self) -> tuple:
+        return (("pattern",) + tuple(self.pattern.spec_key())
+                + (repr(float(self.node_rate)),))
+
     def scaled(self, factor: float) -> "PatternTraffic":
         return PatternTraffic(self.pattern, self.node_rate * factor)
 
@@ -142,6 +162,9 @@ class MatrixTraffic(TrafficSpec):
 
     def draw_dest(self, src: int, rng: np.random.Generator) -> int | None:
         return self.matrix.draw_dest(src, rng)
+
+    def spec_key(self) -> tuple:
+        return ("matrix", self.matrix.digest())
 
     def scaled(self, factor: float) -> "MatrixTraffic":
         return MatrixTraffic(self.matrix.scaled(factor))

@@ -10,6 +10,8 @@ distributions (sampled on each arrival).
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 
@@ -39,6 +41,12 @@ class TrafficMatrix:
     def node_rate(self, node: int) -> float:
         """Total offered rate from ``node`` (flits / node-cycle)."""
         return float(self._row_sums[node])
+
+    def digest(self) -> str:
+        """Content hash of the matrix (sweep-runner cache identity)."""
+        h = hashlib.sha256(repr(self.rates.shape).encode())
+        h.update(np.ascontiguousarray(self.rates).tobytes())
+        return h.hexdigest()
 
     def max_node_rate(self) -> float:
         """Highest per-node offered rate — the saturation-critical node."""

@@ -40,6 +40,15 @@ class TrafficPattern(ABC):
     def dest(self, src: int, rng: np.random.Generator) -> int:
         """Destination for a packet from ``src`` (may equal ``src``)."""
 
+    def spec_key(self) -> tuple:
+        """Canonical identity of this pattern on its mesh.
+
+        Used by the sweep runner to key unit results: two separately
+        constructed patterns with the same key are interchangeable.
+        Subclasses with extra parameters must extend the tuple.
+        """
+        return (self.name, self.mesh.width, self.mesh.height)
+
     @property
     def is_deterministic(self) -> bool:
         """True when every source always targets the same destination."""
@@ -173,6 +182,9 @@ class HotspotTraffic(TrafficPattern):
             raise ValueError(f"hotspot node {self.hotspot} outside mesh")
         self.fraction = fraction
         self._uniform = UniformTraffic(mesh)
+
+    def spec_key(self) -> tuple:
+        return super().spec_key() + (self.hotspot, repr(self.fraction))
 
     @property
     def is_deterministic(self) -> bool:

@@ -2,11 +2,10 @@
 
 import pytest
 
+from conftest import sample
 from repro.core import DmsdController, PAPER_KI, PAPER_KP, \
     dmsd_target_from_rmsd
 from repro.noc import GHZ, PAPER_BASELINE
-
-from .test_policy import sample
 
 
 class TestGains:

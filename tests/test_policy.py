@@ -2,19 +2,10 @@
 
 import pytest
 
+from conftest import sample
 from repro.core import FixedFrequency, NoDvfs
 from repro.noc import GHZ, NocConfig
 from repro.noc.stats import MeasurementSample
-
-
-def sample(delay_ns=100.0, node_lambda_flits=50, node_cycles=100,
-           num_nodes=4, freq_hz=1 * GHZ):
-    return MeasurementSample(
-        window_cycles=100, window_node_cycles=node_cycles,
-        window_ns=100.0, generated_flits=node_lambda_flits,
-        delivered_packets=10, mean_delay_ns=delay_ns,
-        mean_latency_cycles=delay_ns, freq_hz=freq_hz, time_ns=1000.0,
-        num_nodes=num_nodes)
 
 
 class TestMeasurementSample:

@@ -2,11 +2,10 @@
 
 import pytest
 
+from conftest import sample
 from repro.core import (DmsdController, FixedFrequency, NoDvfs,
                         QuantizedPolicy, uniform_levels)
 from repro.noc import GHZ, PAPER_BASELINE
-
-from .test_policy import sample
 
 
 class TestUniformLevels:

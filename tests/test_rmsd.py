@@ -2,10 +2,9 @@
 
 import pytest
 
+from conftest import sample
 from repro.core import RmsdController, lambda_min_for, rmsd_frequency
 from repro.noc import GHZ, NocConfig, PAPER_BASELINE
-
-from .test_policy import sample
 
 
 class TestFrequencyLaw:

@@ -1,0 +1,128 @@
+"""Golden regression tests for sweep steady-state frequencies.
+
+Pins the operating points the sweeps converge to, so silent changes to
+the steady-state machinery (eq. (2), the DMSD bisection, per-unit seed
+derivation) show up as test failures rather than as drifting figures.
+
+* RMSD: the open-loop law of paper eq. (2) is a pure function —
+  goldens are exact.
+* DMSD: the bisection fixed point ``delay(F*) = target`` depends on
+  the simulator and the derived seeds; goldens were recorded from the
+  runner-era implementation on the tiny 3x3 configuration and carry a
+  small tolerance for float-ordering differences across platforms.
+"""
+
+import pytest
+
+from repro.analysis import (DmsdSteadyState, RmsdSteadyState,
+                            run_fixed_point, run_sweep)
+from repro.core import rmsd_frequency
+from repro.noc import GHZ, PAPER_BASELINE, SimBudget
+from repro.runner import SweepRunner
+from repro.traffic import PatternTraffic, make_pattern
+
+TINY_BUDGET = SimBudget(200, 500, 1500)
+
+#: DMSD target used for every golden below (ns), tiny 3x3 config.
+DMSD_TARGET_NS = 40.0
+GOLDEN_SEED = 11
+GOLDEN_RATES = (0.05, 0.15, 0.25)
+
+#: Steady-state frequencies (GHz) of ``run_sweep`` at GOLDEN_RATES,
+#: DMSD with 6 bisection iterations, recorded at the runner rollout.
+DMSD_GOLDEN_GHZ = (0.333333333, 0.416666667, 0.541666667)
+
+#: And the measured delays (ns) at those operating points.
+DMSD_GOLDEN_DELAY_NS = (33.7897, 36.3779, 39.9364)
+
+#: RMSD steady-state frequencies (GHz) for lambda_max = 0.5: eq. (2)
+#: with clipping at Fmin (exact, simulator-independent).
+RMSD_GOLDEN_GHZ = (1 / 3, 1 / 3, 0.5)
+
+
+@pytest.fixture
+def factory(tiny_config):
+    mesh = tiny_config.make_mesh()
+    pattern = make_pattern("uniform", mesh)
+    return lambda rate: PatternTraffic(pattern, rate)
+
+
+class TestRmsdOpenLoopLaw:
+    """Paper eq. (2) on the 5x5 baseline: exact goldens."""
+
+    @pytest.mark.parametrize("rate,golden_ghz", [
+        (0.05, 1 / 3),          # clipped at Fmin
+        (0.10, 1 / 3),          # boundary: 0.1/0.378 GHz < Fmin
+        (0.20, 0.2 / 0.378),    # interior of the law
+        (0.30, 0.3 / 0.378),
+        (0.378, 1.0),           # lambda_max -> Fmax
+        (0.50, 1.0),            # clipped at Fmax
+    ])
+    def test_eq2_golden(self, rate, golden_ghz):
+        f = rmsd_frequency(PAPER_BASELINE, rate, lambda_max=0.378)
+        assert f == pytest.approx(golden_ghz * GHZ, rel=1e-12)
+
+    def test_sweep_records_eq2_frequencies(self, tiny_config, factory):
+        series = run_sweep(tiny_config, factory, list(GOLDEN_RATES),
+                           RmsdSteadyState(lambda_max=0.5), TINY_BUDGET,
+                           seed=GOLDEN_SEED)
+        for point, golden in zip(series.points, RMSD_GOLDEN_GHZ):
+            assert point.freq_hz == pytest.approx(golden * GHZ, rel=1e-9)
+
+
+class TestDmsdFixedPoint:
+    """The bisection fixed point ``delay(F*) = target`` (eq. Fig. 3)."""
+
+    def _strategy(self):
+        return DmsdSteadyState(target_delay_ns=DMSD_TARGET_NS,
+                               iterations=6, search_budget=TINY_BUDGET)
+
+    def _sweep(self, tiny_config, factory, jobs=1):
+        return run_sweep(tiny_config, factory, list(GOLDEN_RATES),
+                         self._strategy(), TINY_BUDGET, seed=GOLDEN_SEED,
+                         runner=SweepRunner(jobs=jobs))
+
+    def test_steady_state_frequencies_pinned(self, tiny_config, factory):
+        series = self._sweep(tiny_config, factory)
+        for point, golden in zip(series.points, DMSD_GOLDEN_GHZ):
+            # One bisection step of the 6-iteration search resolves
+            # ~1% of the frequency range; allow half a step of drift.
+            assert point.freq_hz == pytest.approx(golden * GHZ, rel=0.006)
+
+    def test_delays_pinned(self, tiny_config, factory):
+        series = self._sweep(tiny_config, factory)
+        for point, golden in zip(series.points, DMSD_GOLDEN_DELAY_NS):
+            assert point.delay_ns == pytest.approx(golden, rel=0.02)
+
+    def test_fixed_point_meets_target(self, tiny_config, factory):
+        """delay(F*) tracks the target wherever F* is interior."""
+        series = self._sweep(tiny_config, factory)
+        for point in series.points:
+            if point.freq_hz > tiny_config.f_min_hz * 1.001:
+                assert point.delay_ns == pytest.approx(DMSD_TARGET_NS,
+                                                       rel=0.25)
+
+    def test_low_load_clips_at_f_min(self, tiny_config, factory):
+        """Even Fmin beats the target at near-zero load -> clamp."""
+        series = self._sweep(tiny_config, factory)
+        assert series.points[0].freq_hz == pytest.approx(
+            tiny_config.f_min_hz)
+
+    def test_golden_holds_under_parallel_execution(self, tiny_config,
+                                                   factory):
+        """The pinned operating points are jobs-independent."""
+        serial = self._sweep(tiny_config, factory, jobs=1)
+        parallel = self._sweep(tiny_config, factory, jobs=2)
+        assert ([p.freq_hz for p in serial.points]
+                == [p.freq_hz for p in parallel.points])
+        assert ([p.delay_ns for p in serial.points]
+                == [p.delay_ns for p in parallel.points])
+
+    def test_strategy_fixed_point_directly(self, tiny_config, factory):
+        """Outside the sweep: bisect, then verify delay(F*) ~ target."""
+        strat = self._strategy()
+        f_star = strat.frequency_for(tiny_config, factory(0.15),
+                                     TINY_BUDGET, seed=GOLDEN_SEED)
+        res = run_fixed_point(tiny_config, factory(0.15), f_star,
+                              TINY_BUDGET, seed=GOLDEN_SEED)
+        assert res.mean_delay_ns == pytest.approx(DMSD_TARGET_NS, rel=0.25)
