@@ -31,8 +31,9 @@ from .analysis import (DmsdSteadyState, NoDvfsSteadyState, RmsdSteadyState,
 from .core import (DmsdController, DvfsPolicy, FixedFrequency, NoDvfs,
                    PiController, QuantizedPolicy, RmsdController,
                    rmsd_frequency)
-from .noc import (GHZ, MHZ, NocConfig, PAPER_BASELINE, SMALL_TEST,
-                  SimResult, Simulation)
+from .noc import (ENGINES, FastNetwork, GHZ, MHZ, NocConfig,
+                  PAPER_BASELINE, SMALL_TEST, SimResult, Simulation,
+                  engine_names, make_engine)
 from .power import (EnergyParameters, FDSOI_28NM, PowerBreakdown,
                     PowerModel, Technology)
 from .runner import (SweepRunner, UnitCache, UnitResult, WorkUnit,
@@ -48,8 +49,10 @@ __all__ = [
     "DmsdController",
     "DmsdSteadyState",
     "DvfsPolicy",
+    "ENGINES",
     "EnergyParameters",
     "FDSOI_28NM",
+    "FastNetwork",
     "FixedFrequency",
     "GHZ",
     "MHZ",
@@ -79,8 +82,10 @@ __all__ = [
     "WorkUnit",
     "__version__",
     "default_jobs",
+    "engine_names",
     "find_saturation_rate",
     "h264_encoder",
+    "make_engine",
     "make_pattern",
     "rmsd_frequency",
     "run_sweep",

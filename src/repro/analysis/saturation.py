@@ -17,6 +17,7 @@ from typing import Callable
 
 from ..noc.budget import DEFAULT, SimBudget, run_fixed_point
 from ..noc.config import NocConfig
+from ..noc.engines import DEFAULT_ENGINE
 from ..traffic.injection import TrafficSpec
 
 
@@ -33,9 +34,11 @@ def is_saturated_at(config: NocConfig, traffic: TrafficSpec,
                     budget: SimBudget, seed: int,
                     zero_load_latency: float,
                     latency_factor: float = 8.0,
-                    accept_tolerance: float = 0.93) -> bool:
+                    accept_tolerance: float = 0.93,
+                    engine: str = DEFAULT_ENGINE) -> bool:
     """Operational saturation test at one offered load."""
-    result = run_fixed_point(config, traffic, config.f_max_hz, budget, seed)
+    result = run_fixed_point(config, traffic, config.f_max_hz, budget,
+                             seed, engine=engine)
     if result.saturated:
         return True
     offered = result.offered_node_rate
@@ -54,7 +57,8 @@ def find_saturation_rate(
         lo: float = 0.02,
         hi: float = 1.0,
         iterations: int = 7,
-        margin: float = 0.9) -> SaturationEstimate:
+        margin: float = 0.9,
+        engine: str = DEFAULT_ENGINE) -> SaturationEstimate:
     """Bisection for the saturation rate; returns it with ``lambda_max``.
 
     ``margin`` is the paper's 10% safety factor:
@@ -66,7 +70,7 @@ def find_saturation_rate(
 
     def saturated(rate: float) -> bool:
         return is_saturated_at(config, traffic_factory(rate), budget,
-                               seed, zero_load)
+                               seed, zero_load, engine=engine)
 
     # Grow the bracket if even `hi` is unsaturated (tiny meshes), or
     # shrink if `lo` already saturates (pathological configs).

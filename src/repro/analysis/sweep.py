@@ -29,6 +29,7 @@ from ..core.rmsd import rmsd_frequency
 from ..noc.budget import (DEFAULT, FAST, SimBudget, THOROUGH,
                           run_fixed_point)
 from ..noc.config import NocConfig
+from ..noc.engines import DEFAULT_ENGINE
 from ..noc.simulator import SimResult
 from ..power.model import PowerBreakdown, PowerModel
 from ..runner.executor import SweepRunner
@@ -98,8 +99,15 @@ class SteadyStateStrategy(ABC):
 
     @abstractmethod
     def frequency_for(self, config: NocConfig, traffic: TrafficSpec,
-                      budget: SimBudget, seed: int) -> float:
-        """Steady-state network frequency (Hz) for this traffic."""
+                      budget: SimBudget, seed: int,
+                      engine: str = DEFAULT_ENGINE) -> float:
+        """Steady-state network frequency (Hz) for this traffic.
+
+        ``engine`` selects the simulation backend for any search
+        simulations the strategy runs; closed-form strategies ignore
+        it.  It never enters the strategy's ``spec_key`` — the work
+        unit already carries the engine in its own spec.
+        """
 
     def spec_key(self) -> tuple:
         """Canonical identity tuple (sweep-runner cache/seed key).
@@ -114,7 +122,8 @@ class NoDvfsSteadyState(SteadyStateStrategy):
     name = "no-dvfs"
 
     def frequency_for(self, config: NocConfig, traffic: TrafficSpec,
-                      budget: SimBudget, seed: int) -> float:
+                      budget: SimBudget, seed: int,
+                      engine: str = DEFAULT_ENGINE) -> float:
         return config.f_max_hz
 
 
@@ -129,7 +138,8 @@ class RmsdSteadyState(SteadyStateStrategy):
         self.lambda_max = lambda_max
 
     def frequency_for(self, config: NocConfig, traffic: TrafficSpec,
-                      budget: SimBudget, seed: int) -> float:
+                      budget: SimBudget, seed: int,
+                      engine: str = DEFAULT_ENGINE) -> float:
         return rmsd_frequency(config, traffic.mean_node_rate(),
                               self.lambda_max)
 
@@ -160,8 +170,10 @@ class DmsdSteadyState(SteadyStateStrategy):
                  search.drain_cycles))
 
     def _delay_at(self, config: NocConfig, traffic: TrafficSpec,
-                  freq_hz: float, budget: SimBudget, seed: int) -> float:
-        result = run_fixed_point(config, traffic, freq_hz, budget, seed)
+                  freq_hz: float, budget: SimBudget, seed: int,
+                  engine: str) -> float:
+        result = run_fixed_point(config, traffic, freq_hz, budget, seed,
+                                 engine=engine)
         if result.mean_delay_ns is None:
             # No deliveries at all: treat as zero delay so the search
             # keeps the frequency low (only happens at ~zero load).
@@ -173,17 +185,21 @@ class DmsdSteadyState(SteadyStateStrategy):
         return result.mean_delay_ns
 
     def frequency_for(self, config: NocConfig, traffic: TrafficSpec,
-                      budget: SimBudget, seed: int) -> float:
+                      budget: SimBudget, seed: int,
+                      engine: str = DEFAULT_ENGINE) -> float:
         search = self.search_budget or budget.scaled(0.6)
         target = self.target_delay_ns
         lo, hi = config.f_min_hz, config.f_max_hz
-        if self._delay_at(config, traffic, lo, search, seed) <= target:
+        if self._delay_at(config, traffic, lo, search, seed,
+                          engine) <= target:
             return lo
-        if self._delay_at(config, traffic, hi, search, seed) > target:
+        if self._delay_at(config, traffic, hi, search, seed,
+                          engine) > target:
             return hi
         for _ in range(self.iterations):
             mid = 0.5 * (lo + hi)
-            if self._delay_at(config, traffic, mid, search, seed) > target:
+            if self._delay_at(config, traffic, mid, search, seed,
+                              engine) > target:
                 lo = mid
             else:
                 hi = mid
@@ -195,11 +211,12 @@ def sweep_units(config: NocConfig,
                 xs: list[float],
                 strategy: SteadyStateStrategy,
                 budget: SimBudget = DEFAULT,
-                seed: int = 1) -> list[WorkUnit]:
+                seed: int = 1,
+                engine: str = DEFAULT_ENGINE) -> list[WorkUnit]:
     """The work units of one policy's sweep, one per sweep position."""
     return [WorkUnit(policy=strategy.name, x=x, config=config,
                      traffic=traffic_factory(x), strategy=strategy,
-                     budget=budget, run_seed=seed)
+                     budget=budget, run_seed=seed, engine=engine)
             for x in xs]
 
 
@@ -230,7 +247,8 @@ def run_sweep(config: NocConfig,
               budget: SimBudget = DEFAULT,
               seed: int = 1,
               power_model: PowerModel | None = None,
-              runner: SweepRunner | None = None) -> SweepSeries:
+              runner: SweepRunner | None = None,
+              engine: str = DEFAULT_ENGINE) -> SweepSeries:
     """Evaluate one policy at every sweep position.
 
     ``traffic_factory`` maps the sweep coordinate (injection rate or
@@ -242,14 +260,16 @@ def run_sweep(config: NocConfig,
     serial, uncached :class:`~repro.runner.SweepRunner` by default).
     Results are identical for any worker count: every unit's random
     stream derives from ``seed`` and the unit's own spec, never from
-    the execution schedule.
+    the execution schedule.  ``engine`` selects the simulation backend
+    per unit and is part of each unit's spec, so cached results never
+    cross engines.
     """
     if power_model is None:
         power_model = PowerModel(config)
     if runner is None:
         runner = SweepRunner(jobs=1)
     units = sweep_units(config, traffic_factory, xs, strategy, budget,
-                        seed)
+                        seed, engine)
     points = [point_from_unit(out, power_model)
               for out in runner.run(units)]
     return SweepSeries(policy=strategy.name, points=points)

@@ -20,6 +20,9 @@ runner's per-unit result cache (the workbench still memoizes whole
 sweeps, but nothing is reused across different sweep grids).
 ``--tiny`` swaps in a small 3x3 configuration — not the
 paper's numbers, just a fast end-to-end smoke of the whole pipeline.
+``--engine fast`` runs every simulation on the vectorized array engine
+(see README "Simulation engines"); results agree with the reference
+engine within the tolerances enforced by the equivalence test suite.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ import sys
 import time
 
 from ..noc.config import NocConfig, PAPER_BASELINE
+from ..noc.engines import DEFAULT_ENGINE, engine_names
 from ..runner import default_jobs, print_progress
 from .common import FULL, QUICK, Workbench
 from .fig2 import figure2
@@ -90,6 +94,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker processes for sweep points "
                              "(default 1 = serial; 0 = all cores); "
                              "results are identical for any value")
+    parser.add_argument("--engine", choices=engine_names(),
+                        default=DEFAULT_ENGINE,
+                        help="simulation backend: 'reference' is the "
+                             "object-per-router model, 'fast' the "
+                             "vectorized array engine (default: "
+                             f"{DEFAULT_ENGINE})")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the per-unit result cache (no "
                              "simulation reuse across different sweep "
@@ -114,7 +124,7 @@ def main(argv: list[str] | None = None) -> int:
 
     profile = FULL if args.profile == "full" else QUICK
     bench = Workbench(profile=profile, seed=args.seed, jobs=jobs,
-                      unit_cache=not args.no_cache)
+                      unit_cache=not args.no_cache, engine=args.engine)
     if args.progress:
         bench.runner.progress = print_progress
     config = TINY_CONFIG if args.tiny else PAPER_BASELINE

@@ -22,6 +22,7 @@ from ..analysis.sweep import (DmsdSteadyState, FAST, NoDvfsSteadyState,
                               RmsdSteadyState, SimBudget, SweepSeries,
                               run_fixed_point, run_sweep, sweep_units)
 from ..noc.config import NocConfig
+from ..noc.engines import DEFAULT_ENGINE
 from ..power.model import PowerModel
 from ..runner import SweepRunner, UnitCache
 from ..traffic.injection import PatternTraffic, TrafficSpec
@@ -67,13 +68,20 @@ class Workbench:
     process), and the runner's unit cache deduplicates simulations
     across figures on top of the workbench's own series-level memos.
     Results are independent of ``jobs`` — see :mod:`repro.runner`.
+
+    ``engine`` selects the simulation backend (``"reference"`` or
+    ``"fast"``) for every simulation the workbench runs — saturation
+    searches, DMSD targets and sweep units alike.  The engine is part
+    of each unit's spec, so unit-cache entries never cross engines.
     """
 
     def __init__(self, profile: Profile | None = None, seed: int = 3,
                  jobs: int = 1, unit_cache: bool = True,
-                 runner: SweepRunner | None = None) -> None:
+                 runner: SweepRunner | None = None,
+                 engine: str = DEFAULT_ENGINE) -> None:
         self.profile = profile or active_profile()
         self.seed = seed
+        self.engine = engine
         self.runner = runner if runner is not None else SweepRunner(
             jobs=jobs, cache=UnitCache() if unit_cache else None)
         self._saturation: dict = {}
@@ -113,7 +121,8 @@ class Workbench:
             self._saturation[key] = find_saturation_rate(
                 config, self.pattern_factory(config, pattern),
                 budget=self.budget_for(config), seed=self.seed,
-                iterations=self.profile.saturation_iterations)
+                iterations=self.profile.saturation_iterations,
+                engine=self.engine)
         return self._saturation[key]
 
     def dmsd_target_ns(self, config: NocConfig, pattern: str) -> float:
@@ -129,7 +138,7 @@ class Workbench:
             traffic = self.pattern_factory(config, pattern)(lam_max)
             result = run_fixed_point(config, traffic, config.f_max_hz,
                                      self.budget_for(config).scaled(1.5),
-                                     self.seed)
+                                     self.seed, engine=self.engine)
             if result.mean_delay_ns is None:
                 raise RuntimeError(
                     "no packets delivered while deriving the DMSD target")
@@ -159,7 +168,8 @@ class Workbench:
                 config, self.pattern_factory(config, pattern), list(rates),
                 self.strategy_for(policy, config, pattern),
                 budget=self.budget_for(config), seed=self.seed,
-                power_model=self.power_model(config), runner=self.runner)
+                power_model=self.power_model(config), runner=self.runner,
+                engine=self.engine)
         return self._sweeps[key]
 
     def policy_comparison(self, config: NocConfig, pattern: str,
@@ -180,7 +190,7 @@ class Workbench:
                 units.extend(sweep_units(
                     config, self.pattern_factory(config, pattern),
                     list(rates), self.strategy_for(policy, config, pattern),
-                    self.budget_for(config), self.seed))
+                    self.budget_for(config), self.seed, self.engine))
             if units:
                 self.runner.run(units)
         return {policy: self.pattern_sweep(config, pattern, policy, rates)
@@ -195,7 +205,8 @@ class Workbench:
             self._sweeps[cache_key] = run_sweep(
                 config, traffic_factory, list(xs), strategy,
                 budget=self.budget_for(config), seed=self.seed,
-                power_model=self.power_model(config), runner=self.runner)
+                power_model=self.power_model(config), runner=self.runner,
+                engine=self.engine)
         return self._sweeps[cache_key]
 
     # --- standard rate grids -----------------------------------------------
@@ -228,8 +239,12 @@ def shared_workbench() -> Workbench:
 
     ``REPRO_JOBS`` selects the worker count for the shared runner
     (default 1, i.e. serial); results do not depend on it.
+    ``REPRO_ENGINE`` selects the simulation backend (default
+    reference).
     """
     global _SHARED
     if _SHARED is None:
-        _SHARED = Workbench(jobs=int(os.environ.get("REPRO_JOBS", "1")))
+        _SHARED = Workbench(
+            jobs=int(os.environ.get("REPRO_JOBS", "1")),
+            engine=os.environ.get("REPRO_ENGINE", DEFAULT_ENGINE))
     return _SHARED

@@ -50,12 +50,12 @@ def _app_strategies(bench: Workbench, app: ApplicationGraph,
         config, traffic_at, budget=bench.budget_for(config),
         seed=bench.seed,
         iterations=bench.profile.saturation_iterations,
-        hi=min(1.0, 3.0 * mean_at_speed1))
+        hi=min(1.0, 3.0 * mean_at_speed1), engine=bench.engine)
     lam_max = est.lambda_max
     result = run_fixed_point(config, traffic_at(lam_max),
                              config.f_max_hz,
                              bench.budget_for(config).scaled(1.5),
-                             bench.seed)
+                             bench.seed, engine=bench.engine)
     target_ns = result.mean_delay_ns
     if target_ns is None:
         raise RuntimeError(f"no packets delivered deriving {app.name} "

@@ -9,6 +9,9 @@ global DVFS policies can be studied.
 from .budget import DEFAULT, FAST, SimBudget, THOROUGH, run_fixed_point
 from .clock import MultiNodeClockBridge, NetworkClock, NodeClockBridge
 from .config import GHZ, MHZ, NocConfig, PAPER_BASELINE, SMALL_TEST
+from .engines import (DEFAULT_ENGINE, ENGINES, Engine, engine_names,
+                      make_engine)
+from .fastsim import FastNetwork
 from .flit import Flit, Packet, flits_of
 from .network import Network
 from .router import Router
@@ -22,8 +25,12 @@ __all__ = [
     "ActivityCounters",
     "Controller",
     "DEFAULT",
+    "DEFAULT_ENGINE",
     "EAST",
+    "ENGINES",
+    "Engine",
     "FAST",
+    "FastNetwork",
     "Flit",
     "GHZ",
     "LOCAL",
@@ -50,8 +57,10 @@ __all__ = [
     "StatsCollector",
     "THOROUGH",
     "WEST",
+    "engine_names",
     "flits_of",
     "get_routing_function",
+    "make_engine",
     "route_path",
     "run_fixed_point",
 ]

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from ..traffic.injection import TrafficSpec
 from .config import NocConfig
+from .engines import DEFAULT_ENGINE
 from .simulator import SimResult, Simulation
 
 
@@ -41,8 +42,10 @@ THOROUGH = SimBudget(4000, 10000, 30000)
 
 def run_fixed_point(config: NocConfig, traffic: TrafficSpec,
                     freq_hz: float, budget: SimBudget,
-                    seed: int = 1) -> SimResult:
+                    seed: int = 1,
+                    engine: str = DEFAULT_ENGINE) -> SimResult:
     """One simulation at a pinned network frequency."""
-    sim = Simulation(config, traffic, controller=freq_hz, seed=seed)
+    sim = Simulation(config, traffic, controller=freq_hz, seed=seed,
+                     engine=engine)
     return sim.run(budget.warmup_cycles, budget.measure_cycles,
                    budget.drain_cycles)

@@ -1,0 +1,80 @@
+"""Engine selection: interchangeable simulation backends.
+
+The simulation kernel (:class:`repro.noc.Simulation`) owns time, clock
+domains, measurement phases and the DVFS control loop; everything that
+happens *inside* the mesh during one cycle is delegated to an engine.
+Two engines ship:
+
+``reference``
+    The object-per-router cycle-level model (:class:`repro.noc.Network`)
+    — readable, introspectable, the ground truth.
+``fast``
+    The array-based batched model
+    (:class:`repro.noc.fastsim.FastNetwork`) — the same flit-level
+    schedule computed with NumPy struct-of-arrays operations, several
+    times faster on paper-scale meshes.
+
+Their statistical equivalence is enforced differentially by
+``tests/test_engine_equivalence.py``; the tolerance contract lives in
+the README ("Simulation engines").
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from .config import NocConfig
+from .fastsim import FastNetwork
+from .flit import Packet
+from .network import Network
+from .stats import ActivityCounters, StatsCollector
+
+#: The default engine: the reference model, bit-compatible with the
+#: pre-engine era (its work-unit digests are unchanged).
+DEFAULT_ENGINE = "reference"
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """What the simulation kernel requires of a mesh engine."""
+
+    stats: StatsCollector
+    current_time_ns: float
+    delivered: list
+
+    def enqueue_packet(self, packet: Packet) -> None:
+        """Accept a freshly generated packet into its source queue."""
+
+    def step_cycle(self, cycle: int, time_ns: float) -> None:
+        """Advance the whole mesh by one network clock cycle."""
+
+    def aggregate_activity(self) -> ActivityCounters:
+        """Cumulative event counters (power-window bookkeeping)."""
+
+    def source_backlog_flits(self) -> int:
+        """Flits generated but not yet injected (saturation signal)."""
+
+    def in_flight_flits(self) -> int:
+        """Flits buffered in routers or traversing links."""
+
+
+ENGINES: dict[str, type] = {
+    "reference": Network,
+    "fast": FastNetwork,
+}
+
+
+def engine_names() -> tuple[str, ...]:
+    """Registered engine names, default first."""
+    return tuple(sorted(ENGINES, key=lambda n: n != DEFAULT_ENGINE))
+
+
+def make_engine(name: str, config: NocConfig) -> Engine:
+    """Instantiate the engine registered under ``name``."""
+    try:
+        cls = ENGINES[name]
+    except KeyError:
+        known = ", ".join(engine_names())
+        raise ValueError(f"unknown engine {name!r}; known: {known}") \
+            from None
+    return cls(config)

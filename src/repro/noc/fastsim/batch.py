@@ -1,0 +1,185 @@
+"""Batched fixed-frequency runs: many sweep points, one engine.
+
+The struct-of-arrays engine is size-agnostic: ``B`` independent sweep
+points become ``B`` disjoint replicas of the mesh inside one
+:class:`FastNetwork` (block-diagonal topology tables), so the per-cycle
+NumPy dispatch overhead — the fast engine's dominant remaining cost —
+is amortized over the whole batch.  This is the engine's intended
+execution mode for sweeps and the one benchmarked into
+``BENCH_kernel.json``.
+
+Every point keeps its own network clock, node-clock bridge, RNG and
+injection process, and the replicas share no simulation state, so each
+per-point result is *identical* to running that point alone with
+``engine="fast"`` (the equivalence suite enforces this).  Two
+restrictions versus the one-run kernel: heterogeneous node clocks are
+not supported, and batched results carry no power windows (per-replica
+activity attribution would cost more than it is worth); delay and
+throughput figures are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...traffic.injection import InjectionProcess, TrafficSpec
+from ..clock import NetworkClock, NodeClockBridge
+from ..config import NocConfig
+from ..flit import Packet
+from .engine import FastNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..budget import SimBudget
+    from ..simulator import SimResult
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """One fixed-frequency simulation of a batched run."""
+
+    traffic: TrafficSpec
+    freq_hz: float
+    seed: int
+
+
+def run_fixed_batch(config: NocConfig, points: list[BatchPoint],
+                    budget: "SimBudget") -> list["SimResult"]:
+    """Run every point at its pinned frequency in one batched engine.
+
+    Returns one :class:`~repro.noc.simulator.SimResult` per point,
+    equal to ``run_fixed_point(..., engine="fast")`` on the same
+    arguments (except for the absent power windows).
+    """
+    # Runtime import: repro.noc.simulator imports the engine registry,
+    # which imports this package.
+    from ..simulator import SimResult
+
+    if config.node_freqs_hz is not None:
+        raise NotImplementedError(
+            "heterogeneous node clocks are not supported in batched runs")
+    count = len(points)
+    if not count:
+        return []
+
+    local_nodes = config.num_nodes
+    packet_length = config.packet_length
+    net = FastNetwork(config, copies=count)
+    clocks = [NetworkClock(p.freq_hz, config.f_min_hz, config.f_max_hz)
+              for p in points]
+    bridges = [NodeClockBridge(config.f_node_hz) for _ in points]
+    injections = [InjectionProcess(p.traffic, packet_length,
+                                   np.random.default_rng(p.seed))
+                  for p in points]
+
+    warmup = budget.warmup_cycles
+    measure = budget.measure_cycles
+    if warmup < 0 or measure < 1:
+        raise ValueError("need warmup >= 0 and measure >= 1 cycles")
+    measure_start = warmup
+    measure_end = warmup + measure
+    hard_end = measure_end + budget.drain_cycles
+
+    times = np.zeros(count)
+    net.time_by_copy = times
+    sims = range(count)
+    tagging = False
+    closed = False
+    complete = [False] * count
+    meas_start_ns = [0.0] * count
+    meas_end_ns = [0.0] * count
+    nc_start = [0] * count
+    nc_end = [0] * count
+    ej_start = [0] * count
+    ej_end = [0] * count
+    bl_start = [0] * count
+    bl_end = [0] * count
+
+    cycle = 0
+    while True:
+        for i in sims:
+            times[i] = clocks[i].time_ns
+        if cycle == measure_start:
+            # Same boundary placement as Simulation.run: snapshots are
+            # taken before this cycle's arrivals and network step.
+            tagging = True
+            for i in sims:
+                meas_start_ns[i] = times[i]
+                nc_start[i] = bridges[i].next_node_cycle
+                ej_start[i] = net.ejected_flits_of(i)
+                bl_start[i] = net.backlog_of(i)
+
+        for i in sims:
+            if complete[i]:
+                # All of this point's measured packets arrived and its
+                # statistics are frozen; stop offering load.
+                continue
+            node_cycles = bridges[i].elapsed_node_cycles(times[i])
+            if len(node_cycles):
+                offset_node = i * local_nodes
+                bridge = bridges[i]
+                for offset, src, dst in \
+                        injections[i].arrivals(len(node_cycles)):
+                    packet = Packet(
+                        offset_node + src, offset_node + dst,
+                        packet_length, created_cycle=cycle,
+                        created_ns=bridge.node_time_ns(
+                            node_cycles.start + offset),
+                        measured=tagging)
+                    net.enqueue_packet(packet)
+
+        net.step_cycle(cycle, 0.0)
+        for clock in clocks:
+            clock.tick()
+        cycle += 1
+
+        if cycle >= measure_end:
+            if not closed:
+                closed = True
+                tagging = False
+                for i in sims:
+                    meas_end_ns[i] = clocks[i].time_ns
+                    nc_end[i] = bridges[i].next_node_cycle
+                    ej_end[i] = net.ejected_flits_of(i)
+                    bl_end[i] = net.backlog_of(i)
+            all_done = True
+            for i in sims:
+                if not complete[i]:
+                    stats = net.stats_by_copy[i]
+                    if stats.measured_delivered >= stats.measured_created:
+                        complete[i] = True
+                    else:
+                        all_done = False
+            if all_done or cycle >= hard_end:
+                break
+
+    results = []
+    for i, point in enumerate(points):
+        stats = net.stats_by_copy[i]
+        delays = stats.measured_delays_ns
+        node_cycles_meas = max(1, nc_end[i] - nc_start[i])
+        results.append(SimResult(
+            config=config,
+            seed=point.seed,
+            offered_node_rate=point.traffic.mean_node_rate(),
+            warmup_cycles=warmup,
+            measure_cycles=measure,
+            mean_latency_cycles=(stats.mean_latency_cycles()
+                                 if delays else None),
+            mean_delay_ns=stats.mean_delay_ns() if delays else None,
+            p99_delay_ns=(float(np.percentile(delays, 99))
+                          if delays else None),
+            mean_hops=stats.mean_hops() if delays else None,
+            measured_created=stats.measured_created,
+            measured_delivered=stats.measured_delivered,
+            complete=complete[i],
+            accepted_node_rate=((ej_end[i] - ej_start[i])
+                                / (node_cycles_meas * local_nodes)),
+            measure_duration_ns=meas_end_ns[i] - meas_start_ns[i],
+            measure_node_cycles=node_cycles_meas,
+            backlog_delta_flits=bl_end[i] - bl_start[i],
+            freq_trace=[(0.0, clocks[i].freq_hz)],
+        ))
+    return results

@@ -1,0 +1,589 @@
+"""The vectorized mesh engine: struct-of-arrays, batched per cycle.
+
+``FastNetwork`` replaces the reference :class:`repro.noc.Network` for
+sweeps where wall-clock speed matters.  Instead of objects per router,
+VC and flit, every piece of state lives in flat NumPy arrays indexed by
+the *VC line* ``line = node * (ports * vcs) + port * vcs + vc``, and
+every router pipeline stage (route computation, VC allocation, switch
+allocation, link traversal, credit return) advances for *all* routers
+at once with batched array operations.  Per-cycle cost is therefore a
+nearly fixed number of NumPy calls, independent of how many flits are
+in flight — the regime where the interpreted reference engine is
+slowest.
+
+The implementation mirrors the reference semantics decision-for-
+decision (same separable input-first allocation, same line-indexed
+round-robin arbiter order, same phase ordering within a cycle, same
+credit and link timing), so the two engines produce the same flit-level
+schedule for the same arrival sequence; only float accumulation order
+differs.  ``tests/test_engine_equivalence.py`` enforces this
+differentially.
+
+Layout notes (all hot state is flat, int64, and preallocated):
+
+* ``credits[line]`` counts credits *toward the downstream input VC*
+  behind output ``(port, vc)`` of ``node`` — the same line indexing as
+  input VCs, reused for the output side.
+* ``out_line[line]``/``out_group[line]`` cache the allocated output
+  credit line and the ``node * P + out_port`` arbiter group of a
+  routed packet, so the per-cycle phases are pure gathers.
+* ``link_base[node * P + port]`` is the line base of the neighbouring
+  router's mirror port; it addresses both flit delivery (downstream
+  input VC) and credit return (upstream output credit), which are the
+  same line by mesh symmetry.
+* Event "calendars" are rings of length ``latency + 1`` holding one
+  batch of arrays per future cycle.
+* Round-robin winners are found with a ``minimum.at`` scoreboard over
+  rotated priorities rather than sorting; priorities are unique within
+  a group, so each group gets exactly one champion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..buffer import ACTIVE, IDLE, ROUTING, VC_ALLOC
+from ..config import NocConfig
+from ..flit import Packet
+from ..routing import get_routing_function
+from ..stats import ActivityCounters, StatsCollector
+from ..topology import LOCAL, NUM_PORTS, OPPOSITE
+
+#: Credit count used for ejection (local) ports — an infinite sink.
+_SINK_CREDITS = 1 << 30
+
+#: Larger than any rotated arbiter priority (scoreboard fill value).
+_NO_REQUEST = 1 << 30
+
+
+class FastNetwork:
+    """Array-based mesh engine, flit-schedule-equivalent to ``Network``.
+
+    ``copies`` instantiates that many *disjoint* replicas of the mesh
+    inside one engine (block-diagonal topology tables): replica ``c``
+    owns global nodes ``c*N .. (c+1)*N - 1``.  Replicas share nothing
+    but the batched NumPy dispatch, so each behaves exactly like a
+    ``copies=1`` engine while the per-cycle interpreter overhead is
+    amortized across the batch — the substrate of
+    :func:`repro.noc.fastsim.run_fixed_batch`.
+    """
+
+    def __init__(self, config: NocConfig, copies: int = 1) -> None:
+        if copies < 1:
+            raise ValueError("need at least one mesh replica")
+        self.config = config
+        self.copies = copies
+        self.mesh = config.make_mesh()
+        self.stats = StatsCollector()
+        #: per-replica statistics; aliases ``stats`` when copies == 1
+        self.stats_by_copy = ([self.stats] if copies == 1 else
+                              [StatsCollector() for _ in range(copies)])
+        #: per-cycle hook set by the kernel to timestamp deliveries
+        self.current_time_ns = 0.0
+        #: per-replica delivery timestamps (batched runs only)
+        self.time_by_copy: np.ndarray | None = None
+        #: packets delivered this run (kernel reads + clears)
+        self.delivered: list[Packet] = []
+
+        local_nodes = self.mesh.num_nodes
+        num_nodes = local_nodes * copies
+        self._NL = local_nodes
+        self._N = num_nodes
+        self._P = NUM_PORTS
+        self._V = config.num_vcs
+        self._D = config.vc_buf_depth
+        self._PV = self._P * self._V
+        self._L = num_nodes * self._PV
+        self._NP = num_nodes * self._P
+        self._route_latency = config.route_latency
+        self._va_latency = config.va_latency
+        self._link_latency = config.link_latency
+        self._credit_latency = config.credit_latency
+
+        lines = np.arange(self._L, dtype=np.int64)
+        self.line_node = lines // self._PV
+        self.line_port = (lines // self._V) % self._P
+
+        # Routing table, flat over (global node * NL + local dest); the
+        # per-replica blocks are identical, so one tile covers all.
+        routing = get_routing_function(config.routing)
+        route = np.empty(local_nodes * local_nodes, dtype=np.int64)
+        for src in range(local_nodes):
+            for dst in range(local_nodes):
+                route[src * local_nodes + dst] = routing(self.mesh, src,
+                                                         dst)
+        self._route_flat = np.tile(route, copies)
+
+        link_base = np.full(local_nodes * self._P, -1, dtype=np.int64)
+        for node in range(local_nodes):
+            for port, opp in OPPOSITE.items():
+                nbr = self.mesh.neighbor(node, port)
+                if nbr is not None:
+                    link_base[node * self._P + port] = (nbr * self._PV
+                                                        + opp * self._V)
+        local_lines = local_nodes * self._PV
+        self._link_base = np.concatenate(
+            [np.where(link_base >= 0, link_base + c * local_lines, -1)
+             for c in range(copies)])
+
+        # --- per-VC state, struct-of-arrays over all L lines ----------
+        self.state = np.full(self._L, IDLE, dtype=np.int8)
+        self.out_port = np.full(self._L, -1, dtype=np.int64)
+        self.out_vc = np.full(self._L, -1, dtype=np.int64)
+        #: cached ``node * P + out_port`` of a routed head (valid while
+        #: the VC is ROUTING/VC_ALLOC/ACTIVE)
+        self.out_group = np.zeros(self._L, dtype=np.int64)
+        #: cached output credit line of the allocated output VC (valid
+        #: while ACTIVE)
+        self.out_line = np.zeros(self._L, dtype=np.int64)
+        self.ready = np.zeros(self._L, dtype=np.int64)
+        self.fifo_head = np.zeros(self._L, dtype=np.int64)
+        self.fifo_len = np.zeros(self._L, dtype=np.int64)
+        self.buf_pid = np.full(self._L * self._D, -1, dtype=np.int64)
+        self.buf_fidx = np.full(self._L * self._D, -1, dtype=np.int64)
+
+        self.credits = np.full(self._L, self._D, dtype=np.int64)
+        self.credits[self.line_port == LOCAL] = _SINK_CREDITS
+        #: which input line owns each output VC line (-1 = free)
+        self.owner = np.full(self._L, -1, dtype=np.int64)
+        self._owner_rows = self.owner.reshape(self._NP, self._V)
+
+        # Round-robin pointers, one per (node, port) arbiter, mirroring
+        # the reference arbiters' line numbering exactly.
+        self.va_ptr = np.zeros(self._NP, dtype=np.int64)
+        self.sa_in_ptr = np.zeros(self._NP, dtype=np.int64)
+        self.sa_out_ptr = np.zeros(self._NP, dtype=np.int64)
+        self._scoreboard = np.empty(self._NP, dtype=np.int64)
+
+        # --- sources --------------------------------------------------
+        self.queues: list[deque[int]] = [deque() for _ in range(num_nodes)]
+        self.queue_ready = np.zeros(num_nodes, dtype=bool)
+        self.cur_lid = np.full(num_nodes, -1, dtype=np.int64)
+        self.cur_len = np.zeros(num_nodes, dtype=np.int64)
+        self.cur_sent = np.zeros(num_nodes, dtype=np.int64)
+        self.cur_vc = np.zeros(num_nodes, dtype=np.int64)
+        self.src_rr = np.zeros(num_nodes, dtype=np.int64)
+        self.src_credits = np.full(num_nodes * self._V, self._D,
+                                   dtype=np.int64)
+        self.node_base = np.arange(num_nodes, dtype=np.int64) * self._PV
+        self._queued_packets = 0
+
+        # --- packet store (amortized-doubling arrays + object list) ---
+        self.packets: list[Packet] = []
+        self.pkt_dst = np.zeros(1024, dtype=np.int64)
+        self.pkt_len = np.zeros(1024, dtype=np.int64)
+        self.pkt_hops = np.zeros(1024, dtype=np.int64)
+
+        # --- event rings ----------------------------------------------
+        self._flit_horizon = config.link_latency + 1
+        self._credit_horizon = config.credit_latency + 1
+        self._flit_ring: list[tuple | None] = [None] * self._flit_horizon
+        self._credit_ring: list[tuple | None] = [None] * self._credit_horizon
+
+        # incremental accounting (avoids O(L) scans in hot properties)
+        self._buffered = 0
+        self._in_link = 0
+        self._src_backlog = 0
+        self._multi = copies > 1
+        self._ejected_by_copy = np.zeros(copies, dtype=np.int64)
+        self._backlog_by_copy = np.zeros(copies, dtype=np.int64)
+        # activity counters (plain ints; see aggregate_activity)
+        self._act_buffer_writes = 0
+        self._act_buffer_reads = 0
+        self._act_xbar = 0
+        self._act_link_flits = 0
+        self._act_vc_allocs = 0
+        self._act_sa_grants = 0
+        self._act_credits = 0
+
+    # --- packet entry -----------------------------------------------------
+    def enqueue_packet(self, packet: Packet) -> None:
+        """Hand a freshly generated packet to its source queue."""
+        lid = len(self.packets)
+        if lid >= len(self.pkt_dst):
+            self._grow_packet_store()
+        self.packets.append(packet)
+        copy = packet.src // self._NL
+        self.pkt_dst[lid] = packet.dst - copy * self._NL
+        self.pkt_len[lid] = packet.length
+        self.pkt_hops[lid] = 0
+        self.stats_by_copy[copy].on_packet_generated(packet)
+        self.queues[packet.src].append(lid)
+        self.queue_ready[packet.src] = True
+        self._queued_packets += 1
+        self._src_backlog += packet.length
+        if self._multi:
+            self._backlog_by_copy[copy] += packet.length
+
+    def _grow_packet_store(self) -> None:
+        cap = 2 * len(self.pkt_dst)
+        for name in ("pkt_dst", "pkt_len", "pkt_hops"):
+            old = getattr(self, name)
+            grown = np.zeros(cap, dtype=np.int64)
+            grown[:len(old)] = old
+            setattr(self, name, grown)
+
+    # --- cycle advance ------------------------------------------------------
+    def step_cycle(self, cycle: int, time_ns: float) -> None:
+        """Advance every component by one network clock cycle."""
+        self.current_time_ns = time_ns
+
+        batch = self._credit_ring[cycle % self._credit_horizon]
+        if batch is not None:
+            self._credit_ring[cycle % self._credit_horizon] = None
+            router_lines, src_slots = batch
+            if router_lines.size:
+                self.credits[router_lines] += 1
+            if src_slots.size:
+                self.src_credits[src_slots] += 1
+
+        batch = self._flit_ring[cycle % self._flit_horizon]
+        if batch is not None:
+            self._flit_ring[cycle % self._flit_horizon] = None
+            lines, pids, fidxs = batch
+            self._push_flits(lines, pids, fidxs)
+            self._in_link -= lines.size
+
+        if self._src_backlog:
+            self._step_sources(cycle)
+        if self._buffered:
+            self._step_routers(cycle)
+
+    def _push_flits(self, lines: np.ndarray, pids: np.ndarray,
+                    fidxs: np.ndarray) -> None:
+        """Buffer one arriving flit per (unique) line."""
+        pos = self.fifo_head.take(lines) + self.fifo_len.take(lines)
+        pos = lines * self._D + pos % self._D
+        self.buf_pid[pos] = pids
+        self.buf_fidx[pos] = fidxs
+        self.fifo_len[lines] += 1
+        self._buffered += lines.size
+        self._act_buffer_writes += lines.size
+
+    # --- sources ------------------------------------------------------------
+    def _step_sources(self, cycle: int) -> None:
+        """All sources try to inject one flit (the reference Source)."""
+        cur_lid = self.cur_lid
+        if self._queued_packets:
+            need = (cur_lid < 0) & self.queue_ready
+            for node in np.nonzero(need)[0].tolist():
+                queue = self.queues[node]
+                lid = queue.popleft()
+                if not queue:
+                    self.queue_ready[node] = False
+                self._queued_packets -= 1
+                cur_lid[node] = lid
+                self.cur_len[node] = self.pkt_len[lid]
+                self.cur_sent[node] = 0
+                # Rotate the starting VC per packet, as the reference.
+                self.cur_vc[node] = self.src_rr[node]
+                self.src_rr[node] = (self.src_rr[node] + 1) % self._V
+
+        active = np.flatnonzero(cur_lid >= 0)
+        if not active.size:
+            return
+        vcs = self.cur_vc.take(active)
+        slots = active * self._V + vcs
+        can = self.src_credits.take(slots) > 0
+        if not can.all():
+            active = active[can]
+            if not active.size:
+                return
+            vcs = vcs[can]
+            slots = slots[can]
+        lids = cur_lid.take(active)
+        sent = self.cur_sent.take(active)
+
+        self.src_credits[slots] -= 1
+        lines = self.node_base.take(active) + vcs     # LOCAL port is 0
+        self._push_flits(lines, lids, sent)
+        self._src_backlog -= active.size
+        self.stats.injected_flits += active.size
+        if self._multi:
+            self._backlog_by_copy -= np.bincount(
+                active // self._NL, minlength=self.copies)
+
+        heads = sent == 0
+        if heads.any():
+            for lid in lids[heads].tolist():
+                self.packets[lid].injected_cycle = cycle
+        sent = sent + 1
+        self.cur_sent[active] = sent
+        finished = sent >= self.cur_len.take(active)
+        if finished.any():
+            cur_lid[active[finished]] = -1
+
+    # --- router pipeline ----------------------------------------------------
+    def _step_routers(self, cycle: int) -> None:
+        state = self.state
+        has = self.fifo_len > 0
+        ready_ok = self.ready <= cycle
+
+        # Phase A: per-VC state advance (IDLE -> ROUTING -> VC_ALLOC)
+        # and collection of allocation requests.
+        idle = np.flatnonzero(has & (state == IDLE))
+        if idle.size:
+            front = idle * self._D + self.fifo_head.take(idle)
+            dsts = self.pkt_dst.take(self.buf_pid.take(front))
+            nodes = self.line_node.take(idle)
+            ports = self._route_flat.take(nodes * self._NL + dsts)
+            self.out_port[idle] = ports
+            self.out_group[idle] = nodes * self._P + ports
+            if self._route_latency:
+                self.ready[idle] = cycle + self._route_latency
+                state[idle] = ROUTING
+                # ready_ok predates this write; newly routing VCs must
+                # sit out their route latency.
+                ready_ok[idle] = False
+            else:
+                # Zero-latency route computation: straight to VC_ALLOC,
+                # as the reference's same-cycle fall-through does.
+                state[idle] = VC_ALLOC
+        promote = (state == ROUTING) & ready_ok
+        state[promote] = VC_ALLOC
+
+        # SA candidates are collected *before* VA grants, as in the
+        # reference (a VC granted an output VC this cycle cannot also
+        # win the switch this cycle, even with va_latency == 0).
+        act = np.flatnonzero((state == ACTIVE) & ready_ok & has)
+        out_lines = np.empty(0, dtype=np.int64)
+        if act.size:
+            out_lines = self.out_line.take(act)
+            got_credit = self.credits.take(out_lines) > 0
+            if not got_credit.all():
+                act = act[got_credit]
+                out_lines = out_lines[got_credit]
+
+        va = np.flatnonzero(state == VC_ALLOC)
+        if va.size:
+            self._vc_allocate(va, cycle)
+        if act.size:
+            self._switch_allocate(act, out_lines, cycle)
+
+    def _vc_allocate(self, va: np.ndarray, cycle: int) -> None:
+        """Phase B: VC allocation, one grant round per free output VC.
+
+        Mirrors the reference loop exactly: per output port, the free
+        output VCs are granted in increasing index order, each to the
+        next requester after the rotating pointer of the port's
+        ``P*V``-line arbiter (which advances on every grant).
+        """
+        pv = self._PV
+        group = self.out_group.take(va)
+        lane = va % pv
+        scoreboard = self._scoreboard
+
+        while True:
+            prio = (lane - self.va_ptr.take(group)) % pv
+            scoreboard[:] = _NO_REQUEST
+            np.minimum.at(scoreboard, group, prio)
+            champs = np.flatnonzero(prio == scoreboard.take(group))
+            groups = group.take(champs)
+
+            free_rows = self._owner_rows[groups] < 0
+            grantable = free_rows.any(axis=1)
+            if not grantable.all():
+                if not grantable.any():
+                    break
+                champs = champs[grantable]
+                groups = groups[grantable]
+                free_rows = free_rows[grantable]
+            free_vc = free_rows.argmax(axis=1)
+
+            winners = va.take(champs)
+            granted = groups * self._V + free_vc
+            self.owner[granted] = winners
+            self.out_line[winners] = granted
+            self.out_vc[winners] = free_vc
+            self.state[winners] = ACTIVE
+            self.ready[winners] = cycle + self._va_latency
+            self.va_ptr[groups] = (lane.take(champs) + 1) % pv
+            self._act_vc_allocs += winners.size
+
+            if champs.size == va.size:
+                break
+            keep = np.ones(va.size, dtype=bool)
+            keep[champs] = False
+            va = va[keep]
+            group = group[keep]
+            lane = lane[keep]
+
+    def _switch_allocate(self, act: np.ndarray, out_lines: np.ndarray,
+                         cycle: int) -> None:
+        """Phase C: separable input-first switch allocation.
+
+        As in the reference, an arbiter is only consulted (and its
+        pointer advanced) when a port has two or more candidates.
+        """
+        if act.size > 1:
+            champs = self._arbitrate(act // self._V, act % self._V,
+                                     self._V, self.sa_in_ptr)
+            if champs is not None:
+                act = act.take(champs)
+                out_lines = out_lines.take(champs)
+        if act.size > 1:
+            champs = self._arbitrate(self.out_group.take(act),
+                                     self.line_port.take(act),
+                                     self._P, self.sa_out_ptr)
+            if champs is not None:
+                act = act.take(champs)
+                out_lines = out_lines.take(champs)
+        self._send(act, out_lines, cycle)
+
+    def _arbitrate(self, group: np.ndarray, lane: np.ndarray,
+                   size: int, pointers: np.ndarray) -> np.ndarray | None:
+        """One round-robin stage: the champion of every group.
+
+        Returns candidate positions, or ``None`` when every group had a
+        single candidate (everyone wins).  Pointers advance one past
+        the winner only for groups that actually arbitrated (>= 2
+        candidates), matching the reference's single-candidate path.
+        """
+        scoreboard = self._scoreboard
+        prio = (lane - pointers.take(group)) % size
+        scoreboard[:] = _NO_REQUEST
+        np.minimum.at(scoreboard, group, prio)
+        champs = np.flatnonzero(prio == scoreboard.take(group))
+        if champs.size == group.size:
+            return None                     # all groups uncontested
+        contested = np.bincount(group, minlength=1).take(
+            group.take(champs)) >= 2
+        advance = champs[contested]
+        pointers[group.take(advance)] = (lane.take(advance) + 1) % size
+        return champs
+
+    def _send(self, winners: np.ndarray, out_lines: np.ndarray,
+              cycle: int) -> None:
+        """Phase D: winners traverse switch and link (the reference's
+        ``_send_flit``, batched)."""
+        count = winners.size
+        front = self.fifo_head.take(winners)
+        slots = winners * self._D + front
+        pids = self.buf_pid.take(slots)
+        fidxs = self.buf_fidx.take(slots)
+        self.fifo_head[winners] = (front + 1) % self._D
+        self.fifo_len[winners] -= 1
+        self._buffered -= count
+        self._act_buffer_reads += count
+        self._act_xbar += count
+        self._act_sa_grants += count
+
+        self.pkt_hops[pids[fidxs == 0]] += 1
+        tails = fidxs == self.pkt_len.take(pids) - 1
+        local = self.out_port.take(winners) == LOCAL
+
+        ejected = int(np.count_nonzero(local))
+        if ejected:
+            # Ejection: the sink consumes the flit; no credit needed.
+            self.stats.ejected_flits += ejected
+            if self._multi:
+                self._ejected_by_copy += np.bincount(
+                    winners[local] // (self._NL * self._PV),
+                    minlength=self.copies)
+            eject_tails = local & tails
+            if eject_tails.any():
+                now_ns = self.current_time_ns
+                times = self.time_by_copy
+                for lid in pids[eject_tails].tolist():
+                    packet = self.packets[lid]
+                    copy = packet.src // self._NL
+                    packet.ejected_cycle = cycle
+                    packet.ejected_ns = (now_ns if times is None
+                                         else float(times[copy]))
+                    packet.hops = int(self.pkt_hops[lid])
+                    self.stats_by_copy[copy].on_packet_delivered(packet)
+                    self.delivered.append(packet)
+        if ejected != count:
+            if ejected:
+                network = ~local
+                sent_lines = out_lines[network]
+                sent_pids = pids[network]
+                sent_fidxs = fidxs[network]
+            else:
+                sent_lines, sent_pids, sent_fidxs = out_lines, pids, fidxs
+            self.credits[sent_lines] -= 1
+            # ``out_line = (node*P + out_port) * V + out_vc`` decomposes
+            # back into the link table group and the output VC.
+            dests = (self._link_base.take(sent_lines // self._V)
+                     + sent_lines % self._V)
+            slot = (cycle + self._link_latency) % self._flit_horizon
+            self._flit_ring[slot] = (dests, sent_pids, sent_fidxs)
+            self._in_link += sent_lines.size
+            self._act_link_flits += sent_lines.size
+
+        # Return a credit upstream for each freed buffer slot.  A line
+        # decomposes as ``(node*P + in_port) * V + in_vc``; local input
+        # ports credit the source-side mirror instead.
+        in_groups = winners // self._V
+        from_source = self.line_port.take(winners) == LOCAL
+        if from_source.any():
+            routed = ~from_source
+            router_credits = (self._link_base.take(in_groups[routed])
+                              + winners[routed] % self._V)
+            src_slots = (winners[from_source] // self._PV * self._V
+                         + winners[from_source] % self._V)
+        else:
+            router_credits = (self._link_base.take(in_groups)
+                              + winners % self._V)
+            src_slots = np.empty(0, dtype=np.int64)
+        slot = (cycle + self._credit_latency) % self._credit_horizon
+        self._credit_ring[slot] = (router_credits, src_slots)
+        self._act_credits += count
+
+        if tails.any():
+            released = winners[tails]
+            self.owner[out_lines[tails]] = -1
+            self.state[released] = IDLE
+
+    # --- introspection -----------------------------------------------------
+    def aggregate_activity(self) -> ActivityCounters:
+        """Sum of all event counters (for power windows)."""
+        return self.stats.activity + ActivityCounters(
+            buffer_writes=self._act_buffer_writes,
+            buffer_reads=self._act_buffer_reads,
+            xbar_traversals=self._act_xbar,
+            link_flits=self._act_link_flits,
+            vc_allocs=self._act_vc_allocs,
+            sa_grants=self._act_sa_grants,
+            credit_transfers=self._act_credits)
+
+    def router_activity_map(self) -> list:
+        raise NotImplementedError(
+            "per-router activity maps need the reference engine "
+            "(the fast engine only tracks mesh-wide counters)")
+
+    def occupancy_matrix(self) -> np.ndarray:
+        """Buffered flits per VC, shape ``(nodes, ports, vcs)``."""
+        return (self.fifo_len.reshape(self._N, self._P, self._V)
+                .copy())
+
+    def in_flight_flits(self) -> int:
+        """Flits buffered in routers or traversing links right now."""
+        return self._buffered + self._in_link
+
+    def source_backlog_flits(self) -> int:
+        """Flits stuck in source queues (grows without bound past
+        saturation)."""
+        return self._src_backlog
+
+    def ejected_flits_of(self, copy: int) -> int:
+        """Cumulative ejected flits of one replica."""
+        if not self._multi:
+            return self.stats.ejected_flits
+        return int(self._ejected_by_copy[copy])
+
+    def backlog_of(self, copy: int) -> int:
+        """Source-queue backlog flits of one replica."""
+        if not self._multi:
+            return self._src_backlog
+        return int(self._backlog_by_copy[copy])
+
+    def is_drained(self) -> bool:
+        """True when no flit remains anywhere in the system."""
+        return self.in_flight_flits() == 0 and self._src_backlog == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"FastNetwork({self.mesh.width}x{self.mesh.height}, "
+                f"in_flight={self.in_flight_flits()})")

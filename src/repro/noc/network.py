@@ -8,6 +8,8 @@ the simulation kernel, which owns time and the clock domains.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .config import NocConfig
 from .flit import Flit, Packet
 from .router import Router
@@ -129,6 +131,16 @@ class Network:
                 del self._active_routers[router]
 
     # --- introspection -----------------------------------------------------
+    def occupancy_matrix(self):
+        """Buffered flits per VC, shape ``(nodes, ports, vcs)``.
+
+        Shared introspection surface with the fast engine, used by the
+        engine-invariant property tests.
+        """
+        return np.array([[[len(vc.fifo) for vc in port_vcs]
+                          for port_vcs in router.in_vcs]
+                         for router in self.routers])
+
     def aggregate_activity(self):
         """Sum of all routers' event counters (for power windows)."""
         total = self.stats.activity.copy()

@@ -33,8 +33,8 @@ import numpy as np
 from ..traffic.injection import InjectionProcess, TrafficSpec
 from .clock import MultiNodeClockBridge, NetworkClock, NodeClockBridge
 from .config import NocConfig
+from .engines import DEFAULT_ENGINE, make_engine
 from .flit import Packet
-from .network import Network
 from .stats import ActivityCounters, MeasurementSample, PowerWindow
 
 
@@ -126,13 +126,15 @@ class Simulation:
     def __init__(self, config: NocConfig, traffic: TrafficSpec,
                  controller: Controller | float | None = None,
                  seed: int = 1,
-                 control_period_node_cycles: int = 10_000) -> None:
+                 control_period_node_cycles: int = 10_000,
+                 engine: str = DEFAULT_ENGINE) -> None:
         if control_period_node_cycles < 1:
             raise ValueError("control period must be >= 1 node cycle")
         self.config = config
         self.traffic = traffic
         self.seed = seed
         self.control_period_node_cycles = control_period_node_cycles
+        self.engine = engine
 
         if controller is None or isinstance(controller, (int, float)):
             self.controller: Controller = _FixedController(
@@ -140,7 +142,7 @@ class Simulation:
         else:
             self.controller = controller
 
-        self.network = Network(config)
+        self.network = make_engine(engine, config)
         self.rng = np.random.default_rng(seed)
         self.injection = InjectionProcess(traffic, config.packet_length,
                                           self.rng)

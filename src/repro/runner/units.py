@@ -20,12 +20,14 @@ unit runs can never change its result.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import time
 from dataclasses import dataclass, field
 from typing import Any, Protocol, runtime_checkable
 
 from ..noc.budget import SimBudget, run_fixed_point
 from ..noc.config import NocConfig
+from ..noc.engines import DEFAULT_ENGINE
 from ..noc.simulator import SimResult
 from ..traffic.injection import TrafficSpec
 from .seeding import derive_unit_seed
@@ -38,7 +40,8 @@ class FrequencyStrategy(Protocol):
     name: str
 
     def frequency_for(self, config: NocConfig, traffic: TrafficSpec,
-                      budget: SimBudget, seed: int) -> float:
+                      budget: SimBudget, seed: int,
+                      engine: str = DEFAULT_ENGINE) -> float:
         """Steady-state network frequency (Hz) for this traffic."""
 
 
@@ -69,10 +72,11 @@ class WorkUnit:
     strategy: Any
     budget: SimBudget
     run_seed: int
+    engine: str = DEFAULT_ENGINE
 
     def spec_key(self) -> tuple:
         """Everything that determines this unit's result, as a tuple."""
-        return (
+        key = (
             "unit-v1",
             self.policy,
             repr(float(self.x)),
@@ -85,6 +89,12 @@ class WorkUnit:
              self.budget.measure_cycles, self.budget.drain_cycles),
             ("seed", int(self.run_seed)),
         )
+        if self.engine != DEFAULT_ENGINE:
+            # Cache entries and derived seeds must never mix engines.
+            # Reference units keep their pre-engine-era digests, so the
+            # recorded goldens (and any on-disk caches) stay valid.
+            key += (("engine", self.engine),)
+        return key
 
     def digest(self) -> str:
         """Stable hash of the spec — the cache key and seed input."""
@@ -99,10 +109,9 @@ class WorkUnit:
         """Run the unit: pick the steady-state frequency, measure it."""
         start = time.perf_counter()
         seed = self.seed()
-        freq_hz = self.strategy.frequency_for(
-            self.config, self.traffic, self.budget, seed)
+        freq_hz = self._frequency(seed)
         result = run_fixed_point(self.config, self.traffic, freq_hz,
-                                 self.budget, seed)
+                                 self.budget, seed, engine=self.engine)
         return UnitResult(
             policy=self.policy,
             x=self.x,
@@ -112,6 +121,26 @@ class WorkUnit:
             result=result,
             elapsed_s=time.perf_counter() - start,
         )
+
+    def _frequency(self, seed: int) -> float:
+        """Ask the strategy for the steady-state frequency.
+
+        Built-in strategies accept the unit's engine so their search
+        simulations run on it too.  User strategies written before the
+        engine parameter existed keep working on the reference engine.
+        """
+        params = inspect.signature(self.strategy.frequency_for).parameters
+        if "engine" in params:
+            return self.strategy.frequency_for(
+                self.config, self.traffic, self.budget, seed,
+                engine=self.engine)
+        if self.engine != DEFAULT_ENGINE:
+            raise TypeError(
+                f"strategy {type(self.strategy).__name__} does not "
+                f"accept an 'engine' argument; it cannot run on "
+                f"engine {self.engine!r}")
+        return self.strategy.frequency_for(self.config, self.traffic,
+                                           self.budget, seed)
 
 
 @dataclass(frozen=True)

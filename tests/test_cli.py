@@ -28,3 +28,49 @@ class TestCli:
     def test_all_known_figures_listed(self):
         assert set(FIGURES) == {"fig2", "fig4", "fig5", "fig6", "fig7",
                                 "fig8", "fig10", "headline"}
+
+
+class TestBadArgumentDiagnostics:
+    """Bad flag values exit through argparse with a clear message —
+    never a traceback."""
+
+    def _error_output(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2      # argparse usage error
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        return err
+
+    def test_bad_engine_name(self, capsys):
+        err = self._error_output(["--engine", "warp", "fig5"], capsys)
+        assert "--engine" in err
+        assert "invalid choice" in err and "warp" in err
+        # The message teaches the valid values.
+        assert "reference" in err and "fast" in err
+
+    def test_non_integer_jobs(self, capsys):
+        err = self._error_output(["--jobs", "many", "fig5"], capsys)
+        assert "--jobs" in err
+        assert "invalid int value" in err
+
+    def test_negative_jobs(self, capsys):
+        err = self._error_output(["--jobs", "-3", "fig5"], capsys)
+        assert "--jobs must be >= 0" in err
+
+    def test_engine_flag_reaches_workbench(self, capsys, monkeypatch):
+        """`--engine fast` must reach the Workbench constructor (fig5
+        is analytic, so the run itself stays instant)."""
+        import repro.experiments.__main__ as cli
+
+        captured = {}
+
+        class SpyWorkbench(Workbench):
+            def __init__(self, **kwargs):
+                captured.update(kwargs)
+                super().__init__(**kwargs)
+
+        monkeypatch.setattr(cli, "Workbench", SpyWorkbench)
+        assert main(["--engine", "fast", "fig5"]) == 0
+        assert captured["engine"] == "fast"
+        assert "fig5" in capsys.readouterr().out
