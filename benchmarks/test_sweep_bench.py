@@ -1,0 +1,166 @@
+"""Sweep-level backend benchmark: batched vs pool vs serial.
+
+Where ``test_kernel_bench.py`` measures the raw engines, this measures
+the *execution backends* end to end: the same 8x8-mesh three-policy
+sweep submitted through ``run_sweep`` under three
+:class:`~repro.runner.ExecutionContext` configurations —
+
+* ``serial`` — the per-unit fast path (one ``run_fixed_point`` per
+  work unit, in process);
+* ``pool`` — the same units fanned out to worker processes;
+* ``batched`` — the whole sweep planned into batch groups and executed
+  through :func:`repro.noc.fastsim.run_fixed_batch`.
+
+All three produce bit-identical results (asserted below; the
+differential backend tests enforce it exhaustively), so the only
+difference is wall time.  Results land in ``BENCH_sweep.json`` at the
+repository root (CI uploads it next to ``BENCH_kernel.json``).
+
+The sweep grid is capped at the pattern's measured ``lambda_max`` for
+this mesh — exactly what ``Workbench.rate_grid`` does for the real
+figures.  (The 8x8 mesh saturates near 0.29 flits/cycle under uniform
+traffic, well below the 5x5 baseline's 0.42.)
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.analysis import (NoDvfsSteadyState, RmsdSteadyState,
+                            SteadyStateStrategy, sweep_units)
+from repro.noc import PAPER_BASELINE, SimBudget
+from repro.runner import ExecutionContext, default_jobs
+from repro.traffic import PatternTraffic, make_pattern
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+CONFIG = PAPER_BASELINE.with_(width=8, height=8)
+BUDGET = SimBudget(150, 400, 800)
+
+#: Measured saturation of the 8x8 uniform scenario at Fmax is ~0.288
+#: flits/node-cycle (bisection, seed 3); lambda_max applies the
+#: paper's 10% margin.
+LAMBDA_MAX = 0.259
+
+#: Sweep grid: twelve rates up to lambda_max, as Workbench.rate_grid
+#: builds for the real figures.
+RATES = tuple(round(LAMBDA_MAX * (i + 1) / 12, 4) for i in range(12))
+
+SEED = 3
+
+#: The headline gate: the batched backend must beat the serial
+#: per-unit fast path by at least this factor on this sweep.
+REQUIRED_BATCHED_SPEEDUP = 3.0
+
+_results: dict = {}
+
+
+class DmsdLikeSteadyState(SteadyStateStrategy):
+    """Closed-form stand-in for the DMSD operating point.
+
+    The real DMSD strategy bisects on simulated delays; benchmarking
+    backends with it would mostly time the (identical) search
+    simulations on every backend.  This strategy reproduces the same
+    kind of mid-range operating points from eq. (2)-style scaling, so
+    the benchmark isolates what the backends differ on: executing the
+    measured fixed-frequency units.
+    """
+
+    name = "dmsd-like"
+
+    def frequency_for(self, config, traffic, budget, seed,
+                      engine="reference"):
+        rate = traffic.mean_node_rate()
+        return min(config.f_max_hz,
+                   max(config.f_min_hz,
+                       rate / LAMBDA_MAX * 1.15 * config.f_max_hz))
+
+    def spec_key(self):
+        return (self.name, repr(LAMBDA_MAX))
+
+
+def _three_policy_units(engine: str = "fast"):
+    mesh = CONFIG.make_mesh()
+    pattern = make_pattern("uniform", mesh)
+    factory = lambda rate: PatternTraffic(pattern, rate)  # noqa: E731
+    units = []
+    for strategy in (NoDvfsSteadyState(), RmsdSteadyState(LAMBDA_MAX),
+                     DmsdLikeSteadyState()):
+        units.extend(sweep_units(CONFIG, factory, list(RATES), strategy,
+                                 BUDGET, SEED, engine))
+    return units
+
+
+def _run_backend(backend: str, jobs: int = 1):
+    context = ExecutionContext(backend=backend, jobs=jobs, cache=None,
+                               engine="fast")
+    units = _three_policy_units()
+    start = time.perf_counter()
+    results = context.run(units)
+    elapsed = time.perf_counter() - start
+    return results, elapsed, context.runner.last_report
+
+
+def _fingerprint(results):
+    return [(r.policy, r.x, r.freq_hz, r.seed,
+             r.result.mean_delay_ns, r.result.accepted_node_rate)
+            for r in results]
+
+
+def test_backend_sweep_speedups():
+    """Batched >= 3x over the serial per-unit fast path; pool recorded
+    alongside for the full backend matrix."""
+    serial_results, serial_s, _ = _run_backend("serial")
+
+    pool_jobs = min(4, default_jobs())
+    pool_results, pool_s, pool_report = _run_backend("pool",
+                                                     jobs=pool_jobs)
+
+    batched_results, batched_s, batched_report = _run_backend("batched")
+    assert batched_report.groups >= 1
+    assert batched_report.batched_units == len(batched_results)
+
+    # Identical science on every backend (the differential backend
+    # tests enforce full bit-identity; this keeps the benchmark
+    # honest).
+    assert _fingerprint(batched_results) == _fingerprint(serial_results)
+    assert _fingerprint(pool_results) == _fingerprint(serial_results)
+
+    batched_speedup = serial_s / batched_s
+    _results["sweep"] = {
+        "mesh": f"{CONFIG.width}x{CONFIG.height}",
+        "points": len(serial_results),
+        "lambda_max": LAMBDA_MAX,
+        "budget": [BUDGET.warmup_cycles, BUDGET.measure_cycles,
+                   BUDGET.drain_cycles],
+        "serial_s": round(serial_s, 3),
+        "pool_s": round(pool_s, 3),
+        "pool_jobs": pool_jobs,
+        "batched_s": round(batched_s, 3),
+        "batched_groups": batched_report.groups,
+        "pool_speedup": round(serial_s / pool_s, 2),
+        "batched_speedup": round(batched_speedup, 2),
+    }
+    assert batched_speedup >= REQUIRED_BATCHED_SPEEDUP, (
+        f"batched backend {batched_speedup:.2f}x over the serial "
+        f"per-unit fast path; the execution-backend contract requires "
+        f">= {REQUIRED_BATCHED_SPEEDUP}x on the 8x8 three-policy sweep")
+
+
+def test_write_bench_sweep_json():
+    """Persist the numbers (runs last: depends on the test above)."""
+    assert "sweep" in _results, (
+        "run the whole module: test_backend_sweep_speedups fills "
+        "_results")
+    payload = {
+        "benchmark": "sweep-backend-walltime",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **_results,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    assert (json.loads(BENCH_PATH.read_text())["sweep"]["batched_speedup"]
+            > 0)

@@ -36,8 +36,9 @@ from .noc import (ENGINES, FastNetwork, GHZ, MHZ, NocConfig,
                   engine_names, make_engine)
 from .power import (EnergyParameters, FDSOI_28NM, PowerBreakdown,
                     PowerModel, Technology)
-from .runner import (SweepRunner, UnitCache, UnitResult, WorkUnit,
-                     default_jobs)
+from .runner import (ExecutionContext, ExecutionPlan, SweepRunner,
+                     UnitCache, UnitResult, WorkUnit, backend_names,
+                     default_jobs, make_backend)
 from .traffic import (ApplicationGraph, MatrixTraffic, PatternTraffic,
                       TrafficMatrix, h264_encoder, make_pattern,
                       vce_encoder)
@@ -51,6 +52,8 @@ __all__ = [
     "DvfsPolicy",
     "ENGINES",
     "EnergyParameters",
+    "ExecutionContext",
+    "ExecutionPlan",
     "FDSOI_28NM",
     "FastNetwork",
     "FixedFrequency",
@@ -81,8 +84,10 @@ __all__ = [
     "UnitResult",
     "WorkUnit",
     "__version__",
+    "backend_names",
     "default_jobs",
     "engine_names",
+    "make_backend",
     "find_saturation_rate",
     "h264_encoder",
     "make_engine",

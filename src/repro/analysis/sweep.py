@@ -21,6 +21,7 @@ breakdown.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable
@@ -32,6 +33,7 @@ from ..noc.config import NocConfig
 from ..noc.engines import DEFAULT_ENGINE
 from ..noc.simulator import SimResult
 from ..power.model import PowerBreakdown, PowerModel
+from ..runner.context import ExecutionContext
 from ..runner.executor import SweepRunner
 from ..runner.units import UnitResult, WorkUnit
 from ..traffic.injection import TrafficSpec
@@ -248,7 +250,8 @@ def run_sweep(config: NocConfig,
               seed: int = 1,
               power_model: PowerModel | None = None,
               runner: SweepRunner | None = None,
-              engine: str = DEFAULT_ENGINE) -> SweepSeries:
+              engine: str | None = None,
+              context: ExecutionContext | None = None) -> SweepSeries:
     """Evaluate one policy at every sweep position.
 
     ``traffic_factory`` maps the sweep coordinate (injection rate or
@@ -256,20 +259,43 @@ def run_sweep(config: NocConfig,
     steady-state frequency; the simulator then measures that operating
     point and, when a ``power_model`` is given, its power breakdown.
 
-    Points are independent work units submitted through ``runner`` (a
-    serial, uncached :class:`~repro.runner.SweepRunner` by default).
-    Results are identical for any worker count: every unit's random
+    ``context`` carries the whole execution configuration — backend,
+    worker count, unit cache, simulation engine, progress — in one
+    object (see :class:`repro.runner.ExecutionContext`); by default a
+    serial, uncached context on the reference engine.  Results are
+    identical for any backend and worker count: every unit's random
     stream derives from ``seed`` and the unit's own spec, never from
-    the execution schedule.  ``engine`` selects the simulation backend
-    per unit and is part of each unit's spec, so cached results never
-    cross engines.
+    the execution schedule.  The engine is part of each unit's spec,
+    so cached results never cross engines.
+
+    ``runner=`` and ``engine=`` are the pre-context spellings; they
+    keep working (mapped onto an equivalent context) but emit a
+    ``DeprecationWarning``.
     """
+    if runner is not None or engine is not None:
+        if context is not None:
+            raise TypeError("pass either context= or the deprecated "
+                            "runner=/engine= keywords, not both")
+        warnings.warn(
+            "run_sweep(runner=..., engine=...) is deprecated; build an "
+            "ExecutionContext once and pass context=... instead",
+            DeprecationWarning, stacklevel=2)
+    if context is None:
+        if runner is not None:
+            # The deprecated spelling: keep using the caller's runner
+            # (its cache/jobs/backend), only the unit engine comes
+            # from the engine= keyword.
+            context = runner.context
+        else:
+            context = ExecutionContext(
+                backend="serial", jobs=1, cache=None,
+                engine=engine if engine is not None else DEFAULT_ENGINE)
+    unit_engine = engine if engine is not None else context.engine
     if power_model is None:
         power_model = PowerModel(config)
-    if runner is None:
-        runner = SweepRunner(jobs=1)
+    exec_runner = runner if runner is not None else context.runner
     units = sweep_units(config, traffic_factory, xs, strategy, budget,
-                        seed, engine)
+                        seed, unit_engine)
     points = [point_from_unit(out, power_model)
-              for out in runner.run(units)]
+              for out in exec_runner.run(units)]
     return SweepSeries(policy=strategy.name, points=points)

@@ -14,6 +14,7 @@ Benchmarks can select an effort profile via the environment variable
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
 from typing import Callable
 
@@ -24,7 +25,8 @@ from ..analysis.sweep import (DmsdSteadyState, FAST, NoDvfsSteadyState,
 from ..noc.config import NocConfig
 from ..noc.engines import DEFAULT_ENGINE
 from ..power.model import PowerModel
-from ..runner import SweepRunner, UnitCache
+from ..runner import (ExecutionContext, SweepRunner, UnitCache,
+                      context_from_env)
 from ..traffic.injection import PatternTraffic, TrafficSpec
 from ..traffic.patterns import make_pattern
 
@@ -63,31 +65,67 @@ class Workbench:
     """Memoizing driver for policy-comparison experiments.
 
     Simulations are submitted as work units through one shared
-    :class:`~repro.runner.SweepRunner`: ``jobs`` controls how many
-    worker processes evaluate sweep points concurrently (1 = in
-    process), and the runner's unit cache deduplicates simulations
-    across figures on top of the workbench's own series-level memos.
-    Results are independent of ``jobs`` — see :mod:`repro.runner`.
+    :class:`~repro.runner.ExecutionContext`: its backend decides
+    whether sweep points run serially, on a process pool (``jobs``
+    workers), or batched through the fast engine's
+    :func:`~repro.noc.fastsim.run_fixed_batch`; its unit cache
+    deduplicates simulations across figures on top of the workbench's
+    own series-level memos.  Results are independent of the backend
+    and worker count — see :mod:`repro.runner`.
 
-    ``engine`` selects the simulation backend (``"reference"`` or
-    ``"fast"``) for every simulation the workbench runs — saturation
-    searches, DMSD targets and sweep units alike.  The engine is part
-    of each unit's spec, so unit-cache entries never cross engines.
+    The context's ``engine`` selects the simulation backend
+    (``"reference"`` or ``"fast"``) for every simulation the workbench
+    runs — saturation searches, DMSD targets and sweep units alike.
+    The engine is part of each unit's spec, so unit-cache entries
+    never cross engines.
+
+    ``Workbench(jobs=, unit_cache=, engine=, runner=)`` are the
+    pre-context spellings; they keep working (mapped onto an
+    equivalent context) but emit a ``DeprecationWarning``.
     """
 
     def __init__(self, profile: Profile | None = None, seed: int = 3,
-                 jobs: int = 1, unit_cache: bool = True,
+                 jobs: int | None = None, unit_cache: bool | None = None,
                  runner: SweepRunner | None = None,
-                 engine: str = DEFAULT_ENGINE) -> None:
+                 engine: str | None = None,
+                 context: ExecutionContext | None = None) -> None:
         self.profile = profile or active_profile()
         self.seed = seed
-        self.engine = engine
-        self.runner = runner if runner is not None else SweepRunner(
-            jobs=jobs, cache=UnitCache() if unit_cache else None)
+        legacy = [kw for kw, value in (("jobs", jobs),
+                                       ("unit_cache", unit_cache),
+                                       ("runner", runner),
+                                       ("engine", engine))
+                  if value is not None]
+        if legacy:
+            if context is not None:
+                raise TypeError(
+                    f"pass either context= or the deprecated "
+                    f"{'/'.join(legacy)} keyword(s), not both")
+            warnings.warn(
+                f"Workbench({', '.join(k + '=' for k in legacy)}...) is "
+                f"deprecated; build an ExecutionContext once and pass "
+                f"context=... instead",
+                DeprecationWarning, stacklevel=2)
+        if context is None:
+            if runner is not None:
+                context = runner.context
+            else:
+                context = ExecutionContext(
+                    backend="auto", jobs=jobs if jobs is not None else 1,
+                    cache=(UnitCache() if unit_cache is None or unit_cache
+                           else None),
+                    engine=engine if engine is not None else DEFAULT_ENGINE)
+        self.context = context
+        self.runner = runner if runner is not None else context.runner
         self._saturation: dict = {}
         self._target: dict = {}
         self._sweeps: dict = {}
         self._power_models: dict[NocConfig, PowerModel] = {}
+
+    @property
+    def engine(self) -> str:
+        """Simulation engine every workbench simulation runs on."""
+        return self.context.engine
 
     # --- building blocks -------------------------------------------------
     def budget_for(self, config: NocConfig) -> SimBudget:
@@ -168,8 +206,8 @@ class Workbench:
                 config, self.pattern_factory(config, pattern), list(rates),
                 self.strategy_for(policy, config, pattern),
                 budget=self.budget_for(config), seed=self.seed,
-                power_model=self.power_model(config), runner=self.runner,
-                engine=self.engine)
+                power_model=self.power_model(config),
+                context=self.context)
         return self._sweeps[key]
 
     def policy_comparison(self, config: NocConfig, pattern: str,
@@ -177,12 +215,15 @@ class Workbench:
                           ) -> dict[str, SweepSeries]:
         """All three policies swept over the same rates.
 
-        With a parallel runner the three policies' pending points are
-        submitted as *one* batch, so the worker pool sees
-        ``3 x len(rates)`` independent units instead of three separate
-        sweeps — per-sweep results are then served from the unit cache.
+        With a parallel or batched backend the three policies' pending
+        points are submitted as *one* batch, so the worker pool (or
+        the batched engine) sees ``3 x len(rates)`` independent units
+        instead of three separate sweeps — per-sweep results are then
+        served from the unit cache.
         """
-        if self.runner.jobs > 1 and self.runner.cache is not None:
+        wide = (self.context.jobs > 1
+                or self.context.resolved_backend() == "batched")
+        if wide and self.context.cache is not None:
             units = []
             for policy in POLICIES:
                 if (config, pattern, policy, rates) in self._sweeps:
@@ -205,8 +246,8 @@ class Workbench:
             self._sweeps[cache_key] = run_sweep(
                 config, traffic_factory, list(xs), strategy,
                 budget=self.budget_for(config), seed=self.seed,
-                power_model=self.power_model(config), runner=self.runner,
-                engine=self.engine)
+                power_model=self.power_model(config),
+                context=self.context)
         return self._sweeps[cache_key]
 
     # --- standard rate grids -----------------------------------------------
@@ -237,14 +278,13 @@ _SHARED: Workbench | None = None
 def shared_workbench() -> Workbench:
     """Process-wide workbench (benchmarks reuse each other's runs).
 
-    ``REPRO_JOBS`` selects the worker count for the shared runner
-    (default 1, i.e. serial); results do not depend on it.
-    ``REPRO_ENGINE`` selects the simulation backend (default
-    reference).
+    The execution context comes from the environment:
+    ``REPRO_BACKEND`` (execution backend, default ``auto``),
+    ``REPRO_JOBS`` (worker count, default 1) and ``REPRO_ENGINE``
+    (simulation engine, default reference).  Results do not depend on
+    any of them except the engine's documented tolerances.
     """
     global _SHARED
     if _SHARED is None:
-        _SHARED = Workbench(
-            jobs=int(os.environ.get("REPRO_JOBS", "1")),
-            engine=os.environ.get("REPRO_ENGINE", DEFAULT_ENGINE))
+        _SHARED = Workbench(context=context_from_env())
     return _SHARED

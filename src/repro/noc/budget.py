@@ -21,11 +21,24 @@ from .simulator import SimResult, Simulation
 
 @dataclass(frozen=True)
 class SimBudget:
-    """Cycle budget for one simulation run."""
+    """Cycle budget for one simulation run.
+
+    Validated on construction — every execution path (single runs,
+    batched runs, work units) relies on this instead of re-checking:
+    ``warmup >= 0``, ``measure >= 1`` and ``drain >= 0``.
+    """
 
     warmup_cycles: int = 2000
     measure_cycles: int = 4000
     drain_cycles: int = 10000
+
+    def __post_init__(self) -> None:
+        if (self.warmup_cycles < 0 or self.measure_cycles < 1
+                or self.drain_cycles < 0):
+            raise ValueError(
+                f"invalid SimBudget({self.warmup_cycles}, "
+                f"{self.measure_cycles}, {self.drain_cycles}): need "
+                f"warmup >= 0, measure >= 1 and drain >= 0 cycles")
 
     def scaled(self, factor: float) -> "SimBudget":
         return SimBudget(max(200, int(self.warmup_cycles * factor)),

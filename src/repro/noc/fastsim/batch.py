@@ -5,17 +5,21 @@ points become ``B`` disjoint replicas of the mesh inside one
 :class:`FastNetwork` (block-diagonal topology tables), so the per-cycle
 NumPy dispatch overhead — the fast engine's dominant remaining cost —
 is amortized over the whole batch.  This is the engine's intended
-execution mode for sweeps and the one benchmarked into
-``BENCH_kernel.json``.
+execution mode for sweeps: the batched execution backend
+(:mod:`repro.runner.backends`) routes eligible work-unit groups here,
+and it is what ``BENCH_kernel.json``/``BENCH_sweep.json`` benchmark.
 
 Every point keeps its own network clock, node-clock bridge, RNG and
 injection process, and the replicas share no simulation state, so each
 per-point result is *identical* to running that point alone with
-``engine="fast"`` (the equivalence suite enforces this).  Two
-restrictions versus the one-run kernel: heterogeneous node clocks are
-not supported, and batched results carry no power windows (per-replica
-activity attribution would cost more than it is worth); delay and
-throughput figures are unaffected.
+``engine="fast"`` (the equivalence suite enforces this) — including
+its power windows, which integrate per-replica activity counters.
+The moment a replica's measured packets have all drained (where a
+standalone run would terminate) the engine retires it
+(:meth:`FastNetwork.freeze_copy`), so long-running stragglers do not
+pay stepping costs for finished points.  One restriction versus the
+one-run kernel remains: heterogeneous node clocks are not supported
+(those units fall back to per-unit execution).
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from ...traffic.injection import InjectionProcess, TrafficSpec
 from ..clock import NetworkClock, NodeClockBridge
 from ..config import NocConfig
 from ..flit import Packet
+from ..stats import PowerWindow
 from .engine import FastNetwork
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -51,7 +56,7 @@ def run_fixed_batch(config: NocConfig, points: list[BatchPoint],
 
     Returns one :class:`~repro.noc.simulator.SimResult` per point,
     equal to ``run_fixed_point(..., engine="fast")`` on the same
-    arguments (except for the absent power windows).
+    arguments, per-replica power windows included.
     """
     # Runtime import: repro.noc.simulator imports the engine registry,
     # which imports this package.
@@ -69,25 +74,37 @@ def run_fixed_batch(config: NocConfig, points: list[BatchPoint],
     net = FastNetwork(config, copies=count)
     clocks = [NetworkClock(p.freq_hz, config.f_min_hz, config.f_max_hz)
               for p in points]
-    bridges = [NodeClockBridge(config.f_node_hz) for _ in points]
     injections = [InjectionProcess(p.traffic, packet_length,
                                    np.random.default_rng(p.seed))
                   for p in points]
+    # All replicas share the node clock, so one NodeClockBridge worth
+    # of state is kept as arrays/lists and advanced for all copies at
+    # once (element-wise identical to per-replica bridges).
+    node_period = NodeClockBridge(config.f_node_hz).period_ns
+    next_node_cycle = [0] * count
 
+    # Budget validity is SimBudget.__post_init__'s job; ad-hoc range
+    # checks used to live here.
     warmup = budget.warmup_cycles
     measure = budget.measure_cycles
-    if warmup < 0 or measure < 1:
-        raise ValueError("need warmup >= 0 and measure >= 1 cycles")
     measure_start = warmup
     measure_end = warmup + measure
     hard_end = measure_end + budget.drain_cycles
 
+    # All clocks are fixed-frequency, so absolute time advances by one
+    # per-replica vector add per cycle — element-wise this accumulates
+    # bit-identically to each replica's own ``NetworkClock.tick``.
+    periods = np.array([1e9 / c.freq_hz for c in clocks])
     times = np.zeros(count)
     net.time_by_copy = times
+    # Per-copy activity attribution costs a few bincounts per cycle;
+    # power windows only need measurement-phase deltas.
+    net.attribute_activity = False
     sims = range(count)
     tagging = False
     closed = False
     complete = [False] * count
+    active = list(sims)                 # replicas still simulating
     meas_start_ns = [0.0] * count
     meas_end_ns = [0.0] * count
     nc_start = [0] * count
@@ -96,63 +113,71 @@ def run_fixed_batch(config: NocConfig, points: list[BatchPoint],
     ej_end = [0] * count
     bl_start = [0] * count
     bl_end = [0] * count
+    act_start = [None] * count
+    act_end = [None] * count
 
     cycle = 0
     while True:
-        for i in sims:
-            times[i] = clocks[i].time_ns
         if cycle == measure_start:
             # Same boundary placement as Simulation.run: snapshots are
             # taken before this cycle's arrivals and network step.
             tagging = True
+            net.attribute_activity = True
             for i in sims:
                 meas_start_ns[i] = times[i]
-                nc_start[i] = bridges[i].next_node_cycle
+                nc_start[i] = next_node_cycle[i]
                 ej_start[i] = net.ejected_flits_of(i)
                 bl_start[i] = net.backlog_of(i)
+                act_start[i] = net.activity_of(i)
 
-        for i in sims:
-            if complete[i]:
-                # All of this point's measured packets arrived and its
-                # statistics are frozen; stop offering load.
-                continue
-            node_cycles = bridges[i].elapsed_node_cycles(times[i])
-            if len(node_cycles):
+        # Node cycles completed per replica, all copies in one pass
+        # (NodeClockBridge.elapsed_node_cycles, vectorized: same
+        # division, same epsilon, same truncation).
+        completed = (times / node_period + 1e-9).astype(np.int64).tolist()
+        for i in active:
+            start = next_node_cycle[i]
+            num_cycles = completed[i] + 1 - start
+            if num_cycles > 0:
+                next_node_cycle[i] = completed[i] + 1
                 offset_node = i * local_nodes
-                bridge = bridges[i]
                 for offset, src, dst in \
-                        injections[i].arrivals(len(node_cycles)):
+                        injections[i].arrivals(num_cycles):
                     packet = Packet(
                         offset_node + src, offset_node + dst,
                         packet_length, created_cycle=cycle,
-                        created_ns=bridge.node_time_ns(
-                            node_cycles.start + offset),
+                        created_ns=(start + offset) * node_period,
                         measured=tagging)
                     net.enqueue_packet(packet)
 
         net.step_cycle(cycle, 0.0)
-        for clock in clocks:
-            clock.tick()
+        times += periods
         cycle += 1
 
         if cycle >= measure_end:
             if not closed:
                 closed = True
                 tagging = False
+                net.attribute_activity = False
                 for i in sims:
-                    meas_end_ns[i] = clocks[i].time_ns
-                    nc_end[i] = bridges[i].next_node_cycle
+                    meas_end_ns[i] = times[i]
+                    nc_end[i] = next_node_cycle[i]
                     ej_end[i] = net.ejected_flits_of(i)
                     bl_end[i] = net.backlog_of(i)
-            all_done = True
-            for i in sims:
-                if not complete[i]:
-                    stats = net.stats_by_copy[i]
-                    if stats.measured_delivered >= stats.measured_created:
-                        complete[i] = True
-                    else:
-                        all_done = False
-            if all_done or cycle >= hard_end:
+                    act_end[i] = net.activity_of(i)
+            still = []
+            for i in active:
+                stats = net.stats_by_copy[i]
+                if stats.measured_delivered >= stats.measured_created:
+                    # All of this point's measured packets arrived and
+                    # its statistics are frozen; a standalone run would
+                    # terminate here, so retire the replica.
+                    complete[i] = True
+                    if count > 1:
+                        net.freeze_copy(i)
+                else:
+                    still.append(i)
+            active = still
+            if not active or cycle >= hard_end:
                 break
 
     results = []
@@ -160,6 +185,11 @@ def run_fixed_batch(config: NocConfig, points: list[BatchPoint],
         stats = net.stats_by_copy[i]
         delays = stats.measured_delays_ns
         node_cycles_meas = max(1, nc_end[i] - nc_start[i])
+        window = PowerWindow(
+            duration_ns=meas_end_ns[i] - meas_start_ns[i],
+            cycles=measure,
+            freq_hz=clocks[i].freq_hz,
+            activity=act_end[i] - act_start[i])
         results.append(SimResult(
             config=config,
             seed=point.seed,
@@ -181,5 +211,6 @@ def run_fixed_batch(config: NocConfig, points: list[BatchPoint],
             measure_node_cycles=node_cycles_meas,
             backlog_delta_flits=bl_end[i] - bl_start[i],
             freq_trace=[(0.0, clocks[i].freq_hz)],
+            power_windows=[window],
         ))
     return results

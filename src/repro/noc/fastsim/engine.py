@@ -140,7 +140,9 @@ class FastNetwork:
         self.out_line = np.zeros(self._L, dtype=np.int64)
         self.ready = np.zeros(self._L, dtype=np.int64)
         self.fifo_head = np.zeros(self._L, dtype=np.int64)
-        self.fifo_len = np.zeros(self._L, dtype=np.int64)
+        # int16: the per-cycle busy-line scan reads this end to end,
+        # and VC depths never approach the dtype limit.
+        self.fifo_len = np.zeros(self._L, dtype=np.int16)
         self.buf_pid = np.full(self._L * self._D, -1, dtype=np.int64)
         self.buf_fidx = np.full(self._L * self._D, -1, dtype=np.int64)
 
@@ -155,7 +157,11 @@ class FastNetwork:
         self.va_ptr = np.zeros(self._NP, dtype=np.int64)
         self.sa_in_ptr = np.zeros(self._NP, dtype=np.int64)
         self.sa_out_ptr = np.zeros(self._NP, dtype=np.int64)
-        self._scoreboard = np.empty(self._NP, dtype=np.int64)
+        # Invariant: all _NO_REQUEST between arbitration rounds; each
+        # round restores only the entries it touched (O(requests)
+        # instead of an O(N*P) refill — copies scale N, requests don't).
+        self._scoreboard = np.full(self._NP, _NO_REQUEST, dtype=np.int64)
+        self._group_counts = np.zeros(self._NP, dtype=np.int64)
 
         # --- sources --------------------------------------------------
         self.queues: list[deque[int]] = [deque() for _ in range(num_nodes)]
@@ -187,8 +193,10 @@ class FastNetwork:
         self._in_link = 0
         self._src_backlog = 0
         self._multi = copies > 1
+        self._CL = local_nodes * self._PV  # lines per replica
         self._ejected_by_copy = np.zeros(copies, dtype=np.int64)
-        self._backlog_by_copy = np.zeros(copies, dtype=np.int64)
+        # plain ints: updated per packet in enqueue_packet's hot path
+        self._backlog_by_copy = [0] * copies
         # activity counters (plain ints; see aggregate_activity)
         self._act_buffer_writes = 0
         self._act_buffer_reads = 0
@@ -197,6 +205,19 @@ class FastNetwork:
         self._act_vc_allocs = 0
         self._act_sa_grants = 0
         self._act_credits = 0
+        # Per-replica activity (batched runs attribute power per copy).
+        # ``attribute_activity`` gates the per-event attribution; the
+        # batch kernel enables it only inside the measurement window —
+        # window deltas are all that power models consume, so warmup
+        # and drain cycles skip the bookkeeping.
+        self.attribute_activity = True
+        self._actc_buffer_writes = np.zeros(copies, dtype=np.int64)
+        self._actc_buffer_reads = np.zeros(copies, dtype=np.int64)
+        self._actc_xbar = np.zeros(copies, dtype=np.int64)
+        self._actc_link_flits = np.zeros(copies, dtype=np.int64)
+        self._actc_vc_allocs = np.zeros(copies, dtype=np.int64)
+        self._actc_sa_grants = np.zeros(copies, dtype=np.int64)
+        self._actc_credits = np.zeros(copies, dtype=np.int64)
 
     # --- packet entry -----------------------------------------------------
     def enqueue_packet(self, packet: Packet) -> None:
@@ -261,6 +282,9 @@ class FastNetwork:
         self.fifo_len[lines] += 1
         self._buffered += lines.size
         self._act_buffer_writes += lines.size
+        if self._multi and self.attribute_activity:
+            self._actc_buffer_writes += np.bincount(
+                lines // self._CL, minlength=self.copies)
 
     # --- sources ------------------------------------------------------------
     def _step_sources(self, cycle: int) -> None:
@@ -302,8 +326,12 @@ class FastNetwork:
         self._src_backlog -= active.size
         self.stats.injected_flits += active.size
         if self._multi:
-            self._backlog_by_copy -= np.bincount(
-                active // self._NL, minlength=self.copies)
+            backlog = self._backlog_by_copy
+            injected = np.bincount(active // self._NL,
+                                   minlength=self.copies).tolist()
+            for copy, flits in enumerate(injected):
+                if flits:
+                    backlog[copy] -= flits
 
         heads = sent == 0
         if heads.any():
@@ -317,14 +345,37 @@ class FastNetwork:
 
     # --- router pipeline ----------------------------------------------------
     def _step_routers(self, cycle: int) -> None:
-        state = self.state
-        has = self.fifo_len > 0
-        ready_ok = self.ready <= cycle
+        """One cycle of every router's pipeline.
 
-        # Phase A: per-VC state advance (IDLE -> ROUTING -> VC_ALLOC)
-        # and collection of allocation requests.
-        idle = np.flatnonzero(has & (state == IDLE))
-        if idle.size:
+        All phase sets derive from the lines that hold flits (``wf``):
+        ROUTING and VC_ALLOC lines have their head flit buffered by
+        construction, and an ACTIVE line without a buffered flit has
+        nothing to send — so one ``flatnonzero`` over the FIFO
+        occupancy is the only full-line scan per cycle, and everything
+        after operates on the (usually much smaller) busy subset.
+        """
+        state = self.state
+        wf = np.flatnonzero(self.fifo_len)
+        if not wf.size:
+            return
+        st = state.take(wf)
+
+        # Phase A: per-VC state advance (IDLE -> ROUTING -> VC_ALLOC).
+        # ``va_mask`` collects this cycle's VC_ALLOC requesters over
+        # ``wf`` positions, so ``va`` keeps ascending line order.
+        va_mask = st == VC_ALLOC
+        rpos = np.flatnonzero(st == ROUTING)
+        if rpos.size:
+            # Newly ROUTING lines (set below) carry ready > cycle and
+            # are not in ``rpos`` anyway: they sit out their latency.
+            done = self.ready.take(wf.take(rpos)) <= cycle
+            sel = rpos[done]
+            if sel.size:
+                state[wf.take(sel)] = VC_ALLOC
+                va_mask[sel] = True
+        ipos = np.flatnonzero(st == IDLE)
+        if ipos.size:
+            idle = wf.take(ipos)
             front = idle * self._D + self.fifo_head.take(idle)
             dsts = self.pkt_dst.take(self.buf_pid.take(front))
             nodes = self.line_node.take(idle)
@@ -334,21 +385,21 @@ class FastNetwork:
             if self._route_latency:
                 self.ready[idle] = cycle + self._route_latency
                 state[idle] = ROUTING
-                # ready_ok predates this write; newly routing VCs must
-                # sit out their route latency.
-                ready_ok[idle] = False
             else:
                 # Zero-latency route computation: straight to VC_ALLOC,
                 # as the reference's same-cycle fall-through does.
                 state[idle] = VC_ALLOC
-        promote = (state == ROUTING) & ready_ok
-        state[promote] = VC_ALLOC
+                va_mask[ipos] = True
 
         # SA candidates are collected *before* VA grants, as in the
         # reference (a VC granted an output VC this cycle cannot also
         # win the switch this cycle, even with va_latency == 0).
-        act = np.flatnonzero((state == ACTIVE) & ready_ok & has)
+        act = wf[st == ACTIVE]
         out_lines = np.empty(0, dtype=np.int64)
+        if act.size:
+            ready_ok = self.ready.take(act) <= cycle
+            if not ready_ok.all():
+                act = act[ready_ok]
         if act.size:
             out_lines = self.out_line.take(act)
             got_credit = self.credits.take(out_lines) > 0
@@ -356,7 +407,7 @@ class FastNetwork:
                 act = act[got_credit]
                 out_lines = out_lines[got_credit]
 
-        va = np.flatnonzero(state == VC_ALLOC)
+        va = wf[va_mask]
         if va.size:
             self._vc_allocate(va, cycle)
         if act.size:
@@ -377,9 +428,9 @@ class FastNetwork:
 
         while True:
             prio = (lane - self.va_ptr.take(group)) % pv
-            scoreboard[:] = _NO_REQUEST
             np.minimum.at(scoreboard, group, prio)
             champs = np.flatnonzero(prio == scoreboard.take(group))
+            scoreboard[group] = _NO_REQUEST
             groups = group.take(champs)
 
             free_rows = self._owner_rows[groups] < 0
@@ -401,6 +452,9 @@ class FastNetwork:
             self.ready[winners] = cycle + self._va_latency
             self.va_ptr[groups] = (lane.take(champs) + 1) % pv
             self._act_vc_allocs += winners.size
+            if self._multi and self.attribute_activity:
+                self._actc_vc_allocs += np.bincount(
+                    winners // self._CL, minlength=self.copies)
 
             if champs.size == va.size:
                 break
@@ -443,13 +497,15 @@ class FastNetwork:
         """
         scoreboard = self._scoreboard
         prio = (lane - pointers.take(group)) % size
-        scoreboard[:] = _NO_REQUEST
         np.minimum.at(scoreboard, group, prio)
         champs = np.flatnonzero(prio == scoreboard.take(group))
+        scoreboard[group] = _NO_REQUEST
         if champs.size == group.size:
             return None                     # all groups uncontested
-        contested = np.bincount(group, minlength=1).take(
-            group.take(champs)) >= 2
+        counts = self._group_counts
+        np.add.at(counts, group, 1)
+        contested = counts.take(group.take(champs)) >= 2
+        counts[group] = 0
         advance = champs[contested]
         pointers[group.take(advance)] = (lane.take(advance) + 1) % size
         return champs
@@ -469,30 +525,42 @@ class FastNetwork:
         self._act_buffer_reads += count
         self._act_xbar += count
         self._act_sa_grants += count
+        win_by_copy = None
+        if self._multi and self.attribute_activity:
+            win_by_copy = np.bincount(winners // self._CL,
+                                      minlength=self.copies)
+            self._actc_buffer_reads += win_by_copy
+            self._actc_xbar += win_by_copy
+            self._actc_sa_grants += win_by_copy
+            self._actc_credits += win_by_copy
 
         self.pkt_hops[pids[fidxs == 0]] += 1
         tails = fidxs == self.pkt_len.take(pids) - 1
         local = self.out_port.take(winners) == LOCAL
 
         ejected = int(np.count_nonzero(local))
+        ej_by_copy = None
         if ejected:
             # Ejection: the sink consumes the flit; no credit needed.
             self.stats.ejected_flits += ejected
             if self._multi:
-                self._ejected_by_copy += np.bincount(
-                    winners[local] // (self._NL * self._PV),
-                    minlength=self.copies)
+                ej_by_copy = np.bincount(winners[local] // self._CL,
+                                         minlength=self.copies)
+                self._ejected_by_copy += ej_by_copy
             eject_tails = local & tails
             if eject_tails.any():
                 now_ns = self.current_time_ns
                 times = self.time_by_copy
-                for lid in pids[eject_tails].tolist():
+                time_of = None if times is None else times.tolist()
+                done_pids = pids[eject_tails]
+                done_hops = self.pkt_hops.take(done_pids).tolist()
+                for lid, hops in zip(done_pids.tolist(), done_hops):
                     packet = self.packets[lid]
                     copy = packet.src // self._NL
                     packet.ejected_cycle = cycle
-                    packet.ejected_ns = (now_ns if times is None
-                                         else float(times[copy]))
-                    packet.hops = int(self.pkt_hops[lid])
+                    packet.ejected_ns = (now_ns if time_of is None
+                                         else time_of[copy])
+                    packet.hops = hops
                     self.stats_by_copy[copy].on_packet_delivered(packet)
                     self.delivered.append(packet)
         if ejected != count:
@@ -512,6 +580,10 @@ class FastNetwork:
             self._flit_ring[slot] = (dests, sent_pids, sent_fidxs)
             self._in_link += sent_lines.size
             self._act_link_flits += sent_lines.size
+            if win_by_copy is not None:
+                self._actc_link_flits += (
+                    win_by_copy if ej_by_copy is None
+                    else win_by_copy - ej_by_copy)
 
         # Return a credit upstream for each freed buffer slot.  A line
         # decomposes as ``(node*P + in_port) * V + in_vc``; local input
@@ -549,6 +621,90 @@ class FastNetwork:
             sa_grants=self._act_sa_grants,
             credit_transfers=self._act_credits)
 
+    def activity_of(self, copy: int) -> ActivityCounters:
+        """Cumulative event counters of one replica.
+
+        This is what per-replica power windows are built from: each
+        batched sweep point's energy integrates *its own* mesh events,
+        exactly as a standalone ``copies=1`` run would count them.
+        Events are attributed per copy only while
+        ``attribute_activity`` is True; window *deltas* over an
+        attributed interval are exact regardless of the flag's state
+        outside it.
+        """
+        if not self._multi:
+            return self.aggregate_activity()
+        return ActivityCounters(
+            buffer_writes=int(self._actc_buffer_writes[copy]),
+            buffer_reads=int(self._actc_buffer_reads[copy]),
+            xbar_traversals=int(self._actc_xbar[copy]),
+            link_flits=int(self._actc_link_flits[copy]),
+            vc_allocs=int(self._actc_vc_allocs[copy]),
+            sa_grants=int(self._actc_sa_grants[copy]),
+            credit_transfers=int(self._actc_credits[copy]))
+
+    def freeze_copy(self, copy: int) -> None:
+        """Retire one replica: drop every flit it still owns.
+
+        Batched runs call this the moment a replica's measured packets
+        have all been delivered and its statistics are frozen — the
+        point where a standalone run would simply terminate.  Dropping
+        the replica's source queues, buffered flits and in-flight
+        link/credit events shrinks every subsequent cycle's active
+        sets, so stragglers no longer pay for finished replicas.
+        Replicas share no state, so the remaining copies' schedules are
+        untouched (the equivalence suite enforces this).
+        """
+        if not self._multi:
+            raise ValueError("freeze_copy needs a multi-replica engine")
+        lo, hi = copy * self._CL, (copy + 1) * self._CL
+        node_lo, node_hi = copy * self._NL, (copy + 1) * self._NL
+
+        # Sources: forget queued and half-sent packets.
+        for node in range(node_lo, node_hi):
+            queue = self.queues[node]
+            self._queued_packets -= len(queue)
+            queue.clear()
+        self.queue_ready[node_lo:node_hi] = False
+        self.cur_lid[node_lo:node_hi] = -1
+        self._src_backlog -= self._backlog_by_copy[copy]
+        self._backlog_by_copy[copy] = 0
+
+        # Router lines: empty FIFOs and release allocations.
+        self._buffered -= int(self.fifo_len[lo:hi].sum())
+        self.fifo_len[lo:hi] = 0
+        self.fifo_head[lo:hi] = 0
+        self.state[lo:hi] = IDLE
+        self.owner[lo:hi] = -1
+
+        # Event rings: drop flits and credits addressed into the
+        # replica (its lines are never looked at again).
+        for slot, batch in enumerate(self._flit_ring):
+            if batch is None:
+                continue
+            lines, pids, fidxs = batch
+            keep = (lines < lo) | (lines >= hi)
+            if keep.all():
+                continue
+            self._in_link -= int(np.count_nonzero(~keep))
+            self._flit_ring[slot] = (
+                (lines[keep], pids[keep], fidxs[keep])
+                if keep.any() else None)
+        slot_lo, slot_hi = node_lo * self._V, node_hi * self._V
+        for slot, batch in enumerate(self._credit_ring):
+            if batch is None:
+                continue
+            router_lines, src_slots = batch
+            keep_r = (router_lines < lo) | (router_lines >= hi)
+            keep_s = (src_slots < slot_lo) | (src_slots >= slot_hi)
+            if keep_r.all() and keep_s.all():
+                continue
+            router_lines = router_lines[keep_r]
+            src_slots = src_slots[keep_s]
+            self._credit_ring[slot] = (
+                (router_lines, src_slots)
+                if router_lines.size or src_slots.size else None)
+
     def router_activity_map(self) -> list:
         raise NotImplementedError(
             "per-router activity maps need the reference engine "
@@ -578,7 +734,7 @@ class FastNetwork:
         """Source-queue backlog flits of one replica."""
         if not self._multi:
             return self._src_backlog
-        return int(self._backlog_by_copy[copy])
+        return self._backlog_by_copy[copy]
 
     def is_drained(self) -> bool:
         """True when no flit remains anywhere in the system."""

@@ -159,10 +159,12 @@ class Simulation:
     def run(self, warmup_cycles: int = 2000, measure_cycles: int = 5000,
             drain_cycles: int | None = None) -> SimResult:
         """Execute warmup, measurement and drain; return the result."""
-        if warmup_cycles < 0 or measure_cycles < 1:
-            raise ValueError("need warmup >= 0 and measure >= 1 cycles")
         if drain_cycles is None:
             drain_cycles = max(10_000, 4 * measure_cycles)
+        # Delegate range validation to SimBudget (the one place the
+        # warmup/measure/drain contract is defined).
+        from .budget import SimBudget
+        SimBudget(warmup_cycles, measure_cycles, drain_cycles)
 
         net = self.network
         stats = net.stats

@@ -158,11 +158,13 @@ class StatsCollector:
     def on_packet_delivered(self, packet: Packet) -> None:
         self.delivered_packets += 1
         self._win_delivered += 1
-        self._win_delay_sum_ns += packet.delay_ns
-        self._win_latency_sum += packet.latency_cycles
+        delay_ns = packet.ejected_ns - packet.created_ns
+        latency = packet.ejected_cycle - packet.created_cycle
+        self._win_delay_sum_ns += delay_ns
+        self._win_latency_sum += latency
         if packet.measured:
-            self.measured_latencies.append(packet.latency_cycles)
-            self.measured_delays_ns.append(packet.delay_ns)
+            self.measured_latencies.append(latency)
+            self.measured_delays_ns.append(delay_ns)
             self.measured_hops.append(packet.hops)
 
     # --- control window --------------------------------------------------

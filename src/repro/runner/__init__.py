@@ -1,31 +1,57 @@
-"""Parallel sweep runner: deterministic, cached work-unit execution.
+"""Parallel sweep runner: deterministic, planned, multi-backend.
 
 Every evaluation figure of the paper is a sweep whose points are
 independent simulations.  This package turns each point into a
 :class:`WorkUnit`, derives a per-unit random seed from the run seed
 and the unit's spec hash (:mod:`repro.runner.seeding`), caches results
-by that hash (:class:`UnitCache`), and executes units serially or on a
-process pool (:class:`SweepRunner`) — with the guarantee that the
-execution mode can never change a result.
+by that hash (:class:`UnitCache`), plans what must actually run
+(:class:`ExecutionPlan`: cache hits, batch groups, shards) and
+executes the plan on an interchangeable :class:`Backend` (serial,
+process pool, or batched through
+:func:`repro.noc.fastsim.run_fixed_batch`) — with the guarantee that
+the execution mode can never change a result.  An
+:class:`ExecutionContext` carries the whole configuration (backend,
+jobs, cache, engine, progress) from the CLI or benchmark harness down
+to the runner in one object.
 """
 
+from .backends import (BACKENDS, Backend, BackendRun, BatchedBackend,
+                       ProcessPoolBackend, SerialBackend, backend_names,
+                       make_backend)
 from .cache import CacheStats, UnitCache
+from .context import ExecutionContext, context_from_env
 from .executor import (RunReport, RunTotals, SweepRunner, default_jobs,
                        print_progress)
+from .plan import (BatchGroup, ExecutionPlan, MAX_SHARD_POINTS,
+                   batch_eligible)
 from .seeding import derive_unit_seed, unit_generator, unit_seed_sequence
 from .units import FrequencyStrategy, UnitResult, WorkUnit, strategy_key
 
 __all__ = [
+    "BACKENDS",
+    "Backend",
+    "BackendRun",
+    "BatchGroup",
+    "BatchedBackend",
     "CacheStats",
+    "ExecutionContext",
+    "ExecutionPlan",
     "FrequencyStrategy",
+    "MAX_SHARD_POINTS",
+    "ProcessPoolBackend",
     "RunReport",
     "RunTotals",
+    "SerialBackend",
     "SweepRunner",
     "UnitCache",
     "UnitResult",
     "WorkUnit",
+    "backend_names",
+    "batch_eligible",
+    "context_from_env",
     "default_jobs",
     "derive_unit_seed",
+    "make_backend",
     "print_progress",
     "strategy_key",
     "unit_generator",

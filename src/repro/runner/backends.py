@@ -1,0 +1,230 @@
+"""Execution backends: interchangeable unit-execution strategies.
+
+A backend takes an :class:`~repro.runner.plan.ExecutionPlan` and
+executes everything the plan says must run, reporting each finished
+:class:`~repro.runner.units.UnitResult` through a callback (the runner
+owns caching, result placement and progress).  Three backends register
+here, mirroring how simulation engines register in
+:mod:`repro.noc.engines`:
+
+``serial``
+    One unit at a time, in process.  No pool, no pickling.
+``pool``
+    Per-unit fan-out onto a ``ProcessPoolExecutor``.  Falls back to
+    serial execution when the host cannot create a pool or the pool
+    dies mid-run.
+``batched``
+    Batch groups execute as *one*
+    :func:`repro.noc.fastsim.run_fixed_batch` call per shard — the
+    fast engine's intended sweep mode — and the per-replica results
+    fan back into per-unit results.  Shards and leftover per-unit work
+    fan out across the pool when ``jobs > 1``, with the same serial
+    fallback.
+
+Every unit's seed derives from its spec digest, so backend choice,
+shard boundaries and worker count can never change a result — the
+differential backend tests enforce bit-identity against serial
+execution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+from ..noc.fastsim import BatchPoint, run_fixed_batch
+from .plan import BatchGroup, ExecutionPlan
+from .units import UnitResult, WorkUnit
+
+#: Called once per finished unit result (the runner's sink).
+FinishFn = Callable[[UnitResult], None]
+
+
+def _execute_unit(unit: WorkUnit) -> UnitResult:
+    """Top-level trampoline so units cross process boundaries."""
+    return unit.execute()
+
+
+def _execute_group(group: BatchGroup) -> list[UnitResult]:
+    """Execute one batch group: shared engine, per-unit results.
+
+    Frequencies still resolve per unit (closed-form strategies are
+    instant; search-based ones run their own simulations), then every
+    unit's fixed-frequency measurement runs as one replica of a single
+    batched engine.  Digests, seeds and results are identical to
+    per-unit execution; each unit's ``elapsed_s`` is its frequency
+    search plus its share of the batch.
+    """
+    units = group.units
+    seeds: list[int] = []
+    freqs: list[float] = []
+    search_s: list[float] = []
+    for unit in units:
+        t0 = time.perf_counter()
+        seed = unit.seed()
+        freqs.append(unit.steady_frequency(seed))
+        seeds.append(seed)
+        search_s.append(time.perf_counter() - t0)
+    t0 = time.perf_counter()
+    sims = run_fixed_batch(
+        group.config,
+        [BatchPoint(unit.traffic, freq, seed)
+         for unit, freq, seed in zip(units, freqs, seeds)],
+        group.budget)
+    share = (time.perf_counter() - t0) / len(units)
+    return [
+        UnitResult(policy=unit.policy, x=unit.x, freq_hz=freq,
+                   seed=seed, digest=unit.digest(), result=sim,
+                   elapsed_s=search + share)
+        for unit, freq, seed, sim, search
+        in zip(units, freqs, seeds, sims, search_s)
+    ]
+
+
+@dataclass
+class BackendRun:
+    """What a backend did with one plan (report bookkeeping)."""
+
+    parallel: bool = False      # a pool executed at least one task
+    groups: int = 0             # batch groups (shards) executed
+    batched_units: int = 0      # units that ran inside batch groups
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """What the runner requires of an execution backend."""
+
+    name: str
+
+    def execute(self, plan: ExecutionPlan, jobs: int,
+                finish: FinishFn) -> BackendRun:
+        """Run everything pending in ``plan``; report through
+        ``finish`` (in any order); return run bookkeeping."""
+
+
+def _run_tasks_on_pool(tasks: list[tuple], workers: int,
+                       consume: Callable) -> list[tuple]:
+    """Execute ``(fn, arg)`` tasks on a process pool.
+
+    ``consume(fn, result)`` is called per finished task.  Returns the
+    tasks that still need serial execution: all of them when no pool
+    could be created, the unfinished remainder if the pool broke.
+
+    The executor module's ``ProcessPoolExecutor`` reference is looked
+    up lazily so tests (and restricted hosts) can stub pool creation
+    in one place.
+    """
+    from concurrent.futures import FIRST_COMPLETED, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    from . import executor
+
+    try:
+        pool = executor.ProcessPoolExecutor(max_workers=workers)
+    except (OSError, PermissionError, ValueError):
+        # Hosts without working multiprocessing primitives: the
+        # runner still works, just without the speedup.
+        return list(tasks)
+    unfinished = {}
+    try:
+        with pool:
+            for fn, arg in tasks:
+                unfinished[pool.submit(fn, arg)] = (fn, arg)
+            pending_futures = set(unfinished)
+            while pending_futures:
+                finished, pending_futures = wait(
+                    pending_futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    consume(unfinished[future][0], future.result())
+                    del unfinished[future]
+    except BrokenProcessPool:
+        return list(unfinished.values())
+    return []
+
+
+class SerialBackend:
+    """Everything in process, one unit at a time."""
+
+    name = "serial"
+
+    def execute(self, plan: ExecutionPlan, jobs: int,
+                finish: FinishFn) -> BackendRun:
+        for unit in plan.todo:
+            finish(_execute_unit(unit))
+        return BackendRun()
+
+
+class ProcessPoolBackend:
+    """Per-unit fan-out onto worker processes."""
+
+    name = "pool"
+
+    def execute(self, plan: ExecutionPlan, jobs: int,
+                finish: FinishFn) -> BackendRun:
+        todo = plan.todo
+        remaining = list(todo)
+        if jobs > 1 and len(todo) > 1:
+            remaining = [
+                arg for _, arg in _run_tasks_on_pool(
+                    [(_execute_unit, unit) for unit in todo],
+                    min(jobs, len(todo)),
+                    lambda fn, result: finish(result))
+            ]
+        ran_parallel = len(remaining) < len(todo)
+        for unit in remaining:      # serial path and pool fallback
+            finish(_execute_unit(unit))
+        return BackendRun(parallel=ran_parallel)
+
+
+class BatchedBackend:
+    """Batch groups through ``run_fixed_batch``; the rest per unit."""
+
+    name = "batched"
+
+    def execute(self, plan: ExecutionPlan, jobs: int,
+                finish: FinishFn) -> BackendRun:
+        plan.group_batches(jobs)
+        run = BackendRun(groups=len(plan.groups),
+                         batched_units=plan.batched_units)
+
+        def consume(fn, result) -> None:
+            if fn is _execute_group:
+                for unit_result in result:
+                    finish(unit_result)
+            else:
+                finish(result)
+
+        tasks = ([(_execute_group, group) for group in plan.groups]
+                 + [(_execute_unit, unit) for unit in plan.singles])
+        remaining = list(tasks)
+        if jobs > 1 and len(tasks) > 1:
+            remaining = _run_tasks_on_pool(
+                tasks, min(jobs, len(tasks)), consume)
+        run.parallel = len(remaining) < len(tasks)
+        for fn, arg in remaining:   # serial path and pool fallback
+            consume(fn, fn(arg))
+        return run
+
+
+BACKENDS: dict[str, type] = {
+    "serial": SerialBackend,
+    "pool": ProcessPoolBackend,
+    "batched": BatchedBackend,
+}
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names (the CLI adds ``auto`` on top)."""
+    return tuple(BACKENDS)
+
+
+def make_backend(name: str) -> Backend:
+    """Instantiate the backend registered under ``name``."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        known = ", ".join(backend_names())
+        raise ValueError(f"unknown backend {name!r}; known: {known}") \
+            from None
+    return cls()

@@ -1,0 +1,107 @@
+"""The execution context: one object describing *how* units run.
+
+Before this existed, every layer threaded ``engine=``, ``jobs=`` and
+``cache=`` keywords down to the next one (CLI -> Workbench ->
+run_sweep -> SweepRunner), and adding an execution knob meant touching
+all of them.  An :class:`ExecutionContext` is constructed once at the
+top (CLI flags, benchmark environment variables, or directly in code)
+and passed down whole:
+
+* ``backend`` — execution-backend name (:mod:`repro.runner.backends`):
+  ``serial``, ``pool``, ``batched``, or ``auto``;
+* ``jobs`` — worker processes for per-unit fan-out and batch shards;
+* ``cache`` — the shared :class:`~repro.runner.cache.UnitCache`
+  (``None`` disables unit caching);
+* ``engine`` — default simulation engine for units built under this
+  context;
+* ``progress`` — optional per-unit progress callback.
+
+``auto`` resolves to ``batched`` when the context's engine is the fast
+engine (its sweeps then execute through
+:func:`repro.noc.fastsim.run_fixed_batch` automatically), to ``pool``
+when ``jobs > 1``, and to ``serial`` otherwise.  The determinism
+contract is backend-independent: any backend, shard size and worker
+count returns bit-identical results (see README "Determinism
+guarantee"), so backend selection is purely a performance choice.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..noc.engines import DEFAULT_ENGINE, engine_names
+from .backends import backend_names
+from .cache import UnitCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .executor import SweepRunner
+    from .units import UnitResult
+
+#: Progress callback signature: (units done, units total, latest result).
+ProgressFn = Callable[[int, int, "UnitResult"], None]
+
+
+def default_cache() -> UnitCache:
+    """A fresh unit cache (the context default)."""
+    return UnitCache()
+
+
+@dataclass
+class ExecutionContext:
+    """How work units execute: backend, parallelism, cache, engine."""
+
+    backend: str = "auto"
+    jobs: int = 1
+    cache: UnitCache | None = field(default_factory=default_cache)
+    engine: str = DEFAULT_ENGINE
+    progress: ProgressFn | None = None
+
+    def __post_init__(self) -> None:
+        if (self.backend != "auto"
+                and self.backend not in backend_names()):
+            known = ", ".join(backend_names() + ("auto",))
+            raise ValueError(f"unknown backend {self.backend!r}; "
+                             f"known: {known}")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.engine not in engine_names():
+            raise ValueError(f"unknown engine {self.engine!r}; known: "
+                             f"{', '.join(engine_names())}")
+        self._runner: "SweepRunner" | None = None
+
+    def resolved_backend(self) -> str:
+        """The concrete backend ``auto`` stands for under this context."""
+        if self.backend != "auto":
+            return self.backend
+        if self.engine == "fast":
+            return "batched"
+        return "pool" if self.jobs > 1 else "serial"
+
+    @property
+    def runner(self) -> "SweepRunner":
+        """The context's shared runner (created on first use).
+
+        Sharing one runner means repeated ``run_sweep`` calls under one
+        context share the cache, the accumulated ``RunTotals`` and the
+        progress callback — the behaviour the Workbench had to wire by
+        hand before.
+        """
+        if self._runner is None:
+            from .executor import SweepRunner
+            self._runner = SweepRunner(context=self)
+        return self._runner
+
+    def run(self, units) -> list["UnitResult"]:
+        """Execute units through the context's runner."""
+        return self.runner.run(units)
+
+
+def context_from_env() -> ExecutionContext:
+    """Build a context from ``REPRO_BACKEND``/``REPRO_JOBS``/
+    ``REPRO_ENGINE`` (the benchmark harness entry point)."""
+    return ExecutionContext(
+        backend=os.environ.get("REPRO_BACKEND", "auto"),
+        jobs=int(os.environ.get("REPRO_JOBS", "1")),
+        engine=os.environ.get("REPRO_ENGINE", DEFAULT_ENGINE))

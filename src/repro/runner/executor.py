@@ -1,21 +1,29 @@
-"""The sweep runner: cached, parallel execution of work units.
+"""The sweep runner: planned, cached, backend-driven unit execution.
 
 ``SweepRunner.run`` takes a list of :class:`~repro.runner.units.WorkUnit`
 and returns their results *in submission order*.  Under the hood it
 
-1. serves every unit whose spec digest is already in the
-   :class:`~repro.runner.cache.UnitCache`;
-2. executes the remaining unique units — serially for ``jobs=1``, or
-   on a ``ProcessPoolExecutor`` with ``jobs`` workers otherwise;
+1. builds an :class:`~repro.runner.plan.ExecutionPlan` — cache hits are
+   served immediately, duplicates collapse, and (for a batched backend)
+   the remainder groups into batch shards;
+2. hands the plan to the :class:`~repro.runner.backends.Backend`
+   selected by its :class:`~repro.runner.context.ExecutionContext`
+   (``serial``, ``pool``, ``batched``, or ``auto``);
 3. reports progress and timing through an optional callback and a
    :class:`RunReport`.
 
 Determinism: each unit carries its own derived seed (see
-:mod:`repro.runner.seeding`), so the parallel schedule can never leak
-into the results — ``jobs=8`` is bit-identical to ``jobs=1``.  If the
-host cannot create a process pool (restricted sandboxes, missing
-semaphores) or the pool dies mid-run, the runner falls back to serial
-execution of whatever is left, with identical results.
+:mod:`repro.runner.seeding`), so neither the backend, the shard
+boundaries nor the worker schedule can leak into the results —
+``backend="batched"`` with ``jobs=8`` is bit-identical to ``jobs=1``
+serial.  If the host cannot create a process pool (restricted
+sandboxes, missing semaphores) or the pool dies mid-run, execution
+falls back to in-process work with identical results.
+
+``SweepRunner(jobs=N, cache=...)`` remains as constructor sugar for a
+pool/serial context; new code builds an
+:class:`~repro.runner.context.ExecutionContext` once and passes it
+down (``SweepRunner(context=...)``, ``Workbench(context=...)``).
 """
 
 from __future__ import annotations
@@ -23,21 +31,17 @@ from __future__ import annotations
 import os
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import ProcessPoolExecutor  # noqa: F401  (see
+# backends._run_tasks_on_pool: pool creation resolves through this
+# module so restricted-host tests can stub it in one place)
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Sequence
 
+from .backends import make_backend
 from .cache import UnitCache
+from .context import ExecutionContext, ProgressFn
+from .plan import ExecutionPlan
 from .units import UnitResult, WorkUnit
-
-#: Progress callback signature: (units done, units total, latest result).
-ProgressFn = Callable[[int, int, UnitResult], None]
-
-
-def _execute_unit(unit: WorkUnit) -> UnitResult:
-    """Top-level trampoline so units cross process boundaries."""
-    return unit.execute()
 
 
 def default_jobs() -> int:
@@ -73,6 +77,12 @@ class RunReport:
     #: summed single-unit execution time; with ``parallel`` this can
     #: exceed ``elapsed_s`` — the ratio is the realized speedup
     busy_s: float = 0.0
+    #: backend that executed the plan ("serial", "pool", "batched")
+    backend: str = "serial"
+    #: batch groups (shards) executed as single engine invocations
+    groups: int = 0
+    #: executed units that ran inside batch groups
+    batched_units: int = 0
 
     @property
     def units_per_s(self) -> float:
@@ -84,7 +94,11 @@ class RunReport:
         return self.busy_s / self.elapsed_s if self.elapsed_s > 0 else 1.0
 
     def render(self) -> str:
-        mode = (f"{self.jobs} workers" if self.parallel else "serial")
+        mode = self.backend
+        if self.groups:
+            mode += f" x{self.groups} groups"
+        if self.parallel:
+            mode += f", {self.jobs} workers"
         return (f"{self.total_units} units ({self.cache_hits} cached, "
                 f"{self.executed} run, {mode}) in {self.elapsed_s:.1f}s"
                 + (f", speedup {self.speedup:.1f}x" if self.parallel
@@ -100,6 +114,8 @@ class RunTotals:
     cache_hits: int = 0
     elapsed_s: float = 0.0
     busy_s: float = 0.0
+    groups: int = 0
+    batched_units: int = 0
     reports: list[RunReport] = field(default_factory=list)
 
     def add(self, report: RunReport) -> None:
@@ -108,107 +124,95 @@ class RunTotals:
         self.cache_hits += report.cache_hits
         self.elapsed_s += report.elapsed_s
         self.busy_s += report.busy_s
+        self.groups += report.groups
+        self.batched_units += report.batched_units
         self.reports.append(report)
 
     def render(self) -> str:
+        batched = (f", {self.batched_units} batched in {self.groups} "
+                   f"groups" if self.groups else "")
         return (f"{self.total_units} units total, "
                 f"{self.cache_hits} cache hits, "
-                f"{self.executed} executed in {self.elapsed_s:.1f}s")
+                f"{self.executed} executed in {self.elapsed_s:.1f}s"
+                + batched)
 
 
 class SweepRunner:
-    """Executes work units with caching and optional parallelism.
+    """Executes work units under an :class:`ExecutionContext`.
 
-    ``jobs=1`` (the default) runs everything in-process — no pool, no
-    pickling, no surprises.  ``jobs=N`` fans unique units out to ``N``
-    worker processes.  ``cache=None`` disables result caching.
+    ``SweepRunner(context=ctx)`` is the primary constructor.  The
+    keyword form ``SweepRunner(jobs=N, cache=..., progress=...)``
+    builds an equivalent context with the pre-backend behaviour: a
+    ``pool`` backend for ``jobs > 1``, ``serial`` otherwise, and no
+    cache unless one is passed.
     """
 
     def __init__(self, jobs: int = 1, cache: UnitCache | None = None,
-                 progress: ProgressFn | None = None) -> None:
-        if jobs < 1:
-            raise ValueError("jobs must be >= 1")
-        self.jobs = jobs
-        self.cache = cache
-        self.progress = progress
+                 progress: ProgressFn | None = None,
+                 context: ExecutionContext | None = None) -> None:
+        if context is None:
+            context = ExecutionContext(
+                backend="pool" if jobs > 1 else "serial",
+                jobs=jobs, cache=cache, progress=progress)
+        self.context = context
+        if context._runner is None:
+            # Make ``context.runner`` resolve to this runner, so code
+            # holding either object shares cache and totals.
+            context._runner = self
         self.last_report: RunReport | None = None
         self.totals = RunTotals()
+
+    # --- context delegation (existing call sites read these) ----------
+    @property
+    def jobs(self) -> int:
+        return self.context.jobs
+
+    @property
+    def cache(self) -> UnitCache | None:
+        return self.context.cache
+
+    @property
+    def progress(self) -> ProgressFn | None:
+        return self.context.progress
+
+    @progress.setter
+    def progress(self, callback: ProgressFn | None) -> None:
+        self.context.progress = callback
 
     # ------------------------------------------------------------------
     def run(self, units: Sequence[WorkUnit]) -> list[UnitResult]:
         """Execute every unit; results come back in submission order."""
         start = time.perf_counter()
-        digests = [u.digest() for u in units]
-        results: list[UnitResult | None] = [None] * len(units)
-
-        cache_hits = 0
-        pending: dict[str, list[int]] = {}  # digest -> unit indices
-        for i, (unit, digest) in enumerate(zip(units, digests)):
-            found = self.cache.get(digest) if self.cache is not None else None
-            if found is not None:
-                results[i] = found
-                cache_hits += 1
-            else:
-                pending.setdefault(digest, []).append(i)
-
-        todo = [units[indices[0]] for indices in pending.values()]
-        done_count = cache_hits
+        context = self.context
+        plan = ExecutionPlan(list(units), context.cache)
+        done_count = plan.cache_hits
         busy_s = 0.0
 
         def finish(result: UnitResult) -> None:
             nonlocal done_count, busy_s
             busy_s += result.elapsed_s
-            if self.cache is not None:
-                self.cache.put(result)
-            indices = pending[result.digest]
+            if context.cache is not None:
+                context.cache.put(result)
+            indices = plan.pending[result.digest]
             for i in indices:
-                results[i] = result if i == indices[0] else result.cached()
+                plan.results[i] = (result if i == indices[0]
+                                   else result.cached())
             done_count += len(indices)
-            if self.progress is not None:
-                self.progress(done_count, len(units), result)
+            if context.progress is not None:
+                context.progress(done_count, plan.total_units, result)
 
-        remaining = list(todo)
-        if self.jobs > 1 and len(todo) > 1:
-            remaining = self._run_parallel(todo, finish)
-        ran_parallel = len(remaining) < len(todo)
-        for unit in remaining:  # serial path and parallel fallback
-            finish(_execute_unit(unit))
+        backend_name = context.resolved_backend()
+        outcome = make_backend(backend_name).execute(
+            plan, context.jobs, finish)
 
         elapsed = time.perf_counter() - start
         report = RunReport(
-            total_units=len(units), executed=len(todo),
-            cache_hits=cache_hits, jobs=self.jobs,
-            parallel=ran_parallel, elapsed_s=elapsed, busy_s=busy_s)
+            total_units=plan.total_units, executed=plan.executed,
+            cache_hits=plan.cache_hits, jobs=context.jobs,
+            parallel=outcome.parallel, elapsed_s=elapsed, busy_s=busy_s,
+            backend=backend_name, groups=outcome.groups,
+            batched_units=outcome.batched_units)
         self.last_report = report
         self.totals.add(report)
-        assert all(r is not None for r in results)
-        return results  # type: ignore[return-value]
-
-    # ------------------------------------------------------------------
-    def _run_parallel(self, todo: list[WorkUnit],
-                      finish: Callable[[UnitResult], None]
-                      ) -> list[WorkUnit]:
-        """Run units on a process pool; return whatever still needs
-        running serially (all of ``todo`` when no pool can be made)."""
-        workers = min(self.jobs, len(todo))
-        try:
-            pool = ProcessPoolExecutor(max_workers=workers)
-        except (OSError, PermissionError, ValueError):
-            # Hosts without working multiprocessing primitives: the
-            # runner still works, just without the speedup.
-            return list(todo)
-        unfinished = {}
-        try:
-            with pool:
-                for unit in todo:
-                    unfinished[pool.submit(_execute_unit, unit)] = unit
-                pending_futures = set(unfinished)
-                while pending_futures:
-                    finished, pending_futures = wait(
-                        pending_futures, return_when=FIRST_COMPLETED)
-                    for future in finished:
-                        finish(future.result())
-                        del unfinished[future]
-        except BrokenProcessPool:
-            return list(unfinished.values())
-        return []
+        assert all(r is not None for r in plan.results)
+        return plan.results  # type: ignore[return-value]

@@ -1,0 +1,148 @@
+"""Execution planning: cache hits, batch groups, shards.
+
+An :class:`ExecutionPlan` is the runner's decision of *what actually
+needs to run* for a list of submitted work units:
+
+1. **Cache pass** — units whose spec digest is already cached are
+   served immediately; duplicate submissions of one spec collapse onto
+   a single pending execution (exactly one unit runs per digest).
+2. **Grouping pass** — pending units that are *batch-eligible* (fast
+   engine, homogeneous node clocks) and share ``(config, budget,
+   engine)`` form :class:`BatchGroup`\\ s, which a batched backend can
+   execute as one :func:`repro.noc.fastsim.run_fixed_batch` call.
+   Everything else stays on the per-unit path (``singles``).
+3. **Sharding pass** — oversized groups split into shards so they can
+   also fan out across a process pool, and so one enormous submission
+   does not build an unboundedly wide engine.
+
+Plans are pure data: backends consume ``plan.groups``/``plan.singles``
+(or ``plan.todo`` for per-unit backends) and report each finished
+:class:`~repro.runner.units.UnitResult` back through the runner, which
+owns result placement, caching and progress.  Because every unit
+carries its own spec-digest-derived seed, none of these decisions can
+change any result — grouping and sharding are performance choices
+only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..noc.budget import SimBudget
+from ..noc.config import NocConfig
+from .cache import UnitCache
+from .units import UnitResult, WorkUnit
+
+#: Widest shard a batched backend executes as one engine.  Bounds the
+#: batched engine's working set; groups wider than this split even on
+#: a single worker.
+MAX_SHARD_POINTS = 96
+
+
+def batch_eligible(unit: WorkUnit) -> bool:
+    """Can this unit run as a replica of a batched engine?
+
+    Requires the fast engine (the batched kernel is the fast engine's
+    replicated form) and homogeneous node clocks (the one reference
+    feature ``run_fixed_batch`` does not replicate).
+    """
+    return (unit.engine == "fast"
+            and unit.config.node_freqs_hz is None)
+
+
+@dataclass
+class BatchGroup:
+    """Pending units sharing one batched-engine invocation."""
+
+    config: NocConfig
+    budget: SimBudget
+    engine: str
+    units: list[WorkUnit]
+
+    def split(self, shard_size: int) -> list["BatchGroup"]:
+        """Shards of at most ``shard_size`` units (submission order)."""
+        if shard_size < 1:
+            raise ValueError("shard size must be >= 1")
+        if len(self.units) <= shard_size:
+            return [self]
+        return [BatchGroup(self.config, self.budget, self.engine,
+                           self.units[i:i + shard_size])
+                for i in range(0, len(self.units), shard_size)]
+
+
+class ExecutionPlan:
+    """What must execute (and how it groups) for one submission."""
+
+    def __init__(self, units: list[WorkUnit],
+                 cache: UnitCache | None = None) -> None:
+        self.units = list(units)
+        self.digests = [u.digest() for u in self.units]
+        #: final results in submission order (filled by the runner)
+        self.results: list[UnitResult | None] = [None] * len(self.units)
+        #: digest -> submission indices awaiting that digest's result
+        self.pending: dict[str, list[int]] = {}
+        self.cache_hits = 0
+        for i, (unit, digest) in enumerate(zip(self.units, self.digests)):
+            found = cache.get(digest) if cache is not None else None
+            if found is not None:
+                self.results[i] = found
+                self.cache_hits += 1
+            else:
+                self.pending.setdefault(digest, []).append(i)
+        #: unique units that must actually execute (one per digest)
+        self.todo: list[WorkUnit] = [
+            self.units[indices[0]] for indices in self.pending.values()]
+        #: batch groups (after :meth:`group_batches`; empty otherwise)
+        self.groups: list[BatchGroup] = []
+        #: units left on the per-unit path
+        self.singles: list[WorkUnit] = list(self.todo)
+
+    # ------------------------------------------------------------------
+    def group_batches(self, jobs: int = 1,
+                      max_shard: int = MAX_SHARD_POINTS) -> None:
+        """Partition ``todo`` into batch groups and per-unit singles.
+
+        ``jobs`` steers sharding: a group is split into roughly
+        ``jobs`` equal shards (never wider than ``max_shard``) so a
+        pool-backed batched backend keeps every worker busy.
+        """
+        grouped: dict[tuple, BatchGroup] = {}
+        self.singles = []
+        order: list[BatchGroup] = []
+        for unit in self.todo:
+            if not batch_eligible(unit):
+                self.singles.append(unit)
+                continue
+            key = (unit.config, unit.budget, unit.engine)
+            group = grouped.get(key)
+            if group is None:
+                group = grouped[key] = BatchGroup(
+                    unit.config, unit.budget, unit.engine, [])
+                order.append(group)
+            group.units.append(unit)
+        self.groups = []
+        for group in order:
+            if len(group.units) == 1:
+                # A lone unit gains nothing from the batched kernel.
+                self.singles.extend(group.units)
+                continue
+            shard_size = max_shard
+            if jobs > 1:
+                per_worker = -(-len(group.units) // jobs)  # ceil div
+                shard_size = min(max_shard, max(1, per_worker))
+            self.groups.extend(group.split(shard_size))
+
+    # ------------------------------------------------------------------
+    @property
+    def total_units(self) -> int:
+        return len(self.units)
+
+    @property
+    def executed(self) -> int:
+        """Unique units that will run (cache misses)."""
+        return len(self.todo)
+
+    @property
+    def batched_units(self) -> int:
+        """Units that execute inside batch groups."""
+        return sum(len(g.units) for g in self.groups)

@@ -109,7 +109,7 @@ class WorkUnit:
         """Run the unit: pick the steady-state frequency, measure it."""
         start = time.perf_counter()
         seed = self.seed()
-        freq_hz = self._frequency(seed)
+        freq_hz = self.steady_frequency(seed)
         result = run_fixed_point(self.config, self.traffic, freq_hz,
                                  self.budget, seed, engine=self.engine)
         return UnitResult(
@@ -122,8 +122,11 @@ class WorkUnit:
             elapsed_s=time.perf_counter() - start,
         )
 
-    def _frequency(self, seed: int) -> float:
+    def steady_frequency(self, seed: int) -> float:
         """Ask the strategy for the steady-state frequency.
+
+        Public because the batched backend resolves frequencies before
+        handing the whole group to one engine.
 
         Built-in strategies accept the unit's engine so their search
         simulations run on it too.  User strategies written before the

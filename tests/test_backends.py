@@ -1,0 +1,346 @@
+"""Tests for the execution-backend API (plan, backends, context).
+
+The contract under test: the planner only changes *how* units execute
+(cache service, batch grouping, sharding), never *what* they compute —
+``backend="batched"`` is bit-identical to serial per-unit execution,
+group accounting is correct, and the pre-context spellings keep
+working.
+"""
+
+import warnings
+
+import pytest
+
+from repro.analysis import (DmsdSteadyState, NoDvfsSteadyState,
+                            RmsdSteadyState, run_sweep, sweep_units)
+from repro.experiments import Workbench
+from repro.experiments.common import Profile
+from repro.noc import SimBudget
+from repro.runner import (BatchGroup, ExecutionContext, ExecutionPlan,
+                          SweepRunner, UnitCache, backend_names,
+                          batch_eligible, make_backend)
+from repro.traffic import PatternTraffic, make_pattern
+
+TINY_BUDGET = SimBudget(200, 500, 1500)
+OTHER_BUDGET = SimBudget(150, 400, 1200)
+
+POLICY_STRATEGIES = (
+    NoDvfsSteadyState(),
+    RmsdSteadyState(lambda_max=0.4),
+    DmsdSteadyState(target_delay_ns=40.0, iterations=3,
+                    search_budget=OTHER_BUDGET),
+)
+
+
+@pytest.fixture
+def factory(tiny_config):
+    mesh = tiny_config.make_mesh()
+    pattern = make_pattern("uniform", mesh)
+    return lambda rate: PatternTraffic(pattern, rate)
+
+
+def make_units(config, factory, rates=(0.05, 0.1, 0.15), seed=7,
+               strategy=None, engine="fast", budget=TINY_BUDGET):
+    return sweep_units(config, factory, list(rates),
+                       strategy or NoDvfsSteadyState(), budget, seed,
+                       engine)
+
+
+def fingerprint(unit_result):
+    r = unit_result.result
+    return (unit_result.policy, unit_result.x, unit_result.freq_hz,
+            unit_result.seed, unit_result.digest,
+            r.mean_latency_cycles, r.mean_delay_ns, r.p99_delay_ns,
+            r.measured_created, r.measured_delivered,
+            r.accepted_node_rate, r.backlog_delta_flits,
+            r.measure_duration_ns,
+            tuple((w.duration_ns, w.cycles, w.freq_hz,
+                   tuple(sorted(w.activity.as_dict().items())))
+                  for w in r.power_windows))
+
+
+class TestBackendRegistry:
+    def test_all_backends_registered(self):
+        assert set(backend_names()) == {"serial", "pool", "batched"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("warp")
+        with pytest.raises(ValueError, match="unknown backend"):
+            ExecutionContext(backend="warp")
+
+
+class TestExecutionContext:
+    def test_auto_resolves_batched_for_fast_engine(self):
+        assert (ExecutionContext(engine="fast").resolved_backend()
+                == "batched")
+
+    def test_auto_resolves_pool_then_serial_for_reference(self):
+        assert (ExecutionContext(jobs=4).resolved_backend() == "pool")
+        assert ExecutionContext().resolved_backend() == "serial"
+
+    def test_explicit_backend_wins_over_auto_rule(self):
+        ctx = ExecutionContext(backend="serial", engine="fast")
+        assert ctx.resolved_backend() == "serial"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionContext(jobs=0)
+        with pytest.raises(ValueError):
+            ExecutionContext(engine="warp")
+
+    def test_context_runner_is_shared(self):
+        ctx = ExecutionContext()
+        assert ctx.runner is ctx.runner
+        runner = SweepRunner(context=ctx)
+        # A runner constructed on a fresh context becomes its runner.
+        ctx2 = ExecutionContext()
+        runner2 = SweepRunner(context=ctx2)
+        assert ctx2.runner is runner2
+        assert runner.context is ctx
+
+
+class TestPlanner:
+    def test_cache_hits_leave_plan_empty(self, tiny_config, factory):
+        cache = UnitCache()
+        units = make_units(tiny_config, factory)
+        ExecutionContext(backend="serial", cache=cache).run(units)
+        plan = ExecutionPlan(units, cache)
+        assert plan.cache_hits == len(units)
+        assert plan.todo == []
+        plan.group_batches()
+        assert plan.groups == [] and plan.singles == []
+
+    def test_duplicates_collapse(self, tiny_config, factory):
+        units = make_units(tiny_config, factory, rates=(0.1, 0.1, 0.1))
+        plan = ExecutionPlan(units, None)
+        assert len(plan.todo) == 1
+        assert plan.pending[units[0].digest()] == [0, 1, 2]
+
+    def test_fast_units_group_reference_units_stay_single(
+            self, tiny_config, factory):
+        fast = make_units(tiny_config, factory, engine="fast")
+        ref = make_units(tiny_config, factory, engine="reference")
+        plan = ExecutionPlan(fast + ref, None)
+        plan.group_batches()
+        assert [len(g.units) for g in plan.groups] == [len(fast)]
+        assert plan.singles == plan.todo[len(fast):]
+        assert all(not batch_eligible(u) for u in plan.singles)
+
+    def test_heterogeneous_clocks_fall_back_to_per_unit(
+            self, tiny_config, factory):
+        hetero = tiny_config.with_(
+            node_freqs_hz=tuple([1e9] * tiny_config.num_nodes))
+        mesh = hetero.make_mesh()
+        pattern = make_pattern("uniform", mesh)
+        units = make_units(hetero, lambda r: PatternTraffic(pattern, r),
+                           engine="fast")
+        plan = ExecutionPlan(units, None)
+        plan.group_batches()
+        assert plan.groups == []
+        assert len(plan.singles) == len(units)
+
+    def test_mixed_budgets_split_groups(self, tiny_config, factory):
+        a = make_units(tiny_config, factory, budget=TINY_BUDGET)
+        b = make_units(tiny_config, factory, budget=OTHER_BUDGET)
+        plan = ExecutionPlan(a + b, None)
+        plan.group_batches()
+        assert len(plan.groups) == 2
+        assert {g.budget for g in plan.groups} == {TINY_BUDGET,
+                                                  OTHER_BUDGET}
+
+    def test_lone_eligible_unit_stays_single(self, tiny_config, factory):
+        units = make_units(tiny_config, factory, rates=(0.1,))
+        plan = ExecutionPlan(units, None)
+        plan.group_batches()
+        assert plan.groups == []
+        assert len(plan.singles) == 1
+
+    def test_sharding_caps_width(self, tiny_config, factory):
+        rates = tuple(0.01 + 0.002 * i for i in range(10))
+        units = make_units(tiny_config, factory, rates=rates)
+        plan = ExecutionPlan(units, None)
+        plan.group_batches(jobs=1, max_shard=4)
+        assert [len(g.units) for g in plan.groups] == [4, 4, 2]
+        flattened = [u for g in plan.groups for u in g.units]
+        assert flattened == plan.todo      # submission order preserved
+
+    def test_sharding_balances_across_jobs(self, tiny_config, factory):
+        rates = tuple(0.01 + 0.002 * i for i in range(10))
+        units = make_units(tiny_config, factory, rates=rates)
+        plan = ExecutionPlan(units, None)
+        plan.group_batches(jobs=3)
+        assert [len(g.units) for g in plan.groups] == [4, 4, 2]
+
+    def test_group_split_validates(self, tiny_config, factory):
+        units = make_units(tiny_config, factory)
+        group = BatchGroup(tiny_config, TINY_BUDGET, "fast", list(units))
+        with pytest.raises(ValueError):
+            group.split(0)
+
+
+class TestBatchedDifferential:
+    """The acceptance gate: batched == serial, bit for bit."""
+
+    def sweep_results(self, config, factory, backend, jobs=1):
+        ctx = ExecutionContext(backend=backend, jobs=jobs, cache=None,
+                               engine="fast")
+        units = []
+        for strategy in POLICY_STRATEGIES:
+            units.extend(make_units(config, factory,
+                                    rates=(0.05, 0.1, 0.15),
+                                    strategy=strategy))
+        return ctx.run(units)
+
+    def test_three_policy_sweep_bit_identical(self, tiny_config, factory):
+        serial = self.sweep_results(tiny_config, factory, "serial")
+        batched = self.sweep_results(tiny_config, factory, "batched")
+        assert ([fingerprint(r) for r in serial]
+                == [fingerprint(r) for r in batched])
+
+    def test_batched_with_workers_bit_identical(self, tiny_config,
+                                                factory):
+        serial = self.sweep_results(tiny_config, factory, "serial")
+        sharded = self.sweep_results(tiny_config, factory, "batched",
+                                     jobs=3)
+        assert ([fingerprint(r) for r in serial]
+                == [fingerprint(r) for r in sharded])
+
+    def test_batched_results_carry_power_windows(self, tiny_config,
+                                                 factory):
+        batched = self.sweep_results(tiny_config, factory, "batched")
+        for result in batched:
+            assert len(result.result.power_windows) == 1
+            window = result.result.power_windows[0]
+            assert window.activity.total_events() > 0
+            assert window.freq_hz == result.freq_hz
+
+    def test_run_sweep_auto_context_batches(self, tiny_config, factory):
+        ctx = ExecutionContext(engine="fast")   # backend="auto"
+        series = run_sweep(tiny_config, factory, [0.05, 0.1],
+                           NoDvfsSteadyState(), TINY_BUDGET, seed=9,
+                           context=ctx)
+        assert ctx.runner.last_report.batched_units == 2
+        assert ctx.runner.last_report.groups == 1
+        serial_ctx = ExecutionContext(backend="serial", cache=None,
+                                      engine="fast")
+        serial = run_sweep(tiny_config, factory, [0.05, 0.1],
+                           NoDvfsSteadyState(), TINY_BUDGET, seed=9,
+                           context=serial_ctx)
+        assert ([(p.freq_hz, p.delay_ns, p.power_mw)
+                 for p in series.points]
+                == [(p.freq_hz, p.delay_ns, p.power_mw)
+                    for p in serial.points])
+
+
+class TestBatchedAccounting:
+    def test_report_counts_groups_and_units(self, tiny_config, factory):
+        ctx = ExecutionContext(backend="batched", cache=UnitCache(),
+                               engine="fast")
+        units = make_units(tiny_config, factory)
+        ctx.run(units)
+        report = ctx.runner.last_report
+        assert report.backend == "batched"
+        assert report.total_units == 3
+        assert report.executed == 3
+        assert report.groups == 1
+        assert report.batched_units == 3
+        assert report.parallel is False
+        assert report.elapsed_s > 0 and report.busy_s > 0
+        assert "batched" in report.render()
+        totals = ctx.runner.totals
+        assert totals.groups == 1 and totals.batched_units == 3
+        assert "batched" in totals.render()
+
+    def test_progress_fires_per_unit_in_batched_group(self, tiny_config,
+                                                      factory):
+        seen = []
+        ctx = ExecutionContext(
+            backend="batched", cache=None, engine="fast",
+            progress=lambda done, total, res: seen.append((done, total)))
+        ctx.run(make_units(tiny_config, factory))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_cache_entries_shared_with_serial_backend(self, tiny_config,
+                                                      factory):
+        """A batched run fills the cache with per-unit entries that a
+        serial context recognizes (same digests)."""
+        cache = UnitCache()
+        units = make_units(tiny_config, factory)
+        ExecutionContext(backend="batched", cache=cache,
+                         engine="fast").run(units)
+        serial = ExecutionContext(backend="serial", cache=cache,
+                                  engine="fast")
+        again = serial.run(units)
+        assert all(r.from_cache for r in again)
+        assert serial.runner.last_report.executed == 0
+
+    def test_mixed_plan_executes_everything(self, tiny_config, factory):
+        """Groups + singles in one submission, order preserved."""
+        fast = make_units(tiny_config, factory, engine="fast")
+        ref = make_units(tiny_config, factory, engine="reference",
+                         rates=(0.05,))
+        ctx = ExecutionContext(backend="batched", cache=None,
+                               engine="fast")
+        out = ctx.run(fast + ref)
+        assert [r.x for r in out] == [u.x for u in fast + ref]
+        report = ctx.runner.last_report
+        assert report.batched_units == 3
+        assert report.executed == 4
+
+
+class TestBackwardCompatShims:
+    def test_run_sweep_old_and_new_spellings_identical(self, tiny_config,
+                                                       factory):
+        with pytest.warns(DeprecationWarning):
+            old = run_sweep(tiny_config, factory, [0.05, 0.1],
+                            RmsdSteadyState(0.4), TINY_BUDGET, seed=5,
+                            runner=SweepRunner(jobs=1), engine="fast")
+        new = run_sweep(tiny_config, factory, [0.05, 0.1],
+                        RmsdSteadyState(0.4), TINY_BUDGET, seed=5,
+                        context=ExecutionContext(backend="serial",
+                                                 cache=None,
+                                                 engine="fast"))
+        assert ([(p.x, p.freq_hz, p.delay_ns, p.power_mw)
+                 for p in old.points]
+                == [(p.x, p.freq_hz, p.delay_ns, p.power_mw)
+                    for p in new.points])
+
+    def test_run_sweep_rejects_both_spellings(self, tiny_config, factory):
+        with pytest.raises(TypeError):
+            run_sweep(tiny_config, factory, [0.05],
+                      NoDvfsSteadyState(), TINY_BUDGET,
+                      runner=SweepRunner(jobs=1),
+                      context=ExecutionContext())
+
+    def test_workbench_old_spelling_warns_and_matches(self, tiny_config):
+        profile = Profile("tiny", TINY_BUDGET, sweep_points=2,
+                          dmsd_iterations=2, saturation_iterations=2)
+        with pytest.warns(DeprecationWarning):
+            old = Workbench(profile=profile, seed=5, jobs=1,
+                            unit_cache=True, engine="fast")
+        new = Workbench(profile=profile, seed=5,
+                        context=ExecutionContext(engine="fast"))
+        assert old.engine == new.engine == "fast"
+        rates = (0.05, 0.1)
+        old_series = old.pattern_sweep(tiny_config, "uniform", "no-dvfs",
+                                       rates)
+        new_series = new.pattern_sweep(tiny_config, "uniform", "no-dvfs",
+                                       rates)
+        assert ([(p.x, p.freq_hz, p.delay_ns, p.power_mw)
+                 for p in old_series.points]
+                == [(p.x, p.freq_hz, p.delay_ns, p.power_mw)
+                    for p in new_series.points])
+
+    def test_workbench_rejects_both_spellings(self):
+        with pytest.raises(TypeError):
+            Workbench(jobs=2, context=ExecutionContext())
+
+    def test_new_spellings_do_not_warn(self, tiny_config, factory):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_sweep(tiny_config, factory, [0.05], NoDvfsSteadyState(),
+                      TINY_BUDGET, seed=5,
+                      context=ExecutionContext(backend="serial",
+                                               cache=None))
+            Workbench(context=ExecutionContext())

@@ -59,8 +59,8 @@ class TestBadArgumentDiagnostics:
         assert "--jobs must be >= 0" in err
 
     def test_engine_flag_reaches_workbench(self, capsys, monkeypatch):
-        """`--engine fast` must reach the Workbench constructor (fig5
-        is analytic, so the run itself stays instant)."""
+        """`--engine fast` must reach the Workbench's execution context
+        (fig5 is analytic, so the run itself stays instant)."""
         import repro.experiments.__main__ as cli
 
         captured = {}
@@ -72,5 +72,12 @@ class TestBadArgumentDiagnostics:
 
         monkeypatch.setattr(cli, "Workbench", SpyWorkbench)
         assert main(["--engine", "fast", "fig5"]) == 0
-        assert captured["engine"] == "fast"
+        assert captured["context"].engine == "fast"
+        assert captured["context"].resolved_backend() == "batched"
         assert "fig5" in capsys.readouterr().out
+
+    def test_bad_backend_name(self, capsys):
+        err = self._error_output(["--backend", "warp", "fig5"], capsys)
+        assert "--backend" in err
+        assert "invalid choice" in err and "warp" in err
+        assert "serial" in err and "batched" in err

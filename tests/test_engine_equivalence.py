@@ -125,6 +125,24 @@ class TestFixedPointEquivalence:
                                          freq_hz=CONFIG.f_min_hz)
         assert_results_equivalent(ref, fast)
 
+    @pytest.mark.parametrize("overrides", [
+        dict(route_latency=0),
+        dict(va_latency=0),
+        dict(route_latency=0, va_latency=0),
+        dict(route_latency=2),
+        dict(link_latency=2, credit_latency=2),
+    ], ids=["rl0", "va0", "rl0-va0", "rl2", "ll2-cl2"])
+    def test_pipeline_latency_variants(self, overrides):
+        """The router-phase derivation from FIFO occupancy must hold
+        for every pipeline timing, including the zero-latency
+        fall-throughs."""
+        config = CONFIG.with_(**overrides)
+        ref, fast = (
+            run_fixed_point(config, traffic_for("uniform", 0.25, config),
+                            config.f_max_hz, BUDGET, 11, engine=engine)
+            for engine in (REFERENCE, FAST))
+        assert_results_equivalent(ref, fast)
+
     def test_activity_counters_agree(self):
         for engine_results in [
             tuple(Simulation(CONFIG, traffic_for("uniform", 0.2),
@@ -335,6 +353,24 @@ class TestBatchedEquivalence:
             ref = run_fixed_point(CONFIG, point.traffic, point.freq_hz,
                                   BUDGET, point.seed, engine=REFERENCE)
             assert_results_equivalent(ref, from_batch)
+
+    def test_power_windows_equal_single_fast_runs(self):
+        """Per-replica power windows: same duration, cycles, frequency
+        and (exactly) the same activity counters as running the point
+        alone — what lets power figures run on the batched backend."""
+        batched = run_fixed_batch(CONFIG, self.points(), BUDGET)
+        for point, from_batch in zip(self.points(), batched):
+            alone = run_fixed_point(CONFIG, point.traffic, point.freq_hz,
+                                    BUDGET, point.seed, engine=FAST)
+            assert (len(from_batch.power_windows)
+                    == len(alone.power_windows) == 1)
+            batch_win = from_batch.power_windows[0]
+            alone_win = alone.power_windows[0]
+            assert batch_win.duration_ns == alone_win.duration_ns
+            assert batch_win.cycles == alone_win.cycles
+            assert batch_win.freq_hz == alone_win.freq_hz
+            assert batch_win.activity == alone_win.activity
+            assert from_batch.mean_freq_hz == alone.mean_freq_hz
 
     def test_empty_batch(self):
         assert run_fixed_batch(CONFIG, [], BUDGET) == []

@@ -123,3 +123,16 @@ class TestSimBudget:
         b = SimBudget(1000, 2000, 4000).scaled(0.01)
         assert b.warmup_cycles >= 200
         assert b.measure_cycles >= 400
+
+    def test_validated_on_construction(self):
+        """One validation point for every execution path — including
+        the drain_cycles >= 0 case the batched kernel used to miss."""
+        with pytest.raises(ValueError, match="warmup"):
+            SimBudget(warmup_cycles=-1)
+        with pytest.raises(ValueError, match="measure"):
+            SimBudget(measure_cycles=0)
+        with pytest.raises(ValueError, match="drain"):
+            SimBudget(drain_cycles=-5)
+
+    def test_zero_drain_is_valid(self):
+        assert SimBudget(0, 1, 0).drain_cycles == 0
