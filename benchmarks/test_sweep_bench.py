@@ -11,7 +11,13 @@ sweep submitted through ``run_sweep`` under three
 * ``batched`` — the whole sweep planned into batch groups and executed
   through :func:`repro.noc.fastsim.run_fixed_batch`.
 
-All three produce bit-identical results (asserted below; the
+A separate case runs the same sweep through the ``distributed``
+backend (shared-directory work queue, self-spawned local workers) for
+worker counts {1, 2, 4} and asserts bit-identity against serial — the
+paper-scale end of the distributed acceptance gate (the tiny-mesh
+matrix incl. fault injection lives in ``tests/test_distributed.py``).
+
+All backends produce bit-identical results (asserted below; the
 differential backend tests enforce it exhaustively), so the only
 difference is wall time.  Results land in ``BENCH_sweep.json`` at the
 repository root (CI uploads it next to ``BENCH_kernel.json``).
@@ -57,6 +63,17 @@ REQUIRED_BATCHED_SPEEDUP = 3.0
 
 _results: dict = {}
 
+#: Memoized serial reference run — the most expensive stage, shared
+#: by the speedup and distributed cases instead of paid twice.
+_serial_reference: tuple | None = None
+
+
+def _serial_run():
+    global _serial_reference
+    if _serial_reference is None:
+        _serial_reference = _run_backend("serial")
+    return _serial_reference
+
 
 class DmsdLikeSteadyState(SteadyStateStrategy):
     """Closed-form stand-in for the DMSD operating point.
@@ -94,9 +111,9 @@ def _three_policy_units(engine: str = "fast"):
     return units
 
 
-def _run_backend(backend: str, jobs: int = 1):
+def _run_backend(backend: str, jobs: int = 1, **context_kwargs):
     context = ExecutionContext(backend=backend, jobs=jobs, cache=None,
-                               engine="fast")
+                               engine="fast", **context_kwargs)
     units = _three_policy_units()
     start = time.perf_counter()
     results = context.run(units)
@@ -113,7 +130,7 @@ def _fingerprint(results):
 def test_backend_sweep_speedups():
     """Batched >= 3x over the serial per-unit fast path; pool recorded
     alongside for the full backend matrix."""
-    serial_results, serial_s, _ = _run_backend("serial")
+    serial_results, serial_s, _ = _serial_run()
 
     pool_jobs = min(4, default_jobs())
     pool_results, pool_s, pool_report = _run_backend("pool",
@@ -148,6 +165,47 @@ def test_backend_sweep_speedups():
         f"batched backend {batched_speedup:.2f}x over the serial "
         f"per-unit fast path; the execution-backend contract requires "
         f">= {REQUIRED_BATCHED_SPEEDUP}x on the 8x8 three-policy sweep")
+
+
+def test_distributed_backend_bit_identical_for_any_worker_count():
+    """The distributed acceptance gate on the paper-scale sweep: the
+    8x8 three-policy sweep through the shared-directory work queue is
+    bit-identical to serial for worker counts {1, 2, 4} (self-spawned
+    local worker subprocesses, a fresh queue each).
+
+    Worker processes unpickle the shards, so this module (which
+    defines ``DmsdLikeSteadyState``) must be importable on them —
+    exactly the deployment rule README "Distributed execution" states
+    for user-defined strategies.  Exporting the benchmarks directory
+    on ``PYTHONPATH`` for the duration of the case does that here.
+    """
+    import os
+    import tempfile
+
+    serial_results, serial_s, _ = _serial_run()
+    reference = _fingerprint(serial_results)
+    bench_dir = str(Path(__file__).resolve().parent)
+    saved = os.environ.get("PYTHONPATH")
+    os.environ["PYTHONPATH"] = (bench_dir + os.pathsep + saved
+                                if saved else bench_dir)
+    timings = {}
+    try:
+        for workers in (1, 2, 4):
+            with tempfile.TemporaryDirectory() as queue_dir:
+                results, elapsed, report = _run_backend(
+                    "distributed", queue=queue_dir, workers=workers)
+            assert _fingerprint(results) == reference, (
+                f"distributed run with {workers} worker(s) diverged "
+                f"from serial")
+            assert report.executed == len(results)
+            timings[f"distributed_{workers}w_s"] = round(elapsed, 3)
+    finally:
+        if saved is None:
+            del os.environ["PYTHONPATH"]
+        else:
+            os.environ["PYTHONPATH"] = saved
+    _results["distributed"] = {"serial_s": round(serial_s, 3),
+                               **timings}
 
 
 def test_write_bench_sweep_json():

@@ -27,6 +27,18 @@ engine within the tolerances enforced by the equivalence test suite.
 backends"): the default ``auto`` batches whole sweeps through the fast
 engine's ``run_fixed_batch`` whenever ``--engine fast`` is active —
 bit-identical to per-unit execution, several times faster.
+
+``--backend distributed --queue DIR`` publishes sweep shards to a
+shared-directory work queue instead of executing in process;
+``--workers N`` self-spawns ``N`` local worker subprocesses, while
+``--workers 0`` waits for externally started workers (one per host or
+process, sharing ``DIR``)::
+
+    python -m repro.experiments worker --queue DIR
+
+runs such a worker until stopped (``--max-tasks`` / ``--max-idle``
+bound it).  Results stay bit-identical to serial execution for any
+worker count or crash schedule (README "Distributed execution").
 """
 
 from __future__ import annotations
@@ -83,7 +95,68 @@ def run_figure(name: str, bench: Workbench,
                      f"{', '.join(FIGURES)}")
 
 
+def worker_main(argv: list[str]) -> int:
+    """``python -m repro.experiments worker``: drain a work queue."""
+    from ..runner.distributed import (DEFAULT_LEASE_TTL_S,
+                                      DEFAULT_MAX_ATTEMPTS, QueueError,
+                                      Worker, WorkQueue)
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments worker",
+        description="Claim and execute sweep shards from a shared "
+                    "work-queue directory (see README 'Distributed "
+                    "execution').")
+    parser.add_argument("--queue", required=True, metavar="DIR",
+                        help="work-queue directory shared with the "
+                             "driver (created if missing)")
+    parser.add_argument("--lease-ttl", type=float,
+                        default=DEFAULT_LEASE_TTL_S, metavar="S",
+                        help="lease time-to-live in seconds; a "
+                             "heartbeat renews it every TTL/3 while a "
+                             "task executes (default "
+                             f"{DEFAULT_LEASE_TTL_S:g})")
+    parser.add_argument("--poll", type=float, default=0.2, metavar="S",
+                        help="idle poll interval in seconds "
+                             "(default 0.2)")
+    parser.add_argument("--max-tasks", type=int, default=None,
+                        metavar="N",
+                        help="exit after handling N tasks (default: "
+                             "unbounded)")
+    parser.add_argument("--max-idle", type=float, default=None,
+                        metavar="S",
+                        help="exit after S seconds without claimable "
+                             "work (default: wait forever)")
+    parser.add_argument("--max-attempts", type=int,
+                        default=DEFAULT_MAX_ATTEMPTS, metavar="N",
+                        help="per-task attempt budget before a task "
+                             f"is marked failed (default "
+                             f"{DEFAULT_MAX_ATTEMPTS})")
+    args = parser.parse_args(argv)
+    if args.lease_ttl <= 0:
+        parser.error("--lease-ttl must be > 0")
+    if args.max_attempts < 1:
+        parser.error("--max-attempts must be >= 1")
+    try:
+        queue = WorkQueue(args.queue,
+                          lease_ttl_s=args.lease_ttl).ensure()
+    except QueueError as exc:
+        parser.error(str(exc))
+    worker = Worker(queue, max_attempts=args.max_attempts)
+    handled = worker.run(poll_s=args.poll, max_tasks=args.max_tasks,
+                         max_idle_s=args.max_idle)
+    print(f"[worker {worker.worker_id}: {handled} task(s) handled, "
+          f"{worker.failed} failed]", file=sys.stderr)
+    # Non-zero when this worker exhausted any task's retry budget, so
+    # supervisors (CI steps, cluster schedulers) notice a worker that
+    # can only burn attempts.
+    return 1 if worker.failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "worker":
+        return worker_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate figures of Casu & Giaccone, DATE 2015.")
@@ -114,6 +187,15 @@ def main(argv: list[str] | None = None) -> int:
                              "(default) picks batched for the fast "
                              "engine — results are identical either "
                              "way")
+    parser.add_argument("--queue", metavar="DIR", default=None,
+                        help="shared work-queue directory for "
+                             "--backend distributed (created if "
+                             "missing; workers on any host sharing it "
+                             "can execute sweep shards)")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="local worker subprocesses to self-spawn "
+                             "for --backend distributed (default 0 = "
+                             "wait for externally started workers)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the per-unit result cache (no "
                              "simulation reuse across different sweep "
@@ -135,13 +217,28 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
     jobs = args.jobs if args.jobs > 0 else default_jobs()
+    if args.workers < 0:
+        parser.error("--workers must be >= 0")
+    if args.backend == "distributed":
+        if not args.queue:
+            parser.error("--backend distributed requires --queue DIR "
+                         "(the shared work-queue directory)")
+        from ..runner.distributed import QueueError, WorkQueue
+        try:
+            WorkQueue(args.queue).ensure()
+        except QueueError as exc:
+            parser.error(str(exc))
+    elif args.queue or args.workers:
+        parser.error("--queue/--workers are only meaningful with "
+                     "--backend distributed")
 
     profile = FULL if args.profile == "full" else QUICK
     context = ExecutionContext(
         backend=args.backend, jobs=jobs,
         cache=None if args.no_cache else UnitCache(),
         engine=args.engine,
-        progress=print_progress if args.progress else None)
+        progress=print_progress if args.progress else None,
+        queue=args.queue, workers=args.workers)
     bench = Workbench(profile=profile, seed=args.seed, context=context)
     config = TINY_CONFIG if args.tiny else PAPER_BASELINE
     for name in names:

@@ -215,14 +215,17 @@ class Workbench:
                           ) -> dict[str, SweepSeries]:
         """All three policies swept over the same rates.
 
-        With a parallel or batched backend the three policies' pending
-        points are submitted as *one* batch, so the worker pool (or
-        the batched engine) sees ``3 x len(rates)`` independent units
-        instead of three separate sweeps — per-sweep results are then
-        served from the unit cache.
+        With a parallel, batched or distributed backend the three
+        policies' pending points are submitted as *one* batch, so the
+        worker pool (or the batched engine, or the work queue — whose
+        backend spawns its worker fleet once per submission) sees
+        ``3 x len(rates)`` independent units instead of three separate
+        sweeps — per-sweep results are then served from the unit
+        cache.
         """
         wide = (self.context.jobs > 1
-                or self.context.resolved_backend() == "batched")
+                or self.context.resolved_backend() in ("batched",
+                                                       "distributed"))
         if wide and self.context.cache is not None:
             units = []
             for policy in POLICIES:

@@ -7,9 +7,11 @@ and the unit's spec hash (:mod:`repro.runner.seeding`), caches results
 by that hash (:class:`UnitCache`), plans what must actually run
 (:class:`ExecutionPlan`: cache hits, batch groups, shards) and
 executes the plan on an interchangeable :class:`Backend` (serial,
-process pool, or batched through
-:func:`repro.noc.fastsim.run_fixed_batch`) — with the guarantee that
-the execution mode can never change a result.  An
+process pool, batched through
+:func:`repro.noc.fastsim.run_fixed_batch`, or distributed across
+processes and hosts via a shared-directory work queue —
+:mod:`repro.runner.distributed`) — with the guarantee that the
+execution mode can never change a result.  An
 :class:`ExecutionContext` carries the whole configuration (backend,
 jobs, cache, engine, progress) from the CLI or benchmark harness down
 to the runner in one object.
@@ -27,6 +29,23 @@ from .plan import (BatchGroup, ExecutionPlan, MAX_SHARD_POINTS,
 from .seeding import derive_unit_seed, unit_generator, unit_seed_sequence
 from .units import FrequencyStrategy, UnitResult, WorkUnit, strategy_key
 
+#: Distributed-execution names re-exported lazily (PEP 562): a
+#: serial-only import of ``repro.runner`` never loads the queue
+#: machinery, matching the registry's lazy ``module:class`` spec for
+#: ``backend="distributed"``.
+_DISTRIBUTED_EXPORTS = frozenset({
+    "CollectTimeout", "Collector", "DistributedBackend",
+    "FailedUnitError", "QueueError", "Worker", "WorkQueue",
+})
+
+
+def __getattr__(name: str):
+    if name in _DISTRIBUTED_EXPORTS:
+        from . import distributed
+        return getattr(distributed, name)
+    raise AttributeError(f"module {__name__!r} has no attribute "
+                         f"{name!r}")
+
 __all__ = [
     "BACKENDS",
     "Backend",
@@ -34,18 +53,25 @@ __all__ = [
     "BatchGroup",
     "BatchedBackend",
     "CacheStats",
+    "CollectTimeout",
+    "Collector",
+    "DistributedBackend",
     "ExecutionContext",
     "ExecutionPlan",
+    "FailedUnitError",
     "FrequencyStrategy",
     "MAX_SHARD_POINTS",
     "ProcessPoolBackend",
+    "QueueError",
     "RunReport",
     "RunTotals",
     "SerialBackend",
     "SweepRunner",
     "UnitCache",
     "UnitResult",
+    "WorkQueue",
     "WorkUnit",
+    "Worker",
     "backend_names",
     "batch_eligible",
     "context_from_env",

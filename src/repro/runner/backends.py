@@ -3,7 +3,7 @@
 A backend takes an :class:`~repro.runner.plan.ExecutionPlan` and
 executes everything the plan says must run, reporting each finished
 :class:`~repro.runner.units.UnitResult` through a callback (the runner
-owns caching, result placement and progress).  Three backends register
+owns caching, result placement and progress).  Four backends register
 here, mirroring how simulation engines register in
 :mod:`repro.noc.engines`:
 
@@ -20,6 +20,11 @@ here, mirroring how simulation engines register in
     fan back into per-unit results.  Shards and leftover per-unit work
     fan out across the pool when ``jobs > 1``, with the same serial
     fallback.
+``distributed``
+    Shards publish to a shared-directory work queue
+    (:mod:`repro.runner.distributed`) that any number of worker
+    processes — self-spawned locally or started on other hosts — drain
+    concurrently, with lease-based crash recovery.
 
 Every unit's seed derives from its spec digest, so backend choice,
 shard boundaries and worker count can never change a result — the
@@ -89,6 +94,8 @@ class BackendRun:
     parallel: bool = False      # a pool executed at least one task
     groups: int = 0             # batch groups (shards) executed
     batched_units: int = 0      # units that ran inside batch groups
+    workers: int = 0            # external worker processes used
+    #                             (0 = the context's jobs count applies)
 
 
 @runtime_checkable
@@ -207,10 +214,14 @@ class BatchedBackend:
         return run
 
 
-BACKENDS: dict[str, type] = {
+#: Registered backends.  A string value is a lazy import spec
+#: (``module:class``) resolved on first use — the distributed backend
+#: lives in a subpackage that itself imports this module.
+BACKENDS: dict[str, type | str] = {
     "serial": SerialBackend,
     "pool": ProcessPoolBackend,
     "batched": BatchedBackend,
+    "distributed": "repro.runner.distributed.backend:DistributedBackend",
 }
 
 
@@ -219,12 +230,24 @@ def backend_names() -> tuple[str, ...]:
     return tuple(BACKENDS)
 
 
-def make_backend(name: str) -> Backend:
-    """Instantiate the backend registered under ``name``."""
+def make_backend(name: str, **options) -> Backend:
+    """Instantiate the backend registered under ``name``.
+
+    ``options`` are backend-specific constructor keywords; the
+    built-in in-process backends take none, the distributed backend
+    takes its queue directory and worker count (the context supplies
+    them via :meth:`~repro.runner.context.ExecutionContext.backend_options`).
+    """
     try:
         cls = BACKENDS[name]
     except KeyError:
         known = ", ".join(backend_names())
         raise ValueError(f"unknown backend {name!r}; known: {known}") \
             from None
-    return cls()
+    if isinstance(cls, str):
+        from importlib import import_module
+
+        module_name, _, class_name = cls.partition(":")
+        cls = getattr(import_module(module_name), class_name)
+        BACKENDS[name] = cls
+    return cls(**options)

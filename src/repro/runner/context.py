@@ -14,7 +14,11 @@ and passed down whole:
   (``None`` disables unit caching);
 * ``engine`` — default simulation engine for units built under this
   context;
-* ``progress`` — optional per-unit progress callback.
+* ``progress`` — optional per-unit progress callback;
+* ``queue`` / ``workers`` — the shared work-queue directory and
+  self-spawned local worker count for the ``distributed`` backend
+  (``workers=0`` waits on externally started workers; see
+  :mod:`repro.runner.distributed`).
 
 ``auto`` resolves to ``batched`` when the context's engine is the fast
 engine (its sweeps then execute through
@@ -57,6 +61,8 @@ class ExecutionContext:
     cache: UnitCache | None = field(default_factory=default_cache)
     engine: str = DEFAULT_ENGINE
     progress: ProgressFn | None = None
+    queue: str | None = None
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if (self.backend != "auto"
@@ -66,18 +72,38 @@ class ExecutionContext:
                              f"known: {known}")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
         if self.engine not in engine_names():
             raise ValueError(f"unknown engine {self.engine!r}; known: "
                              f"{', '.join(engine_names())}")
+        if self.backend == "distributed" and not self.queue:
+            raise ValueError("backend 'distributed' requires queue=DIR "
+                             "(the shared work-queue directory)")
         self._runner: "SweepRunner" | None = None
 
     def resolved_backend(self) -> str:
-        """The concrete backend ``auto`` stands for under this context."""
+        """The concrete backend ``auto`` stands for under this context.
+
+        ``auto`` never resolves to ``distributed`` — a sweep only
+        leaves the process when a queue directory is named explicitly.
+        """
         if self.backend != "auto":
             return self.backend
         if self.engine == "fast":
             return "batched"
         return "pool" if self.jobs > 1 else "serial"
+
+    def backend_options(self) -> dict:
+        """Constructor keywords for the resolved backend.
+
+        The in-process backends are configured entirely through
+        ``execute(plan, jobs, finish)``; only the distributed backend
+        needs construction-time deployment knobs.
+        """
+        if self.resolved_backend() != "distributed":
+            return {}
+        return {"queue_dir": self.queue, "workers": self.workers}
 
     @property
     def runner(self) -> "SweepRunner":
@@ -100,8 +126,18 @@ class ExecutionContext:
 
 def context_from_env() -> ExecutionContext:
     """Build a context from ``REPRO_BACKEND``/``REPRO_JOBS``/
-    ``REPRO_ENGINE`` (the benchmark harness entry point)."""
+    ``REPRO_ENGINE``/``REPRO_QUEUE``/``REPRO_WORKERS`` (the benchmark
+    harness entry point)."""
+    backend = os.environ.get("REPRO_BACKEND", "auto")
+    queue = os.environ.get("REPRO_QUEUE") or None
+    workers = int(os.environ.get("REPRO_WORKERS", "0"))
+    if backend != "distributed" and (queue or workers):
+        # Same guard as the CLI: a queue that would be silently
+        # ignored is a misconfiguration, not a default.
+        raise ValueError("REPRO_QUEUE/REPRO_WORKERS are only "
+                         "meaningful with REPRO_BACKEND=distributed")
     return ExecutionContext(
-        backend=os.environ.get("REPRO_BACKEND", "auto"),
+        backend=backend,
         jobs=int(os.environ.get("REPRO_JOBS", "1")),
-        engine=os.environ.get("REPRO_ENGINE", DEFAULT_ENGINE))
+        engine=os.environ.get("REPRO_ENGINE", DEFAULT_ENGINE),
+        queue=queue, workers=workers)

@@ -1,0 +1,181 @@
+"""The ``distributed`` execution backend: queue-fed multi-host sweeps.
+
+``DistributedBackend`` publishes an execution plan's shards to a
+shared-directory :class:`~repro.runner.distributed.queue.WorkQueue`,
+waits for workers to drain it, and feeds the collected results back
+through the runner exactly like any other backend.  Who the workers
+are is the deployment's choice:
+
+* ``workers=N`` (CLI ``--workers N``) self-spawns ``N`` local worker
+  subprocesses — zero-setup multi-process distribution on one machine;
+* ``workers=0`` publishes and waits for *external* workers: processes
+  started by hand, by a cluster scheduler, or on other hosts sharing
+  the queue directory (``python -m repro.experiments worker --queue
+  DIR`` on each).
+
+Self-spawned workers are babysat from the collector's poll hook: a
+worker that dies while shards remain is respawned (within a bounded
+budget), and if no subprocess can run at all the driver degrades to
+draining the queue in-process — the same "the runner still works,
+just without the speedup" guarantee the pool backends give.  The
+fleet lives for one ``execute()`` call (clean teardown, no orphan
+processes); drivers amortize the spawn cost by submitting wide — the
+Workbench batches whole figures into one submission — or by running
+``workers=0`` against long-lived external workers.  Results
+are bit-identical to ``serial`` for any worker count, crash schedule
+or claim interleaving, because every unit's seed derives from its spec
+digest alone.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from ..backends import BackendRun, FinishFn
+from ..plan import ExecutionPlan
+from .broker import publish_plan
+from .collector import Collector
+from .lease import DEFAULT_LEASE_TTL_S
+from .queue import DEFAULT_MAX_ATTEMPTS, WorkQueue
+from .worker import Worker
+
+#: Sharding fan-out assumed for external fleets (``workers=0``): the
+#: driver cannot know how many hosts will drain the queue, and one
+#: giant shard would serialize them all.  ``jobs`` raises it further.
+EXTERNAL_SHARD_FANOUT = 8
+
+
+def _worker_command(queue_root: Path, lease_ttl_s: float,
+                    poll_s: float, max_attempts: int) -> list[str]:
+    # --max-idle bounds the orphan lifetime if the driver dies so hard
+    # (SIGKILL, OOM) that its terminate-in-finally never runs; the
+    # bound is generous enough that workers never self-exit between a
+    # live driver's submissions.
+    max_idle_s = max(60.0, 5.0 * lease_ttl_s)
+    return [sys.executable, "-m", "repro.experiments", "worker",
+            "--queue", str(queue_root),
+            "--lease-ttl", repr(lease_ttl_s),
+            "--poll", repr(poll_s),
+            "--max-attempts", str(max_attempts),
+            "--max-idle", repr(max_idle_s)]
+
+
+def _worker_env() -> dict[str, str]:
+    """The subprocess environment, with ``repro`` importable."""
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    paths = env.get("PYTHONPATH", "")
+    if src_root not in paths.split(os.pathsep):
+        env["PYTHONPATH"] = (src_root + os.pathsep + paths if paths
+                             else src_root)
+    return env
+
+
+class DistributedBackend:
+    """Execute plans through a shared-directory work queue."""
+
+    name = "distributed"
+
+    def __init__(self, queue_dir: str | Path, workers: int = 0,
+                 lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 poll_s: float = 0.05,
+                 timeout_s: float | None = None) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.queue_dir = Path(queue_dir)
+        self.workers = workers
+        self.lease_ttl_s = lease_ttl_s
+        self.max_attempts = max_attempts
+        self.poll_s = poll_s
+        self.timeout_s = timeout_s
+        #: total subprocess (re)spawns allowed per execute() call
+        self.spawn_budget = max(2 * workers, 4) if workers else 0
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: ExecutionPlan, jobs: int,
+                finish: FinishFn) -> BackendRun:
+        queue = WorkQueue(self.queue_dir,
+                          lease_ttl_s=self.lease_ttl_s).ensure()
+        # Shard so every worker stays busy; a lone worker still
+        # batches.  With an external fleet (workers=0) the count is
+        # unknowable, so shard for a reasonable one.
+        fanout = (max(self.workers, jobs) if self.workers
+                  else max(EXTERNAL_SHARD_FANOUT, jobs))
+        plan.group_batches(jobs=fanout)
+        run = BackendRun(groups=len(plan.groups),
+                         batched_units=plan.batched_units)
+        tasks, enqueued = publish_plan(queue, plan)
+        if not tasks:
+            return run
+        procs: list[subprocess.Popen] = []
+        spawns_left = self.spawn_budget
+        fallback = Worker(queue, max_attempts=self.max_attempts)
+
+        def spawn() -> bool:
+            nonlocal spawns_left
+            if spawns_left <= 0:
+                return False
+            # A failed attempt also consumes budget: a host that truly
+            # cannot spawn exhausts it within a few polls and drops to
+            # the in-process fallback, while a transient fork error
+            # just retries on the next poll.
+            spawns_left -= 1
+            log_path = (self.queue_dir / "logs" /
+                        f"worker-{self.spawn_budget - spawns_left - 1}"
+                        f".log")
+            try:
+                with open(log_path, "ab") as log:
+                    procs.append(subprocess.Popen(
+                        _worker_command(self.queue_dir,
+                                        self.lease_ttl_s, self.poll_s,
+                                        self.max_attempts),
+                        env=_worker_env(), stdout=log, stderr=log))
+            except OSError:
+                return False
+            return True
+
+        def tend(outstanding: set) -> None:
+            """Collector poll hook: babysit the self-spawned fleet."""
+            if not self.workers or not enqueued:
+                return              # external workers own the queue,
+                #                     or everything is already on disk
+            procs[:] = [p for p in procs if p.poll() is None]
+            while len(procs) < self.workers and spawn():
+                pass
+            if not procs:
+                # No subprocess can run (restricted host, or the
+                # respawn budget is spent): drain in-process so the
+                # sweep still completes, identically.
+                fallback.run_once()
+
+        if enqueued:
+            # A plan served wholly from pre-existing results/ needs no
+            # fleet at all — don't pay N interpreter startups for it.
+            for _ in range(self.workers):
+                spawn()
+        try:
+            Collector(queue, [t.task_id for t in tasks],
+                      max_attempts=self.max_attempts,
+                      poll_s=self.poll_s,
+                      timeout_s=self.timeout_s).collect(
+                finish, on_poll=tend)
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        # Honest accounting: a plan served wholly from pre-existing
+        # results/ (enqueued == 0) never left this process.
+        run.parallel = bool(procs) or (self.workers == 0
+                                       and enqueued > 0)
+        run.workers = self.workers if procs else 0
+        return run

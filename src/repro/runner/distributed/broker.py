@@ -1,0 +1,97 @@
+"""The broker: publish an execution plan's shards to a work queue.
+
+The broker reuses the PR-3 planner wholesale: batch groups become one
+task each (a worker executes them through the batched backend's group
+kernel, one ``run_fixed_batch`` per task) and per-unit leftovers
+become one task per unit (the serial path).  Task ids derive from the
+member units' spec digests, so the same shard published twice — by a
+retried driver, or by a later sweep that overlaps this one — maps to
+the same id and reuses any result already sitting in the queue.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..backends import _execute_group, _execute_unit
+from ..plan import BatchGroup, ExecutionPlan
+from ..units import UnitResult, WorkUnit
+from .queue import WorkQueue
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One queue task: a batch group or a handful of lone units."""
+
+    task_id: str
+    group: BatchGroup | None = None
+    units: tuple[WorkUnit, ...] = ()
+
+    def __post_init__(self) -> None:
+        if (self.group is None) == (not self.units):
+            raise ValueError("a shard task is either a batch group or "
+                             "a non-empty unit tuple, never both")
+
+    @property
+    def size(self) -> int:
+        return len(self.group.units) if self.group is not None \
+            else len(self.units)
+
+    def iter_results(self) -> Iterator[UnitResult]:
+        """Execute the task, yielding results as they finish.
+
+        Lease liveness is the worker's heartbeat thread's job, not
+        the iteration granularity's — a group task legitimately
+        produces nothing until its one batched call returns.
+        """
+        if self.group is not None:
+            yield from _execute_group(self.group)
+            return
+        for unit in self.units:
+            yield _execute_unit(unit)
+
+
+def _task_id(kind: str, digests: list[str]) -> str:
+    """Content-derived task id, salted with the package version.
+
+    Unit digests hash only the *spec*, which is right for the
+    in-process cache (it dies with the code that filled it) but not
+    for the queue's persistent ``results/`` store: a long-lived shared
+    queue must not serve results computed by an older build after an
+    upgrade changes simulation numerics.  Folding the version in makes
+    an upgrade invalidate the on-disk store wholesale; within one
+    version, queue reuse assumes unchanged code (README "Distributed
+    execution").
+    """
+    from ... import __version__
+
+    spec = f"{__version__}:{kind}:" + ",".join(digests)
+    return f"{kind}-{hashlib.sha256(spec.encode()).hexdigest()[:16]}"
+
+
+def plan_tasks(plan: ExecutionPlan) -> list[ShardTask]:
+    """The queue tasks for a plan (call ``group_batches`` first)."""
+    tasks = [ShardTask(
+        task_id=_task_id("group", [u.digest() for u in group.units]),
+        group=group) for group in plan.groups]
+    tasks += [ShardTask(task_id=_task_id("unit", [unit.digest()]),
+                        units=(unit,)) for unit in plan.singles]
+    return tasks
+
+
+def publish_plan(queue: WorkQueue,
+                 plan: ExecutionPlan) -> tuple[list[ShardTask], int]:
+    """Publish a plan's tasks; returns ``(tasks, newly_enqueued)``.
+
+    Tasks whose results already sit in the queue are not re-enqueued
+    (the collector serves them directly), so a crashed driver can
+    simply republish its whole plan and only pay for the remainder.
+    """
+    enqueued = 0
+    tasks = plan_tasks(plan)
+    for task in tasks:
+        if queue.publish(task.task_id, task):
+            enqueued += 1
+    return tasks, enqueued

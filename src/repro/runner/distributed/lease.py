@@ -1,0 +1,72 @@
+"""Lease files: who is executing a claimed task, and until when.
+
+A worker that claims a task writes a lease next to the claim ticket
+and heartbeat-renews it while the task executes.  The driver-side collector
+treats a claimed task whose lease has expired (or whose lease file
+never appeared, judged by the claim ticket's age) as abandoned —
+typically a worker that died between claiming and completing — and
+re-enqueues it.
+
+Expiry compares ``time.time()`` stamps written on one host against the
+clock of another, so multi-host deployments need loosely synchronized
+clocks (NTP-level skew is harmless against the default TTL).  Because
+every unit's result is a pure function of its spec digest, an expired
+lease whose worker is merely *slow* is safe: both executions produce
+bit-identical results and completion is idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+#: Default lease time-to-live.  A worker's heartbeat renews every
+#: TTL/3 while a task executes, so the TTL only needs to cover a few
+#: missed heartbeats — not the task's wall time.
+DEFAULT_LEASE_TTL_S = 60.0
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's time-bounded hold on one claimed task."""
+
+    task_id: str
+    worker_id: str
+    expires_at: float
+
+    def expired(self, now: float | None = None) -> bool:
+        return (time.time() if now is None else now) > self.expires_at
+
+    @classmethod
+    def granted(cls, task_id: str, worker_id: str,
+                ttl_s: float = DEFAULT_LEASE_TTL_S,
+                now: float | None = None) -> "Lease":
+        if ttl_s <= 0:
+            raise ValueError("lease TTL must be positive")
+        now = time.time() if now is None else now
+        return cls(task_id=task_id, worker_id=worker_id,
+                   expires_at=now + ttl_s)
+
+    def to_json(self) -> bytes:
+        """The on-disk form (written via the queue's atomic writer —
+        renewal by concurrent duplicate holders must never share a
+        staging path)."""
+        return json.dumps(asdict(self)).encode()
+
+
+def read_lease(path: Path) -> Lease | None:
+    """The lease at ``path``, or ``None`` if missing or corrupt.
+
+    A corrupt lease (a worker died mid-write before the rename, or the
+    file was truncated by the filesystem) is treated like a missing
+    one: the collector falls back to the claim ticket's age.
+    """
+    try:
+        payload = json.loads(path.read_text())
+        return Lease(task_id=str(payload["task_id"]),
+                     worker_id=str(payload["worker_id"]),
+                     expires_at=float(payload["expires_at"]))
+    except (OSError, ValueError, KeyError, TypeError):
+        return None

@@ -1,0 +1,420 @@
+"""The shared-directory work queue: claims, leases, results, retries.
+
+One queue is one directory, usable by any number of workers that can
+see it (local processes, or hosts sharing a network filesystem).  All
+coordination is plain files and two POSIX guarantees: ``rename`` is
+atomic, and renaming a path that another renamer already consumed
+fails.  There is no server and no locking.
+
+Layout::
+
+    queue/
+      tasks/    task payloads (``<id>.pkl``), immutable once published
+      todo/     claim tickets (``<id>.json``) — present = claimable
+      claimed/  tickets a worker has claimed (rename target)
+      leases/   lease files for claimed tickets (see ``lease.py``)
+      results/  completed tasks (``<id>.pkl``: pickled UnitResults)
+      failed/   tickets whose retry budget is exhausted
+      tmp/      staging area for atomic writes
+      logs/     self-spawned worker logs
+
+Protocol:
+
+* **publish** — write the payload, then a ticket into ``todo/``.  A
+  task whose result file already exists is *not* re-enqueued: task ids
+  derive from the unit spec digests, so the results directory doubles
+  as a digest-keyed on-disk extension of the
+  :class:`~repro.runner.cache.UnitCache`.
+* **claim** — rename the ticket ``todo/ -> claimed/``.  Exactly one
+  renamer wins; losers see the source vanish and move on.  The winner
+  writes a lease and starts executing.
+* **complete** — write the results atomically (tmp + rename), then
+  drop the ticket and lease.  Because results are deterministic,
+  completion is idempotent: duplicate executions (an expired lease
+  whose worker was merely slow) overwrite the file with identical
+  bytes.
+* **requeue/fail** — an error or an expired lease sends the ticket
+  back to ``todo/`` with its attempt count incremented, until
+  ``max_attempts`` is exhausted and the ticket lands in ``failed/``
+  for the collector to surface.
+
+Payloads cross the directory as pickles, exactly as work units cross
+process-pool boundaries; only point a queue at directories you trust.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import pickle
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from .lease import DEFAULT_LEASE_TTL_S, Lease, read_lease
+
+#: How many times a task may be attempted (first run + retries)
+#: before it is declared failed.
+DEFAULT_MAX_ATTEMPTS = 3
+
+_QUEUE_DIRS = ("tasks", "todo", "claimed", "leases", "results",
+               "failed", "tmp", "logs")
+
+_tmp_counter = itertools.count()
+
+
+class QueueError(RuntimeError):
+    """A work-queue operation could not proceed."""
+
+
+def default_worker_id() -> str:
+    """A worker identity unique across hosts and processes."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class Claim:
+    """One worker's successful claim of one task."""
+
+    task_id: str
+    worker_id: str
+    ticket: dict
+    ttl_s: float
+
+    @property
+    def attempts(self) -> int:
+        """Attempts already spent *before* this claim."""
+        return int(self.ticket.get("attempts", 0))
+
+
+@dataclass(frozen=True)
+class RequeueReport:
+    """What one expiry sweep did."""
+
+    requeued: tuple[str, ...] = ()
+    failed: tuple[str, ...] = ()
+
+
+class WorkQueue:
+    """A shared-directory work queue rooted at ``root``."""
+
+    def __init__(self, root: str | Path,
+                 lease_ttl_s: float = DEFAULT_LEASE_TTL_S) -> None:
+        self.root = Path(root)
+        self.lease_ttl_s = lease_ttl_s
+        #: driver-side: when each leaseless claimed ticket was first
+        #: observed (grace clock for workers that died before their
+        #: lease write — see :meth:`requeue_expired`)
+        self._unleased_since: dict[str, float] = {}
+
+    # --- layout -------------------------------------------------------
+    def ensure(self) -> "WorkQueue":
+        """Create the queue layout (idempotent); validate the root."""
+        if self.root.exists() and not self.root.is_dir():
+            raise QueueError(
+                f"queue root {str(self.root)!r} exists and is not a "
+                f"directory")
+        try:
+            for name in _QUEUE_DIRS:
+                (self.root / name).mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise QueueError(
+                f"cannot initialise work queue at {str(self.root)!r}: "
+                f"{exc}") from exc
+        return self
+
+    def _dir(self, name: str) -> Path:
+        return self.root / name
+
+    def payload_path(self, task_id: str) -> Path:
+        return self._dir("tasks") / f"{task_id}.pkl"
+
+    def result_path(self, task_id: str) -> Path:
+        return self._dir("results") / f"{task_id}.pkl"
+
+    def lease_path(self, task_id: str) -> Path:
+        return self._dir("leases") / f"{task_id}.json"
+
+    # --- atomic writes ------------------------------------------------
+    def _write_atomic(self, path: Path, data: bytes) -> None:
+        tmp = self._dir("tmp") / (
+            f"{path.name}.{os.getpid()}.{next(_tmp_counter)}")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def _write_ticket(self, directory: str, ticket: dict) -> None:
+        self._write_atomic(
+            self._dir(directory) / f"{ticket['task']}.json",
+            json.dumps(ticket).encode())
+
+    # --- publishing ---------------------------------------------------
+    def publish(self, task_id: str, payload: Any) -> bool:
+        """Publish one task; returns False when its result already
+        exists (nothing to run — the collector serves it directly).
+
+        Republishing resets the task's fate: a stale ``failed/``
+        ticket from an earlier run (whose cause the operator has since
+        fixed) is cleared, so the fresh attempt budget actually
+        applies instead of the old failure poisoning the new plan.
+        """
+        if self.has_result(task_id):
+            return False
+        try:
+            (self._dir("failed") / f"{task_id}.json").unlink()
+        except OSError:
+            pass
+        self._write_atomic(self.payload_path(task_id),
+                           pickle.dumps(payload))
+        self._write_ticket("todo", {"task": task_id, "attempts": 0,
+                                    "errors": []})
+        return True
+
+    # --- claiming -----------------------------------------------------
+    def claim(self, worker_id: str | None = None,
+              ttl_s: float | None = None) -> Claim | None:
+        """Claim one task by atomic rename; ``None`` when nothing is
+        claimable.  Exactly one claimant wins each ticket."""
+        worker_id = worker_id or default_worker_id()
+        ttl_s = self.lease_ttl_s if ttl_s is None else ttl_s
+        todo, claimed = self._dir("todo"), self._dir("claimed")
+        for name in sorted(os.listdir(todo)):
+            if not name.endswith(".json"):
+                continue
+            src, dst = todo / name, claimed / name
+            try:
+                os.rename(src, dst)
+            except OSError:
+                continue        # another claimant won this ticket
+            try:
+                ticket = json.loads(dst.read_text())
+            except (OSError, ValueError):
+                ticket = {"task": name[:-len(".json")], "attempts": 0,
+                          "errors": []}
+            if self.has_result(ticket["task"]):
+                # A leftover ticket for an already-completed task (a
+                # zombie's late requeue racing the real completion):
+                # results are deterministic, so drop it, don't redo it.
+                self._drop_claim(ticket["task"])
+                continue
+            claim = Claim(task_id=ticket["task"], worker_id=worker_id,
+                          ticket=ticket, ttl_s=ttl_s)
+            self.renew(claim)
+            return claim
+        return None
+
+    def renew(self, claim: Claim) -> None:
+        """Extend the claim's lease by its TTL from now."""
+        lease = Lease.granted(claim.task_id, claim.worker_id,
+                              claim.ttl_s)
+        self._write_atomic(self.lease_path(claim.task_id),
+                           lease.to_json())
+
+    def load_payload(self, claim: Claim) -> Any:
+        try:
+            data = self.payload_path(claim.task_id).read_bytes()
+        except OSError as exc:
+            raise QueueError(f"task {claim.task_id!r} has no payload "
+                             f"file: {exc}") from exc
+        return pickle.loads(data)
+
+    # --- completion / failure -----------------------------------------
+    def _drop_claim(self, task_id: str) -> None:
+        for path in ((self._dir("claimed") / f"{task_id}.json"),
+                     self.lease_path(task_id)):
+            try:
+                path.unlink()
+            except OSError:
+                pass            # already dropped by a requeue sweep
+
+    def complete(self, claim: Claim, results: list) -> None:
+        """Record the task's results and release the claim."""
+        self._write_atomic(self.result_path(claim.task_id),
+                           pickle.dumps(list(results)))
+        self._drop_claim(claim.task_id)
+
+    def release_error(self, claim: Claim, error: str,
+                      max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> str:
+        """An attempt failed: requeue or, out of budget, mark failed.
+
+        Only the claim's *current owner* may retire it: if the expiry
+        sweep already stole this claim and re-issued it (the on-disk
+        ticket's attempt count moved past our snapshot, or the lease
+        belongs to another worker), the late report is obsolete — the
+        live claimant owns the task's fate now, and retiring with the
+        stale snapshot would both steal its claim and regress the
+        attempt counter below the true count.
+
+        Returns ``"requeued"`` or ``"failed"``.
+        """
+        task_id = claim.task_id
+        try:
+            current = json.loads(
+                (self._dir("claimed") / f"{task_id}.json").read_text())
+        except (OSError, ValueError):
+            return "requeued"   # already retired or completed
+        if int(current.get("attempts", 0)) != claim.attempts:
+            return "requeued"   # stolen and re-claimed; not ours
+        lease = read_lease(self.lease_path(task_id))
+        if lease is not None and lease.worker_id != claim.worker_id:
+            return "requeued"
+        ticket = dict(claim.ticket)
+        ticket["attempts"] = claim.attempts + 1
+        ticket["errors"] = list(ticket.get("errors", ())) + [error]
+        return self._retire(ticket, max_attempts,
+                            expected_attempts=claim.attempts)
+
+    def _retire(self, ticket: dict, max_attempts: int,
+                expected_attempts: int | None = None) -> str:
+        """Route an updated ticket back to ``todo/`` or to ``failed/``.
+
+        The ticket is rewritten *in place* in ``claimed/`` and then
+        moved by one atomic rename, so it exists in exactly one
+        directory at every instant: a fresh claimant renaming the new
+        ``todo/`` ticket can never be silently clobbered by a
+        straggling cleanup (write-then-delete would open exactly that
+        window), and a crash mid-retire leaves the ticket recoverable
+        in ``claimed/`` for the next expiry sweep.
+
+        ``expected_attempts`` re-verifies ownership immediately before
+        the overwrite: if the on-disk ticket's attempt count moved
+        past the caller's snapshot while it stalled (the expiry sweep
+        stole and re-issued the claim), the retire is obsolete and
+        becomes a no-op.  Plain files cannot close this window fully,
+        but re-checking here shrinks it from "since the claim" to
+        microseconds, and the remaining race only costs a duplicate
+        execution — never a lost task or a wrong result.
+        """
+        task_id = ticket["task"]
+        destination = ("failed" if ticket["attempts"] >= max_attempts
+                       else "todo")
+        claimed_path = self._dir("claimed") / f"{task_id}.json"
+        try:
+            on_disk = json.loads(claimed_path.read_text())
+        except (OSError, ValueError):
+            # Someone else (a zombie worker vs the expiry sweep)
+            # already retired this claim; nothing to route.
+            return "requeued"
+        if (expected_attempts is not None
+                and int(on_disk.get("attempts", 0)) != expected_attempts):
+            return "requeued"   # claim was stolen and re-issued
+        self._write_atomic(claimed_path, json.dumps(ticket).encode())
+        try:
+            os.rename(claimed_path,
+                      self._dir(destination) / f"{task_id}.json")
+        except OSError:
+            return "requeued"   # lost the retire race; ticket moved
+        try:
+            self.lease_path(task_id).unlink()
+        except OSError:
+            pass
+        return "failed" if destination == "failed" else "requeued"
+
+    # --- expiry (driver side) -----------------------------------------
+    def requeue_expired(self, max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                        now: float | None = None) -> RequeueReport:
+        """Re-enqueue claimed tasks whose lease has expired.
+
+        A claimed ticket without a readable lease (the worker died in
+        the claim/lease window, or the lease file is corrupt) gets a
+        full TTL of grace from the sweep that *first observes* it in
+        that state — the ticket file's own mtime is useless here, as
+        rename preserves it from publish time, which would make any
+        task that queued longer than the TTL look instantly expired.
+        Each expiry costs one attempt; exhausted tickets move to
+        ``failed/``.
+        """
+        now = time.time() if now is None else now
+        requeued: list[str] = []
+        failed: list[str] = []
+        claimed = self._dir("claimed")
+        for name in sorted(os.listdir(claimed)):
+            if not name.endswith(".json"):
+                continue
+            task_id = name[:-len(".json")]
+            if self.has_result(task_id):
+                # A slow-but-alive worker finished after its lease
+                # expired; nothing to retry.
+                self._drop_claim(task_id)
+                self._unleased_since.pop(task_id, None)
+                continue
+            lease = read_lease(self.lease_path(task_id))
+            if lease is not None:
+                self._unleased_since.pop(task_id, None)
+                expired = lease.expired(now)
+            else:
+                first_seen = self._unleased_since.setdefault(task_id,
+                                                             now)
+                expired = now - first_seen > self.lease_ttl_s
+            if not expired:
+                continue
+            self._unleased_since.pop(task_id, None)
+            try:
+                ticket = json.loads((claimed / name).read_text())
+            except (OSError, ValueError):
+                continue
+            ticket["attempts"] = int(ticket.get("attempts", 0)) + 1
+            ticket["errors"] = (list(ticket.get("errors", ()))
+                                + [f"lease expired (worker "
+                                   f"{lease.worker_id if lease else 'unknown'})"])
+            if self._retire(ticket, max_attempts,
+                            expected_attempts=ticket["attempts"] - 1) \
+                    == "failed":
+                failed.append(task_id)
+            else:
+                requeued.append(task_id)
+        return RequeueReport(requeued=tuple(requeued),
+                             failed=tuple(failed))
+
+    # --- inspection ---------------------------------------------------
+    def has_result(self, task_id: str) -> bool:
+        return self.result_path(task_id).exists()
+
+    def result_ids(self) -> set[str]:
+        """Every task id with a recorded result (one directory scan —
+        the collector's per-poll primitive)."""
+        return {name[:-len(".pkl")]
+                for name in os.listdir(self._dir("results"))
+                if name.endswith(".pkl")}
+
+    def load_results(self, task_id: str) -> list:
+        try:
+            return pickle.loads(self.result_path(task_id).read_bytes())
+        except OSError as exc:
+            raise QueueError(f"no result recorded for task "
+                             f"{task_id!r}: {exc}") from exc
+
+    def todo_ids(self) -> tuple[str, ...]:
+        return self._ids("todo")
+
+    def claimed_ids(self) -> tuple[str, ...]:
+        return self._ids("claimed")
+
+    def failed_tickets(self, task_ids=None) -> dict[str, dict]:
+        """Exhausted tickets by task id (with their error history).
+
+        ``task_ids`` restricts which tickets are *opened*: a
+        long-lived shared queue accumulates failures from unrelated
+        sweeps, and a polling collector must not pay to re-read them.
+        """
+        out: dict[str, dict] = {}
+        for name in sorted(os.listdir(self._dir("failed"))):
+            if not name.endswith(".json"):
+                continue
+            task_id = name[:-len(".json")]
+            if task_ids is not None and task_id not in task_ids:
+                continue
+            try:
+                out[task_id] = json.loads(
+                    (self._dir("failed") / name).read_text())
+            except (OSError, ValueError):
+                out[task_id] = {"errors": ["unreadable"]}
+        return out
+
+    def _ids(self, directory: str) -> tuple[str, ...]:
+        return tuple(sorted(
+            name[:-len(".json")]
+            for name in os.listdir(self._dir(directory))
+            if name.endswith(".json")))

@@ -1,0 +1,127 @@
+"""The worker loop: claim shards, execute, write results back.
+
+A worker is stateless and crash-safe by construction: everything it
+holds is re-derivable from the queue directory.  If it dies mid-task
+its lease expires and the collector re-enqueues the shard; if it dies
+between tasks nothing is lost at all.  Any number of workers — local
+subprocesses the backend self-spawned, or processes on other hosts
+pointed at a shared directory — can drain one queue concurrently.
+
+Execution reuses the existing backends' kernels verbatim
+(:func:`~repro.runner.backends._execute_group` for batch shards, one
+``unit.execute()`` per lone unit), so a distributed run produces
+bit-identical results to a serial one: seeds derive from spec digests
+and never from which worker ran what, when.
+
+CLI form (see ``python -m repro.experiments worker --help``)::
+
+    python -m repro.experiments worker --queue DIR
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+
+from .queue import (Claim, DEFAULT_MAX_ATTEMPTS, WorkQueue,
+                    default_worker_id)
+
+_worker_counter = itertools.count()
+
+
+class Worker:
+    """Claims tasks from one queue and executes them to completion."""
+
+    def __init__(self, queue: WorkQueue, worker_id: str | None = None,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
+        self.queue = queue
+        self.worker_id = (worker_id or
+                          f"{default_worker_id()}-{next(_worker_counter)}")
+        self.max_attempts = max_attempts
+        self.executed = 0
+        self.failed = 0
+
+    # ------------------------------------------------------------------
+    def run_once(self) -> bool:
+        """Claim and finish (or fail) one task; False when queue idle."""
+        claim = self.queue.claim(self.worker_id)
+        if claim is None:
+            return False
+        self.execute_claim(claim)
+        return True
+
+    def execute_claim(self, claim: Claim) -> None:
+        """Execute one claimed task under a lease heartbeat.
+
+        A background thread renews the lease every TTL/3 for as long
+        as the task runs, so arbitrarily long shards (a wide batched
+        group, a search-heavy strategy) never expire under a healthy
+        worker — only a *dead* worker's lease lapses.  The heartbeat
+        stops before completion or release so it can never resurrect a
+        lease for a finished task.
+
+        An execution error does not kill the worker: the ticket goes
+        back to the queue (or to ``failed/`` once its attempt budget
+        is spent, carrying the error history for the collector to
+        surface) and the worker moves on to the next task.
+        """
+        stop = threading.Event()
+
+        def heartbeat() -> None:
+            interval = max(claim.ttl_s / 3.0, 0.02)
+            while not stop.wait(interval):
+                try:
+                    self.queue.renew(claim)
+                except OSError:     # pragma: no cover - transient fs
+                    pass            # error; the next beat retries
+        beat = threading.Thread(target=heartbeat, daemon=True)
+        beat.start()
+        try:
+            try:
+                task = self.queue.load_payload(claim)
+                results = list(task.iter_results())
+            finally:
+                stop.set()
+                beat.join()
+        except Exception as exc:  # noqa: BLE001 — task faults must not
+            # take down the worker; they are reported via the ticket.
+            outcome = self.queue.release_error(
+                claim, f"{type(exc).__name__}: {exc}", self.max_attempts)
+            if outcome == "failed":
+                self.failed += 1
+            return
+        self.queue.complete(claim, results)
+        self.executed += 1
+
+    def drain(self) -> int:
+        """Execute until the queue has nothing claimable; tasks done."""
+        done = 0
+        while self.run_once():
+            done += 1
+        return done
+
+    def run(self, poll_s: float = 0.2, max_tasks: int | None = None,
+            max_idle_s: float | None = None) -> int:
+        """The long-running loop: claim, execute, sleep when idle.
+
+        Exits after ``max_tasks`` executed-or-failed tasks (``None`` =
+        unbounded) or after ``max_idle_s`` seconds without claimable
+        work (``None`` = wait forever — the self-spawn backend
+        terminates its workers when the sweep completes).  Returns the
+        number of tasks handled.
+        """
+        handled = 0
+        idle_since: float | None = None
+        while max_tasks is None or handled < max_tasks:
+            if self.run_once():
+                handled += 1
+                idle_since = None
+                continue
+            now = time.time()
+            idle_since = idle_since if idle_since is not None else now
+            if (max_idle_s is not None
+                    and now - idle_since >= max_idle_s):
+                break
+            time.sleep(poll_s)
+        return handled

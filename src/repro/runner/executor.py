@@ -77,7 +77,8 @@ class RunReport:
     #: summed single-unit execution time; with ``parallel`` this can
     #: exceed ``elapsed_s`` — the ratio is the realized speedup
     busy_s: float = 0.0
-    #: backend that executed the plan ("serial", "pool", "batched")
+    #: backend that executed the plan ("serial", "pool", "batched",
+    #: "distributed")
     backend: str = "serial"
     #: batch groups (shards) executed as single engine invocations
     groups: int = 0
@@ -202,13 +203,15 @@ class SweepRunner:
                 context.progress(done_count, plan.total_units, result)
 
         backend_name = context.resolved_backend()
-        outcome = make_backend(backend_name).execute(
+        outcome = make_backend(
+            backend_name, **context.backend_options()).execute(
             plan, context.jobs, finish)
 
         elapsed = time.perf_counter() - start
         report = RunReport(
             total_units=plan.total_units, executed=plan.executed,
-            cache_hits=plan.cache_hits, jobs=context.jobs,
+            cache_hits=plan.cache_hits,
+            jobs=outcome.workers or context.jobs,
             parallel=outcome.parallel, elapsed_s=elapsed, busy_s=busy_s,
             backend=backend_name, groups=outcome.groups,
             batched_units=outcome.batched_units)

@@ -10,15 +10,17 @@ working.
 import warnings
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis import (DmsdSteadyState, NoDvfsSteadyState,
                             RmsdSteadyState, run_sweep, sweep_units)
 from repro.experiments import Workbench
 from repro.experiments.common import Profile
-from repro.noc import SimBudget
+from repro.noc import NocConfig, SimBudget
 from repro.runner import (BatchGroup, ExecutionContext, ExecutionPlan,
-                          SweepRunner, UnitCache, backend_names,
-                          batch_eligible, make_backend)
+                          SweepRunner, UnitCache, WorkUnit,
+                          backend_names, batch_eligible, make_backend)
 from repro.traffic import PatternTraffic, make_pattern
 
 TINY_BUDGET = SimBudget(200, 500, 1500)
@@ -61,7 +63,8 @@ def fingerprint(unit_result):
 
 class TestBackendRegistry:
     def test_all_backends_registered(self):
-        assert set(backend_names()) == {"serial", "pool", "batched"}
+        assert set(backend_names()) == {"serial", "pool", "batched",
+                                        "distributed"}
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):
@@ -177,6 +180,144 @@ class TestPlanner:
         group = BatchGroup(tiny_config, TINY_BUDGET, "fast", list(units))
         with pytest.raises(ValueError):
             group.split(0)
+
+
+# --- property-based planner invariants (hypothesis) -------------------
+
+#: Planner-property unit pool: two engines, two budgets, and configs
+#: with and without heterogeneous node clocks (the batch-eligibility
+#: boundary), drawn with heavy duplication so cache collapse triggers.
+PROP_CONFIGS = (
+    NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+              packet_length=3),
+    NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+              packet_length=3).with_(node_freqs_hz=tuple([1e9] * 9)),
+    NocConfig(width=4, height=3, num_vcs=2, vc_buf_depth=2,
+              packet_length=4),
+)
+_PROP_PATTERNS = tuple(make_pattern("uniform", config.make_mesh())
+                       for config in PROP_CONFIGS)
+PROP_RATES = (0.02, 0.05, 0.08, 0.1, 0.12, 0.15)
+
+#: Sentinel a stub cache serves (the planner only checks ``is not
+#: None``; no simulation ever runs in these tests).
+CACHE_HIT = object()
+
+PLANNER_SETTINGS = settings(max_examples=50, deadline=None)
+
+
+@st.composite
+def unit_lists(draw):
+    n = draw(st.integers(min_value=0, max_value=24))
+    units = []
+    for _ in range(n):
+        i = draw(st.integers(0, len(PROP_CONFIGS) - 1))
+        rate = draw(st.sampled_from(PROP_RATES))
+        units.append(WorkUnit(
+            policy="no-dvfs", x=rate, config=PROP_CONFIGS[i],
+            traffic=PatternTraffic(_PROP_PATTERNS[i], rate),
+            strategy=NoDvfsSteadyState(),
+            budget=draw(st.sampled_from((TINY_BUDGET, OTHER_BUDGET))),
+            run_seed=draw(st.sampled_from((3, 7))),
+            engine=draw(st.sampled_from(("fast", "reference")))))
+    return units
+
+
+class _StubCache:
+    """Serves a hit for a deterministic pseudo-random digest subset."""
+
+    def __init__(self, modulus):
+        self.modulus = modulus
+
+    def hits(self, digest):
+        return int(digest[:8], 16) % self.modulus == 0
+
+    def get(self, digest):
+        return CACHE_HIT if self.hits(digest) else None
+
+
+class TestPlannerProperties:
+    """Hypothesis: the planner invariants the example tests above probe
+    hold for *every* random submission — each unit lands in exactly one
+    of cache-hit / pending, batch groups never mix (config, budget,
+    engine), and shard sizes respect the cap."""
+
+    @PLANNER_SETTINGS
+    @given(units=unit_lists())
+    def test_every_submission_is_served_or_pending_once(self, units):
+        plan = ExecutionPlan(units, None)
+        indices = sorted(i for idxs in plan.pending.values()
+                         for i in idxs)
+        assert indices == list(range(len(units)))
+        digests = [u.digest() for u in units]
+        # exactly one executing unit per distinct digest
+        assert sorted(u.digest() for u in plan.todo) == sorted(set(digests))
+        for digest, idxs in plan.pending.items():
+            assert all(digests[i] == digest for i in idxs)
+
+    @PLANNER_SETTINGS
+    @given(units=unit_lists(), modulus=st.integers(2, 5))
+    def test_cache_hits_and_pending_partition_the_submission(
+            self, units, modulus):
+        cache = _StubCache(modulus)
+        plan = ExecutionPlan(units, cache)
+        hits = 0
+        for i, unit in enumerate(units):
+            if cache.hits(unit.digest()):
+                assert plan.results[i] is CACHE_HIT
+                hits += 1
+            else:
+                assert plan.results[i] is None
+                assert i in plan.pending[unit.digest()]
+        assert plan.cache_hits == hits
+        assert not any(cache.hits(u.digest()) for u in plan.todo)
+
+    @PLANNER_SETTINGS
+    @given(units=unit_lists(), jobs=st.integers(1, 6),
+           max_shard=st.integers(1, 8))
+    def test_grouping_partitions_todo_without_mixing(self, units, jobs,
+                                                     max_shard):
+        plan = ExecutionPlan(units, None)
+        plan.group_batches(jobs=jobs, max_shard=max_shard)
+        grouped = [u for g in plan.groups for u in g.units]
+        # every pending unit in exactly one shard or on the unit path
+        assert (sorted(u.digest() for u in grouped + plan.singles)
+                == sorted(u.digest() for u in plan.todo))
+        for group in plan.groups:
+            assert 1 <= len(group.units) <= max_shard
+            assert all(batch_eligible(u) for u in group.units)
+            assert all((u.config, u.budget, u.engine)
+                       == (group.config, group.budget, group.engine)
+                       for u in group.units)
+
+    @PLANNER_SETTINGS
+    @given(units=unit_lists(), jobs=st.integers(1, 6),
+           max_shard=st.integers(1, 8))
+    def test_grouping_preserves_order_and_strands_no_one(self, units,
+                                                         jobs,
+                                                         max_shard):
+        plan = ExecutionPlan(units, None)
+        plan.group_batches(jobs=jobs, max_shard=max_shard)
+        eligible = [u for u in plan.todo if batch_eligible(u)]
+        by_class: dict = {}
+        for u in eligible:
+            by_class.setdefault((u.config, u.budget, u.engine),
+                                []).append(u)
+        for key, members in by_class.items():
+            sharded = [u for g in plan.groups
+                       if (g.config, g.budget, g.engine) == key
+                       for u in g.units]
+            if len(members) == 1:
+                # a lone eligible unit gains nothing from batching
+                assert sharded == []
+                assert members[0] in plan.singles
+            else:
+                # shards concatenate back to submission order
+                assert [u.digest() for u in sharded] \
+                    == [u.digest() for u in members]
+        assert all(not batch_eligible(u) or
+                   len(by_class[(u.config, u.budget, u.engine)]) == 1
+                   for u in plan.singles)
 
 
 class TestBatchedDifferential:

@@ -1,9 +1,17 @@
-"""Tests for the figure-regeneration CLI."""
+"""Tests for the figure-regeneration CLI (and the worker CLI)."""
+
+import threading
+import time
 
 import pytest
 
-from repro.experiments.__main__ import FIGURES, main, run_figure
-from repro.experiments.common import Workbench
+from repro.experiments.__main__ import (FIGURES, main, run_figure,
+                                        worker_main)
+from repro.experiments.common import Profile, Workbench
+from repro.noc import SimBudget
+from repro.runner import ExecutionPlan, Worker, WorkQueue
+from repro.runner.distributed import publish_plan
+from test_backends import factory, make_units  # noqa: F401
 
 
 class TestCli:
@@ -81,3 +89,132 @@ class TestBadArgumentDiagnostics:
         assert "--backend" in err
         assert "invalid choice" in err and "warp" in err
         assert "serial" in err and "batched" in err
+        assert "distributed" in err
+
+    def test_distributed_requires_queue(self, capsys):
+        err = self._error_output(
+            ["--backend", "distributed", "fig5"], capsys)
+        assert "--backend distributed requires --queue" in err
+
+    def test_bad_queue_dir_reports_usable_message(self, capsys,
+                                                  tmp_path):
+        """A queue root that cannot be a directory fails with a clear
+        argparse error, never a traceback."""
+        not_a_dir = tmp_path / "occupied"
+        not_a_dir.write_text("this is a file")
+        err = self._error_output(
+            ["--backend", "distributed", "--queue", str(not_a_dir),
+             "fig5"], capsys)
+        assert "not a directory" in err
+        err = self._error_output(
+            ["--backend", "distributed", "--queue",
+             str(not_a_dir / "nested"), "fig5"], capsys)
+        assert "cannot initialise work queue" in err
+
+    def test_queue_and_workers_need_distributed_backend(self, capsys,
+                                                        tmp_path):
+        err = self._error_output(
+            ["--queue", str(tmp_path / "q"), "fig5"], capsys)
+        assert "only meaningful with --backend distributed" in err
+        err = self._error_output(["--workers", "2", "fig5"], capsys)
+        assert "only meaningful with --backend distributed" in err
+
+    def test_negative_workers(self, capsys, tmp_path):
+        err = self._error_output(
+            ["--backend", "distributed", "--queue", str(tmp_path / "q"),
+             "--workers", "-1", "fig5"], capsys)
+        assert "--workers must be >= 0" in err
+
+
+class TestWorkerCli:
+    """`python -m repro.experiments worker`: the worker-loop CLI."""
+
+    def test_queue_flag_is_required(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["worker"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--queue" in err and "Traceback" not in err
+
+    def test_bad_queue_dir(self, capsys, tmp_path):
+        not_a_dir = tmp_path / "occupied"
+        not_a_dir.write_text("x")
+        with pytest.raises(SystemExit) as excinfo:
+            worker_main(["--queue", str(not_a_dir)])
+        assert excinfo.value.code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_bad_lease_ttl_and_attempts(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            worker_main(["--queue", str(tmp_path / "q"),
+                         "--lease-ttl", "0"])
+        assert "--lease-ttl" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            worker_main(["--queue", str(tmp_path / "q"),
+                         "--max-attempts", "0"])
+        assert "--max-attempts" in capsys.readouterr().err
+
+    def test_worker_cli_drains_published_tasks(self, capsys, tmp_path,
+                                               tiny_config, factory):
+        """The worker loop claims, executes and completes real tasks
+        published by a driver-side plan."""
+        queue = WorkQueue(tmp_path / "q").ensure()
+        plan = ExecutionPlan(
+            make_units(tiny_config, factory, rates=(0.05, 0.1)), None)
+        plan.group_batches()
+        tasks, _ = publish_plan(queue, plan)
+        assert worker_main(["--queue", str(tmp_path / "q"),
+                            "--max-tasks", str(len(tasks))]) == 0
+        assert all(queue.has_result(t.task_id) for t in tasks)
+        assert "task(s) handled" in capsys.readouterr().err
+
+    def test_worker_cli_exit_code_signals_exhausted_tasks(
+            self, capsys, tmp_path, tiny_config, factory):
+        """A worker that exhausted a task's retry budget exits
+        non-zero so supervisors notice."""
+        from test_distributed import ExplodingStrategy
+
+        queue = WorkQueue(tmp_path / "q").ensure()
+        plan = ExecutionPlan(
+            make_units(tiny_config, factory, rates=(0.1,),
+                       strategy=ExplodingStrategy(),
+                       engine="reference"), None)
+        plan.group_batches()
+        publish_plan(queue, plan)
+        assert worker_main(["--queue", str(tmp_path / "q"),
+                            "--max-tasks", "1",
+                            "--max-attempts", "1"]) == 1
+        assert "1 failed" in capsys.readouterr().err
+
+
+class TestDistributedDriverCli:
+    def test_workers_zero_with_prestarted_external_worker(
+            self, capsys, monkeypatch, tmp_path):
+        """`--backend distributed --workers 0` completes when an
+        external worker (started before the driver) drains the queue."""
+        import repro.experiments.__main__ as cli
+
+        # A stripped-down profile: same code paths, minimal cycles.
+        monkeypatch.setattr(cli, "QUICK", Profile(
+            "cli-smoke", SimBudget(100, 250, 600), sweep_points=2,
+            dmsd_iterations=2, saturation_iterations=2))
+        queue = WorkQueue(tmp_path / "q").ensure()
+        stop = threading.Event()
+
+        def external_worker():
+            worker = Worker(queue)
+            while not stop.is_set():
+                if not worker.run_once():
+                    time.sleep(0.02)
+
+        thread = threading.Thread(target=external_worker, daemon=True)
+        thread.start()
+        try:
+            assert main(["--tiny", "--engine", "fast", "--backend",
+                         "distributed", "--queue", str(tmp_path / "q"),
+                         "--workers", "0", "fig2"]) == 0
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        out = capsys.readouterr().out
+        assert "fig2" in out and "regenerated in" in out

@@ -1,0 +1,799 @@
+"""Tests for the distributed execution backend (queue, worker, collector).
+
+The contract under test is the PR-1/PR-3 determinism guarantee
+extended across process and host boundaries: a sweep executed through
+the shared-directory work queue is **bit-identical** to a serial run
+for any worker count, crash schedule or claim interleaving.  The
+fault-injection harness simulates workers that die after claiming
+shards (the lease-expiry recovery path) and workers whose tasks always
+fail (the retry-exhaustion path), and asserts the sweep either
+completes identically or surfaces a :class:`FailedUnitError` — never
+hangs, never drops or corrupts a unit.
+"""
+
+import contextlib
+import threading
+import time
+
+import pytest
+
+from repro.analysis import NoDvfsSteadyState, SteadyStateStrategy
+from repro.runner import (ExecutionContext, ExecutionPlan, UnitCache,
+                          backend_names, make_backend)
+from repro.runner.distributed import (CollectTimeout, Collector,
+                                      DistributedBackend,
+                                      FailedUnitError, Lease, QueueError,
+                                      ShardTask, Worker, WorkQueue,
+                                      plan_tasks, publish_plan,
+                                      read_lease)
+from repro.runner.distributed.backend import _worker_env
+from test_backends import (POLICY_STRATEGIES, factory,  # noqa: F401
+                           fingerprint, make_units)
+
+#: Short lease so expiry-recovery tests run in milliseconds.
+FAST_TTL = 0.15
+
+
+class ExplodingStrategy(SteadyStateStrategy):
+    """A strategy whose units always fail (retry-path fuel)."""
+
+    name = "exploding"
+
+    def frequency_for(self, config, traffic, budget, seed,
+                      engine="reference"):
+        raise RuntimeError("boom: injected unit fault")
+
+
+class SlowTask:
+    """A task payload that outlives its lease TTL several times over
+    (duck-typed: the worker only needs ``iter_results``)."""
+
+    def __init__(self, duration_s):
+        self.duration_s = duration_s
+
+    def iter_results(self):
+        time.sleep(self.duration_s)
+        yield "slow-result"
+
+
+class CrashingWorker(Worker):
+    """Dies while holding its ``crash_on``-th claim.
+
+    Models a worker process killed after claiming a shard but before
+    completing it: the claim ticket stays in ``claimed/`` and the
+    lease is never renewed, so recovery *must* come from the
+    collector's expiry sweep.
+    """
+
+    class Died(RuntimeError):
+        pass
+
+    def __init__(self, queue, crash_on=1, **kwargs):
+        super().__init__(queue, **kwargs)
+        self.crash_on = crash_on
+        self.claims = 0
+
+    def run_once(self):
+        claim = self.queue.claim(self.worker_id)
+        if claim is None:
+            return False
+        self.claims += 1
+        if self.claims >= self.crash_on:
+            raise CrashingWorker.Died(claim.task_id)
+        self.execute_claim(claim)
+        return True
+
+
+def three_policy_units(config, factory):
+    units = []
+    for strategy in POLICY_STRATEGIES:
+        units.extend(make_units(config, factory,
+                                rates=(0.05, 0.1, 0.15),
+                                strategy=strategy))
+    return units
+
+
+#: Serial reference fingerprints, memoized on the units' digests —
+#: several tests compare against the same three-policy sweep.
+_serial_memo: dict = {}
+
+
+def serial_fingerprints(units):
+    key = tuple(u.digest() for u in units)
+    if key not in _serial_memo:
+        ctx = ExecutionContext(backend="serial", cache=None,
+                               engine="fast")
+        _serial_memo[key] = [fingerprint(r) for r in ctx.run(units)]
+    return _serial_memo[key]
+
+
+def run_distributed_inprocess(units, tmp_path, n_workers,
+                              crash_on=None, lease_ttl=FAST_TTL):
+    """Execute ``units`` through the queue with ``n_workers``
+    round-robin in-process workers (one optionally crashing), then
+    collect.  Returns results in submission order."""
+    queue = WorkQueue(tmp_path / "q", lease_ttl_s=lease_ttl).ensure()
+    plan = ExecutionPlan(list(units), None)
+    # Shard finer than the worker count so every crash schedule can
+    # observe a worker claiming more than one task.
+    plan.group_batches(jobs=max(n_workers, 4))
+    tasks, _ = publish_plan(queue, plan)
+    workers = [Worker(queue) for _ in range(n_workers)]
+    if crash_on is not None:
+        workers[0] = CrashingWorker(queue, crash_on=crash_on)
+    with pytest.raises(CrashingWorker.Died) if crash_on is not None \
+            else contextlib.nullcontext():
+        while True:
+            ran = [w.run_once() for w in workers]
+            if not any(ran):
+                break
+    healthy = Worker(queue)
+
+    def finish(result):
+        for i in plan.pending[result.digest]:
+            plan.results[i] = result
+
+    Collector(queue, [t.task_id for t in tasks], poll_s=0.02,
+              timeout_s=60).collect(
+        finish, on_poll=lambda outstanding: healthy.run_once())
+    assert all(r is not None for r in plan.results)
+    return plan.results
+
+
+# ---------------------------------------------------------------------
+class TestQueuePrimitives:
+    def test_layout_created_and_idempotent(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q").ensure().ensure()
+        for sub in ("tasks", "todo", "claimed", "leases", "results",
+                    "failed", "tmp", "logs"):
+            assert (tmp_path / "q" / sub).is_dir()
+        assert queue.todo_ids() == ()
+
+    def test_root_must_be_a_directory(self, tmp_path):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("x")
+        with pytest.raises(QueueError, match="not a directory"):
+            WorkQueue(not_a_dir).ensure()
+        with pytest.raises(QueueError, match="cannot initialise"):
+            WorkQueue(not_a_dir / "nested").ensure()
+
+    def test_publish_claim_complete_roundtrip(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q").ensure()
+        assert queue.publish("t1", {"payload": 1})
+        assert queue.todo_ids() == ("t1",)
+        claim = queue.claim("w1", ttl_s=5.0)
+        assert claim is not None and claim.task_id == "t1"
+        assert claim.attempts == 0
+        assert queue.todo_ids() == () and queue.claimed_ids() == ("t1",)
+        assert queue.load_payload(claim) == {"payload": 1}
+        lease = read_lease(queue.lease_path("t1"))
+        assert lease is not None and lease.worker_id == "w1"
+        assert not lease.expired()
+        queue.complete(claim, ["r1", "r2"])
+        assert queue.claimed_ids() == ()
+        assert queue.has_result("t1")
+        assert queue.load_results("t1") == ["r1", "r2"]
+        assert not queue.lease_path("t1").exists()
+
+    def test_claim_on_empty_queue_returns_none(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q").ensure()
+        assert queue.claim("w1") is None
+
+    def test_concurrent_claim_exactly_one_winner(self, tmp_path):
+        """The atomic-rename race: many claimants, one ticket."""
+        queue = WorkQueue(tmp_path / "q").ensure()
+        queue.publish("contended", {"payload": 1})
+        n = 8
+        barrier = threading.Barrier(n)
+        claims = [None] * n
+
+        def contend(i):
+            barrier.wait()
+            claims[i] = queue.claim(f"w{i}", ttl_s=5.0)
+
+        threads = [threading.Thread(target=contend, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        winners = [c for c in claims if c is not None]
+        assert len(winners) == 1
+        assert winners[0].task_id == "contended"
+
+    def test_claims_follow_sorted_ticket_order(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q").ensure()
+        for tid in ("b-2", "a-1", "c-3"):
+            queue.publish(tid, tid)
+        order = [queue.claim("w").task_id for _ in range(3)]
+        assert order == ["a-1", "b-2", "c-3"]
+
+    def test_lease_renewal_keeps_task_alive(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=0.2).ensure()
+        queue.publish("t1", 1)
+        claim = queue.claim("w1")
+        for _ in range(3):
+            time.sleep(0.1)
+            queue.renew(claim)
+            # Renewed within the TTL: never expired, never requeued.
+            assert queue.requeue_expired().requeued == ()
+        assert queue.claimed_ids() == ("t1",)
+        assert not read_lease(queue.lease_path("t1")).expired()
+
+    def test_expired_lease_requeues_with_attempt_count(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=0.05).ensure()
+        queue.publish("t1", 1)
+        queue.claim("w1")
+        time.sleep(0.1)
+        report = queue.requeue_expired()
+        assert report.requeued == ("t1",)
+        assert queue.claimed_ids() == ()
+        reclaim = queue.claim("w2")
+        assert reclaim.task_id == "t1"
+        assert reclaim.attempts == 1
+        assert "lease expired" in reclaim.ticket["errors"][0]
+
+    def test_missing_lease_gets_grace_then_requeues(self, tmp_path):
+        """A worker that died between rename and lease-write is still
+        recovered: the ticket gets one TTL of grace from the sweep
+        that first observes it leaseless (the ticket's own mtime is
+        publish time — rename preserves it — so age-based expiry would
+        spuriously fire for anything that queued longer than the TTL)."""
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=0.05).ensure()
+        queue.publish("t1", 1)
+        queue.claim("w1")
+        queue.lease_path("t1").unlink()
+        time.sleep(0.1)     # ticket is old, but grace starts at first
+        assert queue.requeue_expired().requeued == ()     # observation
+        time.sleep(0.1)
+        assert queue.requeue_expired().requeued == ("t1",)
+
+    def test_renewed_lease_cancels_the_grace_clock(self, tmp_path):
+        """A claimant that was merely slow to write its lease is not
+        expired by an armed grace clock once the lease appears."""
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=0.05).ensure()
+        queue.publish("t1", 1)
+        claim = queue.claim("w1")
+        queue.lease_path("t1").unlink()
+        assert queue.requeue_expired().requeued == ()     # clock armed
+        queue.renew(claim)                                # lease lands
+        time.sleep(0.02)
+        assert queue.requeue_expired().requeued == ()
+
+    def test_expiry_of_completed_task_is_not_retried(self, tmp_path):
+        """A slow-but-alive worker that completed after its lease
+        expired must not cause a retry."""
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=0.05).ensure()
+        queue.publish("t1", 1)
+        claim = queue.claim("w1")
+        queue._write_atomic(queue.result_path("t1"), b"\x80\x04N.")
+        time.sleep(0.1)
+        report = queue.requeue_expired()
+        assert report.requeued == () and report.failed == ()
+        assert queue.claimed_ids() == ()
+        queue.complete(claim, [])           # idempotent completion
+
+    def test_retry_budget_exhaustion_lands_in_failed(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=0.02).ensure()
+        queue.publish("t1", 1)
+        for attempt in range(3):
+            claim = queue.claim("w1")
+            assert claim is not None and claim.attempts == attempt
+            time.sleep(0.05)
+            queue.requeue_expired(max_attempts=3)
+        assert queue.todo_ids() == () and queue.claimed_ids() == ()
+        failures = queue.failed_tickets()
+        assert set(failures) == {"t1"}
+        assert failures["t1"]["attempts"] == 3
+
+    def test_release_error_requeues_then_fails(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q").ensure()
+        queue.publish("t1", 1)
+        claim = queue.claim("w1")
+        assert queue.release_error(claim, "boom 1",
+                                   max_attempts=2) == "requeued"
+        claim = queue.claim("w1")
+        assert claim.attempts == 1
+        assert queue.release_error(claim, "boom 2",
+                                   max_attempts=2) == "failed"
+        assert queue.failed_tickets()["t1"]["errors"] == ["boom 1",
+                                                          "boom 2"]
+
+    def test_publish_skips_tasks_with_results(self, tmp_path):
+        """The results directory is a digest-keyed on-disk cache: a
+        republished task with a recorded result is not re-enqueued."""
+        queue = WorkQueue(tmp_path / "q").ensure()
+        queue.publish("t1", 1)
+        claim = queue.claim("w1")
+        queue.complete(claim, ["r"])
+        assert not queue.publish("t1", 1)
+        assert queue.todo_ids() == ()
+
+    def test_stale_release_cannot_steal_a_live_claim(self, tmp_path):
+        """A zombie worker reporting an error *after* the collector
+        stole and re-issued its claim is a no-op: the live claimant's
+        ticket, lease and attempt counter are untouched."""
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=0.02).ensure()
+        queue.publish("t1", 1)
+        stale = queue.claim("w1")
+        time.sleep(0.05)
+        assert queue.requeue_expired().requeued == ("t1",)
+        fresh = queue.claim("w2")
+        assert fresh is not None and fresh.attempts == 1
+        assert queue.release_error(stale, "late zombie error") \
+            == "requeued"
+        # The live claim survives with its history intact:
+        assert queue.claimed_ids() == ("t1",)
+        assert read_lease(queue.lease_path("t1")).worker_id == "w2"
+        queue.complete(fresh, ["r"])
+        assert queue.has_result("t1")
+        assert queue.todo_ids() == () and queue.claimed_ids() == ()
+
+    def test_claim_drops_tickets_for_completed_tasks(self, tmp_path):
+        """A leftover duplicate ticket for an already-completed task
+        self-cleans at claim time instead of re-executing the work."""
+        queue = WorkQueue(tmp_path / "q").ensure()
+        queue.publish("t1", 1)
+        queue.complete(queue.claim("w1"), ["r"])
+        queue._write_ticket("todo", {"task": "t1", "attempts": 1,
+                                     "errors": []})
+        assert queue.claim("w2") is None
+        assert queue.todo_ids() == () and queue.claimed_ids() == ()
+
+    def test_concurrent_retires_keep_ticket_in_one_place(self,
+                                                         tmp_path):
+        """The expiry sweep and a zombie's release racing each other
+        resolve by atomic rename: one wins, the loser is a no-op."""
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=0.02).ensure()
+        queue.publish("t1", 1)
+        claim = queue.claim("w1")
+        time.sleep(0.05)
+        assert queue.requeue_expired().requeued == ("t1",)
+        # The ticket already moved back to todo/: a straggling release
+        # for the same (stolen) claim finds nothing claimed to retire.
+        assert queue.release_error(claim, "late") == "requeued"
+        assert queue.todo_ids() == ("t1",)
+        assert queue.claim("w2").attempts == 1
+
+    def test_republish_clears_stale_failed_ticket(self, tmp_path):
+        """Republishing a previously failed task resets its fate: the
+        old failed/ ticket must not poison the new run's collector."""
+        queue = WorkQueue(tmp_path / "q").ensure()
+        queue.publish("t1", 1)
+        claim = queue.claim("w1")
+        assert queue.release_error(claim, "transient outage",
+                                   max_attempts=1) == "failed"
+        assert set(queue.failed_tickets()) == {"t1"}
+        assert queue.publish("t1", 1)
+        assert queue.failed_tickets() == {}
+        assert queue.todo_ids() == ("t1",)
+        assert queue.claim("w2").attempts == 0
+
+
+class TestLease:
+    def test_expiry_math(self):
+        lease = Lease.granted("t", "w", ttl_s=10.0, now=1000.0)
+        assert lease.expires_at == 1010.0
+        assert not lease.expired(now=1009.9)
+        assert lease.expired(now=1010.1)
+
+    def test_ttl_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Lease.granted("t", "w", ttl_s=0.0)
+
+    def test_corrupt_lease_reads_as_none(self, tmp_path):
+        path = tmp_path / "lease.json"
+        path.write_text("{not json")
+        assert read_lease(path) is None
+        assert read_lease(tmp_path / "missing.json") is None
+
+
+# ---------------------------------------------------------------------
+class TestBroker:
+    def test_tasks_cover_plan(self, tiny_config, factory):
+        fast = make_units(tiny_config, factory, engine="fast")
+        ref = make_units(tiny_config, factory, engine="reference")
+        plan = ExecutionPlan(fast + ref, None)
+        plan.group_batches()
+        tasks = plan_tasks(plan)
+        group_tasks = [t for t in tasks if t.group is not None]
+        unit_tasks = [t for t in tasks if t.units]
+        assert len(group_tasks) == len(plan.groups)
+        assert len(unit_tasks) == len(plan.singles)
+        covered = sorted(
+            u.digest()
+            for t in tasks
+            for u in (t.group.units if t.group is not None else t.units))
+        assert covered == sorted(u.digest() for u in plan.todo)
+        assert len({t.task_id for t in tasks}) == len(tasks)
+
+    def test_task_ids_are_content_derived(self, tiny_config, factory):
+        units = make_units(tiny_config, factory)
+        ids = []
+        for _ in range(2):
+            plan = ExecutionPlan(list(units), None)
+            plan.group_batches()
+            ids.append([t.task_id for t in plan_tasks(plan)])
+        assert ids[0] == ids[1]
+
+    def test_task_ids_are_version_salted(self, tiny_config, factory,
+                                         monkeypatch):
+        """Upgrading the package must invalidate the queue's on-disk
+        results store (spec digests alone can't see code changes)."""
+        import repro
+
+        units = make_units(tiny_config, factory)
+        plan = ExecutionPlan(list(units), None)
+        plan.group_batches()
+        before = [t.task_id for t in plan_tasks(plan)]
+        monkeypatch.setattr(repro, "__version__", "999.0.0-test")
+        plan = ExecutionPlan(list(units), None)
+        plan.group_batches()
+        assert [t.task_id for t in plan_tasks(plan)] != before
+
+    def test_shard_task_validates(self):
+        with pytest.raises(ValueError):
+            ShardTask(task_id="bad")
+        with pytest.raises(ValueError):
+            ShardTask(task_id="bad", group=object(), units=(object(),))
+
+
+# ---------------------------------------------------------------------
+class TestWorkerLoop:
+    def test_drain_executes_everything_and_counts(self, tmp_path,
+                                                  tiny_config, factory):
+        units = make_units(tiny_config, factory)
+        queue = WorkQueue(tmp_path / "q").ensure()
+        plan = ExecutionPlan(units, None)
+        plan.group_batches()
+        tasks, _ = publish_plan(queue, plan)
+        worker = Worker(queue)
+        assert worker.drain() == len(tasks)
+        assert worker.executed == len(tasks) and worker.failed == 0
+        assert all(queue.has_result(t.task_id) for t in tasks)
+        assert queue.claim("another") is None
+
+    def test_run_loop_max_tasks_and_max_idle(self, tmp_path,
+                                             tiny_config, factory):
+        units = make_units(tiny_config, factory, engine="reference")
+        queue = WorkQueue(tmp_path / "q").ensure()
+        plan = ExecutionPlan(units, None)
+        plan.group_batches()
+        tasks, _ = publish_plan(queue, plan)
+        assert Worker(queue).run(poll_s=0.01, max_tasks=1) == 1
+        # remaining tasks drain, then the loop exits on idle timeout
+        assert Worker(queue).run(poll_s=0.01,
+                                 max_idle_s=0.05) == len(tasks) - 1
+
+    def test_heartbeat_outlasts_the_lease_ttl(self, tmp_path):
+        """A healthy worker on a long task is never expired: the
+        heartbeat renews the lease while the task blocks, so the
+        collector's expiry sweep burns no attempts."""
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=0.15).ensure()
+        queue.publish("slow", SlowTask(duration_s=0.6))
+        worker = Worker(queue)
+        done = threading.Event()
+
+        def execute():
+            worker.run_once()
+            done.set()
+
+        thread = threading.Thread(target=execute, daemon=True)
+        thread.start()
+        requeued = 0
+        while not done.is_set():
+            requeued += len(queue.requeue_expired().requeued)
+            time.sleep(0.03)
+        thread.join(timeout=5)
+        assert requeued == 0
+        assert worker.executed == 1
+        assert queue.load_results("slow") == ["slow-result"]
+
+    def test_worker_survives_task_faults(self, tmp_path, tiny_config,
+                                         factory):
+        """A unit that raises does not kill the worker; the ticket
+        burns its attempts and lands in failed/."""
+        bad = make_units(tiny_config, factory, rates=(0.1,),
+                         strategy=ExplodingStrategy(),
+                         engine="reference")
+        good = make_units(tiny_config, factory, rates=(0.05,),
+                          engine="reference")
+        queue = WorkQueue(tmp_path / "q").ensure()
+        plan = ExecutionPlan(bad + good, None)
+        plan.group_batches()
+        tasks, _ = publish_plan(queue, plan)
+        worker = Worker(queue, max_attempts=2)
+        drained = worker.drain()
+        assert drained == 3          # bad task twice, good task once
+        assert worker.executed == 1 and worker.failed == 1
+        failures = queue.failed_tickets()
+        assert len(failures) == 1
+        (ticket,) = failures.values()
+        assert all("boom" in err for err in ticket["errors"])
+
+    def test_retry_exhaustion_raises_failed_unit_error(
+            self, tmp_path, tiny_config, factory):
+        """The collector surfaces exhausted tasks instead of hanging."""
+        bad = make_units(tiny_config, factory, rates=(0.1,),
+                         strategy=ExplodingStrategy(),
+                         engine="reference")
+        queue = WorkQueue(tmp_path / "q").ensure()
+        plan = ExecutionPlan(bad, None)
+        plan.group_batches()
+        tasks, _ = publish_plan(queue, plan)
+        Worker(queue, max_attempts=2).drain()
+        with pytest.raises(FailedUnitError, match="boom") as excinfo:
+            Collector(queue, [t.task_id for t in tasks], poll_s=0.01,
+                      timeout_s=30).collect(lambda r: None)
+        assert tasks[0].task_id in str(excinfo.value)
+
+    def test_collector_deadline_raises_instead_of_hanging(
+            self, tmp_path):
+        queue = WorkQueue(tmp_path / "q").ensure()
+        queue.publish("t-orphan", 1)    # nobody will ever execute it
+        with pytest.raises(CollectTimeout, match="t-orphan"):
+            Collector(queue, ["t-orphan"], poll_s=0.01,
+                      timeout_s=0.05).collect(lambda r: None)
+
+
+# ---------------------------------------------------------------------
+class TestFaultInjection:
+    """The harness of the PR's acceptance gate: crash schedules."""
+
+    @pytest.mark.parametrize("crash_on", [1, 2])
+    def test_crashed_worker_shard_is_retried_and_bit_identical(
+            self, tmp_path, tiny_config, factory, crash_on):
+        units = three_policy_units(tiny_config, factory)
+        serial = serial_fingerprints(units)
+        results = run_distributed_inprocess(
+            units, tmp_path, n_workers=2, crash_on=crash_on)
+        assert [fingerprint(r) for r in results] == serial
+
+    def test_lease_expiry_observable_before_recovery(
+            self, tmp_path, tiny_config, factory):
+        """White-box: the crashed claim sits in claimed/ with a dead
+        lease, is requeued with attempts=1, then completes."""
+        units = make_units(tiny_config, factory)
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=FAST_TTL).ensure()
+        plan = ExecutionPlan(units, None)
+        plan.group_batches()
+        tasks, _ = publish_plan(queue, plan)
+        crasher = CrashingWorker(queue, crash_on=1)
+        with pytest.raises(CrashingWorker.Died):
+            crasher.run_once()
+        (abandoned,) = queue.claimed_ids()
+        lease = read_lease(queue.lease_path(abandoned))
+        assert lease is not None
+        time.sleep(FAST_TTL + 0.1)
+        assert lease.expired()
+        report = queue.requeue_expired()
+        assert report.requeued == (abandoned,)
+        reclaim = queue.claim("healthy")
+        assert reclaim.task_id == abandoned and reclaim.attempts == 1
+        Worker(queue).execute_claim(reclaim)
+        assert queue.has_result(abandoned)
+
+
+# ---------------------------------------------------------------------
+class TestDistributedBitIdentity:
+    """Acceptance: distributed == serial for worker counts {1, 2, 4}."""
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_three_policy_sweep_bit_identical(self, tmp_path,
+                                              tiny_config, factory,
+                                              n_workers):
+        units = three_policy_units(tiny_config, factory)
+        serial = serial_fingerprints(units)
+        results = run_distributed_inprocess(units, tmp_path, n_workers)
+        assert [fingerprint(r) for r in results] == serial
+
+    def test_mixed_engines_cover_group_and_unit_tasks(self, tmp_path,
+                                                      tiny_config,
+                                                      factory):
+        units = (make_units(tiny_config, factory, engine="fast")
+                 + make_units(tiny_config, factory, engine="reference"))
+        serial = serial_fingerprints(units)
+        results = run_distributed_inprocess(units, tmp_path, 2)
+        assert [fingerprint(r) for r in results] == serial
+
+    def test_results_reused_across_runs_in_same_queue(self, tmp_path,
+                                                      tiny_config,
+                                                      factory):
+        """Second publication of the same plan costs zero execution:
+        the queue's results directory is digest-keyed."""
+        units = make_units(tiny_config, factory)
+        first = run_distributed_inprocess(units, tmp_path, 1)
+        queue = WorkQueue(tmp_path / "q").ensure()
+        plan = ExecutionPlan(list(units), None)
+        # Same sharding as the first run -> same content-derived ids.
+        plan.group_batches(jobs=4)
+        tasks, enqueued = publish_plan(queue, plan)
+        assert enqueued == 0
+        collected = []
+        Collector(queue, [t.task_id for t in tasks], poll_s=0.01,
+                  timeout_s=30).collect(collected.append)
+        by_digest = {r.digest: fingerprint(r) for r in first}
+        assert len(collected) == len(units)
+        assert all(fingerprint(r) == by_digest[r.digest]
+                   for r in collected)
+
+
+# ---------------------------------------------------------------------
+class TestDistributedBackend:
+    """The registered backend end to end, through ExecutionContext."""
+
+    def test_registered_and_lazily_loaded(self, tmp_path):
+        assert "distributed" in backend_names()
+        backend = make_backend("distributed",
+                               queue_dir=tmp_path / "q", workers=1)
+        assert isinstance(backend, DistributedBackend)
+        assert backend.name == "distributed"
+
+    def test_context_requires_queue(self):
+        with pytest.raises(ValueError, match="requires queue"):
+            ExecutionContext(backend="distributed")
+        with pytest.raises(ValueError, match="workers"):
+            ExecutionContext(workers=-1)
+
+    def test_env_rejects_orphan_queue_like_the_cli(self, monkeypatch,
+                                                   tmp_path):
+        from repro.runner import context_from_env
+
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setenv("REPRO_QUEUE", str(tmp_path / "q"))
+        with pytest.raises(ValueError, match="REPRO_BACKEND"):
+            context_from_env()
+        monkeypatch.setenv("REPRO_BACKEND", "distributed")
+        ctx = context_from_env()
+        assert ctx.resolved_backend() == "distributed"
+        assert ctx.queue == str(tmp_path / "q")
+
+    def test_backend_options_only_for_distributed(self, tmp_path):
+        ctx = ExecutionContext(backend="distributed",
+                               queue=str(tmp_path / "q"), workers=3)
+        assert ctx.backend_options() == {
+            "queue_dir": str(tmp_path / "q"), "workers": 3}
+        assert ExecutionContext().backend_options() == {}
+        # auto never resolves to distributed, even with a queue set
+        auto = ExecutionContext(queue=str(tmp_path / "q"), workers=3)
+        assert auto.resolved_backend() == "serial"
+        assert auto.backend_options() == {}
+
+    def test_spawned_workers_end_to_end_bit_identical(
+            self, tmp_path, tiny_config, factory):
+        """Two self-spawned local worker subprocesses, zero setup."""
+        units = three_policy_units(tiny_config, factory)
+        serial = serial_fingerprints(units)
+        ctx = ExecutionContext(backend="distributed",
+                               queue=str(tmp_path / "q"), workers=2,
+                               cache=UnitCache(), engine="fast")
+        results = ctx.run(units)
+        assert [fingerprint(r) for r in results] == serial
+        report = ctx.runner.last_report
+        assert report.backend == "distributed"
+        assert report.executed == len(units)
+        assert report.groups >= 1
+        # A warm-queue rerun (fresh context, same queue) is served
+        # from results/ without spawning any worker subprocess.
+        rerun_ctx = ExecutionContext(backend="distributed",
+                                     queue=str(tmp_path / "q"),
+                                     workers=2, cache=None,
+                                     engine="fast")
+        assert ([fingerprint(r) for r in rerun_ctx.run(units)]
+                == serial)
+        assert rerun_ctx.runner.last_report.parallel is False
+
+    def test_falls_back_in_process_when_spawning_impossible(
+            self, tmp_path, tiny_config, factory, monkeypatch):
+        """Hosts that cannot spawn subprocesses still complete the
+        sweep, identically, in process."""
+        import repro.runner.distributed.backend as backend_mod
+
+        def no_spawn(*args, **kwargs):
+            raise OSError("spawning disabled for this test")
+
+        monkeypatch.setattr(backend_mod.subprocess, "Popen", no_spawn)
+        units = make_units(tiny_config, factory)
+        serial = serial_fingerprints(units)
+        ctx = ExecutionContext(backend="distributed",
+                               queue=str(tmp_path / "q"), workers=2,
+                               cache=None, engine="fast")
+        results = ctx.run(units)
+        assert [fingerprint(r) for r in results] == serial
+        assert ctx.runner.last_report.parallel is False
+
+    def test_empty_plan_skips_queue_entirely(self, tmp_path,
+                                             tiny_config, factory):
+        cache = UnitCache()
+        units = make_units(tiny_config, factory)
+        ExecutionContext(backend="serial", cache=cache,
+                         engine="fast").run(units)
+        ctx = ExecutionContext(backend="distributed",
+                               queue=str(tmp_path / "q"), workers=2,
+                               cache=cache, engine="fast")
+        again = ctx.run(units)
+        assert all(r.from_cache for r in again)
+        assert ctx.runner.last_report.executed == 0
+
+    def test_worker_env_makes_repro_importable(self):
+        import os
+        from pathlib import Path
+
+        import repro
+
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        env = _worker_env()
+        assert src_root in env["PYTHONPATH"].split(os.pathsep)
+        # idempotent: already-present src root is not duplicated
+        assert _worker_env()["PYTHONPATH"].split(os.pathsep).count(
+            src_root) == 1
+
+    def test_external_mode_shards_for_a_fleet(self, tiny_config,
+                                              factory, tmp_path,
+                                              monkeypatch):
+        """workers=0 cannot assume one consumer: a wide plan must
+        split into several shards so external hosts share the work."""
+        import repro.runner.distributed.backend as backend_mod
+
+        rates = tuple(0.01 + 0.002 * i for i in range(16))
+        units = make_units(tiny_config, factory, rates=rates)
+        serial = serial_fingerprints(units)
+        queue_dir = tmp_path / "q"
+        backend = DistributedBackend(queue_dir, workers=0, poll_s=0.01,
+                                     timeout_s=60)
+        plan = ExecutionPlan(units, None)
+        results = {}
+        worker_queue = WorkQueue(queue_dir).ensure()
+        drainer = Worker(worker_queue)
+        monkeypatch.setattr(
+            backend_mod.Collector, "collect",
+            _drain_then_collect(backend_mod.Collector.collect, drainer))
+        run = backend.execute(plan, jobs=1,
+                              finish=lambda r: results.update(
+                                  {r.digest: r}))
+        assert len(plan.groups) >= backend_mod.EXTERNAL_SHARD_FANOUT // 2
+        assert run.parallel is True     # external workers executed it
+        assert ([fingerprint(results[u.digest()]) for u in units]
+                == serial)
+        # A re-run against the same queue is served entirely from
+        # results/ — no worker participates, and the run says so.
+        monkeypatch.undo()
+        rerun = backend.execute(ExecutionPlan(units, None), jobs=1,
+                                finish=lambda r: None)
+        assert rerun.parallel is False
+
+    def test_distributed_package_loads_lazily(self):
+        """`import repro.runner` must not pay for the queue machinery;
+        the registry's module:class spec resolves on first use."""
+        import subprocess
+        import sys
+
+        from repro.runner.distributed.backend import _worker_env
+
+        code = (
+            "import sys\n"
+            "import repro.runner\n"
+            "assert 'repro.runner.distributed' not in sys.modules\n"
+            "from repro.runner import WorkQueue\n"
+            "assert 'repro.runner.distributed' in sys.modules\n"
+            "import repro.runner as r\n"
+            "try:\n"
+            "    r.NoSuchName\n"
+            "except AttributeError:\n"
+            "    pass\n"
+            "else:\n"
+            "    raise SystemExit('missing AttributeError')\n")
+        proc = subprocess.run([sys.executable, "-c", code],
+                              env=_worker_env(), capture_output=True,
+                              text=True)
+        assert proc.returncode == 0, proc.stderr
+
+
+def _drain_then_collect(real_collect, drainer):
+    """Wrap Collector.collect so an 'external' worker drains the queue
+    just before the driver starts waiting (workers=0 test rig)."""
+    def wrapper(self, finish, on_poll=None):
+        drainer.drain()
+        return real_collect(self, finish, on_poll=on_poll)
+    return wrapper
