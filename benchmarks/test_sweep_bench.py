@@ -99,13 +99,21 @@ class DmsdLikeSteadyState(SteadyStateStrategy):
         return (self.name, repr(LAMBDA_MAX))
 
 
+#: Strategies the benchmark sweeps, in submission order.
+_STRATEGIES = (NoDvfsSteadyState(), RmsdSteadyState(LAMBDA_MAX),
+               DmsdLikeSteadyState())
+
+#: Scenario record written into every BENCH_sweep.json entry.
+SCENARIO = {"pattern": "uniform",
+            "policies": [s.name for s in _STRATEGIES]}
+
+
 def _three_policy_units(engine: str = "fast"):
     mesh = CONFIG.make_mesh()
     pattern = make_pattern("uniform", mesh)
     factory = lambda rate: PatternTraffic(pattern, rate)  # noqa: E731
     units = []
-    for strategy in (NoDvfsSteadyState(), RmsdSteadyState(LAMBDA_MAX),
-                     DmsdLikeSteadyState()):
+    for strategy in _STRATEGIES:
         units.extend(sweep_units(CONFIG, factory, list(RATES), strategy,
                                  BUDGET, SEED, engine))
     return units
@@ -149,6 +157,10 @@ def test_backend_sweep_speedups():
     batched_speedup = serial_s / batched_s
     _results["sweep"] = {
         "mesh": f"{CONFIG.width}x{CONFIG.height}",
+        # The scenario under test, so the perf trajectory stays
+        # interpretable as scenarios diversify: pattern plus the
+        # policies whose units the sweep ran (in submission order).
+        "scenario": SCENARIO,
         "points": len(serial_results),
         "lambda_max": LAMBDA_MAX,
         "budget": [BUDGET.warmup_cycles, BUDGET.measure_cycles,
@@ -204,7 +216,8 @@ def test_distributed_backend_bit_identical_for_any_worker_count():
             del os.environ["PYTHONPATH"]
         else:
             os.environ["PYTHONPATH"] = saved
-    _results["distributed"] = {"serial_s": round(serial_s, 3),
+    _results["distributed"] = {"scenario": SCENARIO,
+                               "serial_s": round(serial_s, 3),
                                **timings}
 
 

@@ -8,7 +8,10 @@ it against DMSD on the same scenario.
 
 This demonstrates the controller plug-in surface: subclass
 ``DvfsPolicy``, implement ``update(sample) -> frequency``, and hand an
-instance to ``Simulation``.
+instance to ``Simulation``.  To make a policy addressable *by name* —
+from ``ScenarioSpec``, the figure sweeps and the CLI, through any
+execution backend — register it; ``examples/scenario_plugin.py`` shows
+the registered version of this controller (see README "Scenarios").
 
 Usage::
 

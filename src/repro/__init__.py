@@ -26,11 +26,14 @@ Quickstart::
 """
 
 from .analysis import (DmsdSteadyState, NoDvfsSteadyState, RmsdSteadyState,
-                       SimBudget, SingleServerDvfs, SweepSeries,
-                       find_saturation_rate, run_sweep)
+                       SimBudget, SingleServerDvfs, StrategyResources,
+                       SweepSeries, find_saturation_rate, run_sweep,
+                       strategy_from_ref)
 from .core import (DmsdController, DvfsPolicy, FixedFrequency, NoDvfs,
-                   PiController, QuantizedPolicy, RmsdController,
-                   rmsd_frequency)
+                   PiController, POLICY_REGISTRY, QuantizedPolicy, Ref,
+                   RmsdController, default_policies, make_policy,
+                   make_strategy, policy_names, register_policy,
+                   register_strategy, rmsd_frequency)
 from .noc import (ENGINES, FastNetwork, GHZ, MHZ, NocConfig,
                   PAPER_BASELINE, SMALL_TEST, SimResult, Simulation,
                   engine_names, make_engine)
@@ -39,9 +42,11 @@ from .power import (EnergyParameters, FDSOI_28NM, PowerBreakdown,
 from .runner import (ExecutionContext, ExecutionPlan, SweepRunner,
                      UnitCache, UnitResult, WorkUnit, backend_names,
                      default_jobs, make_backend)
-from .traffic import (ApplicationGraph, MatrixTraffic, PatternTraffic,
-                      TrafficMatrix, h264_encoder, make_pattern,
-                      vce_encoder)
+from .scenario import ScenarioSpec, run_scenario_sweep
+from .traffic import (ApplicationGraph, MatrixTraffic, PATTERN_REGISTRY,
+                      PatternTraffic, TrafficMatrix, TrafficPattern,
+                      h264_encoder, make_pattern, pattern_names,
+                      register_pattern, vce_encoder)
 
 __version__ = "1.0.0"
 
@@ -64,35 +69,51 @@ __all__ = [
     "NoDvfsSteadyState",
     "NocConfig",
     "PAPER_BASELINE",
+    "PATTERN_REGISTRY",
+    "POLICY_REGISTRY",
     "PatternTraffic",
     "PiController",
     "PowerBreakdown",
     "PowerModel",
     "QuantizedPolicy",
+    "Ref",
     "RmsdController",
     "RmsdSteadyState",
     "SMALL_TEST",
+    "ScenarioSpec",
     "SimBudget",
     "SimResult",
     "Simulation",
     "SingleServerDvfs",
+    "StrategyResources",
     "SweepRunner",
     "SweepSeries",
     "Technology",
     "TrafficMatrix",
+    "TrafficPattern",
     "UnitCache",
     "UnitResult",
     "WorkUnit",
     "__version__",
     "backend_names",
     "default_jobs",
+    "default_policies",
     "engine_names",
     "make_backend",
     "find_saturation_rate",
     "h264_encoder",
     "make_engine",
     "make_pattern",
+    "make_policy",
+    "make_strategy",
+    "pattern_names",
+    "policy_names",
+    "register_pattern",
+    "register_policy",
+    "register_strategy",
     "rmsd_frequency",
+    "run_scenario_sweep",
     "run_sweep",
+    "strategy_from_ref",
     "vce_encoder",
 ]

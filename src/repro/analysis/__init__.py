@@ -7,8 +7,9 @@ from .sensitivity import (BUFFER_VALUES, MESH_VALUES, PACKET_VALUES,
                           SensitivityCase, VC_VALUES, sensitivity_cases)
 from .sweep import (DEFAULT, DmsdSteadyState, FAST, NoDvfsSteadyState,
                     RmsdSteadyState, SimBudget, SteadyStateStrategy,
-                    SweepPoint, SweepSeries, THOROUGH, point_from_unit,
-                    run_fixed_point, run_sweep, sweep_units)
+                    StrategyResources, SweepPoint, SweepSeries, THOROUGH,
+                    point_from_unit, run_fixed_point, run_sweep,
+                    strategy_from_ref, sweep_units)
 from .trace import (DelayDistribution, delay_distribution,
                     packet_records, per_flow_mean_delay, read_trace_csv,
                     write_trace_csv)
@@ -31,6 +32,7 @@ __all__ = [
     "SimBudget",
     "SingleServerDvfs",
     "SteadyStateStrategy",
+    "StrategyResources",
     "SweepPoint",
     "SweepSeries",
     "THOROUGH",
@@ -50,6 +52,7 @@ __all__ = [
     "run_fixed_point",
     "run_sweep",
     "sensitivity_cases",
+    "strategy_from_ref",
     "sweep_units",
     "write_trace_csv",
 ]

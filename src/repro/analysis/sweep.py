@@ -24,8 +24,9 @@ from __future__ import annotations
 import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
+from ..core.registry import Ref, make_strategy, register_strategy
 from ..core.rmsd import rmsd_frequency
 from ..noc.budget import (DEFAULT, FAST, SimBudget, THOROUGH,
                           run_fixed_point)
@@ -40,9 +41,10 @@ from ..traffic.injection import TrafficSpec
 
 __all__ = [
     "DEFAULT", "DmsdSteadyState", "FAST", "NoDvfsSteadyState",
-    "RmsdSteadyState", "SimBudget", "SteadyStateStrategy", "SweepPoint",
-    "SweepSeries", "THOROUGH", "point_from_unit", "run_fixed_point",
-    "run_sweep",
+    "RmsdSteadyState", "SimBudget", "SteadyStateStrategy",
+    "StrategyResources", "SweepPoint", "SweepSeries", "THOROUGH",
+    "point_from_unit", "run_fixed_point", "run_sweep",
+    "strategy_from_ref",
 ]
 
 
@@ -208,17 +210,99 @@ class DmsdSteadyState(SteadyStateStrategy):
         return hi
 
 
+@dataclass
+class StrategyResources:
+    """Scenario-derived quantities sweep-strategy factories may need.
+
+    The expensive ones are **lazy callables** — a saturation search or
+    a DMSD target derivation only runs when the strategy being built
+    actually needs it (``no-dvfs`` never triggers either).  The
+    ``Workbench`` supplies memoized thunks; explicit policy parameters
+    (``Ref.of("rmsd", lambda_max=0.5)``) always win over resources.
+    """
+
+    lambda_max: Callable[[], float] | None = None
+    target_delay_ns: Callable[[], float] | None = None
+    dmsd_iterations: int | None = None
+
+
+def _resolved(explicit, resources: StrategyResources | None,
+              attr: str, policy: str, param: str):
+    if explicit is not None:
+        return explicit
+    thunk = getattr(resources, attr, None) if resources else None
+    if thunk is None:
+        raise ValueError(
+            f"policy {policy!r} needs a {param}= parameter (or scenario "
+            f"resources that derive it, e.g. a Workbench sweep)")
+    return thunk()
+
+
+def _no_dvfs_strategy(resources: StrategyResources | None = None):
+    return NoDvfsSteadyState()
+
+
+def _rmsd_strategy(resources: StrategyResources | None = None,
+                   lambda_max: float | None = None):
+    return RmsdSteadyState(_resolved(lambda_max, resources, "lambda_max",
+                                     "rmsd", "lambda_max"))
+
+
+def _dmsd_strategy(resources: StrategyResources | None = None,
+                   target_delay_ns: float | None = None,
+                   iterations: int | None = None,
+                   search_budget: SimBudget | None = None,
+                   ki: float | None = None, kp: float | None = None):
+    # ki/kp tune the transient PI loop only; the steady-state fixed
+    # point delay(F*) = target is independent of them, so the sweep
+    # strategy accepts and ignores them — one ref can drive both the
+    # transient controller and the sweep.
+    target = _resolved(target_delay_ns, resources, "target_delay_ns",
+                       "dmsd", "target_delay_ns")
+    if iterations is None:
+        iterations = (resources.dmsd_iterations
+                      if resources is not None
+                      and resources.dmsd_iterations is not None else 6)
+    return DmsdSteadyState(target, iterations=iterations,
+                           search_budget=search_budget)
+
+
+register_strategy("no-dvfs", _no_dvfs_strategy)
+register_strategy("rmsd", _rmsd_strategy)
+register_strategy("dmsd", _dmsd_strategy)
+
+
+def strategy_from_ref(policy: Ref | str,
+                      resources: StrategyResources | None = None,
+                      **extra) -> SteadyStateStrategy:
+    """Build a steady-state strategy from the policy registry.
+
+    This replaces the old if/elif dispatch on policy string literals:
+    any policy registered with a strategy factory — the paper's three
+    or a user plugin's — resolves here, with unknown names and
+    parameters raising ``ValueError``s that list the alternatives.
+    """
+    return make_strategy(policy, resources, **extra)
+
+
 def sweep_units(config: NocConfig,
                 traffic_factory: Callable[[float], TrafficSpec],
                 xs: list[float],
                 strategy: SteadyStateStrategy,
                 budget: SimBudget = DEFAULT,
                 seed: int = 1,
-                engine: str = DEFAULT_ENGINE) -> list[WorkUnit]:
-    """The work units of one policy's sweep, one per sweep position."""
+                engine: str = DEFAULT_ENGINE,
+                scenario: Any = None) -> list[WorkUnit]:
+    """The work units of one policy's sweep, one per sweep position.
+
+    ``scenario`` (a :class:`repro.scenario.ScenarioSpec`) rides along
+    as unit metadata — it never enters the unit digest, which is
+    already a function of the fields the scenario expands to.
+    """
     return [WorkUnit(policy=strategy.name, x=x, config=config,
                      traffic=traffic_factory(x), strategy=strategy,
-                     budget=budget, run_seed=seed, engine=engine)
+                     budget=budget, run_seed=seed, engine=engine,
+                     scenario=scenario)
             for x in xs]
 
 
@@ -245,19 +329,24 @@ def point_from_unit(unit_result: UnitResult,
 def run_sweep(config: NocConfig,
               traffic_factory: Callable[[float], TrafficSpec],
               xs: list[float],
-              strategy: SteadyStateStrategy,
+              strategy: SteadyStateStrategy | Ref | str,
               budget: SimBudget = DEFAULT,
               seed: int = 1,
               power_model: PowerModel | None = None,
               runner: SweepRunner | None = None,
               engine: str | None = None,
-              context: ExecutionContext | None = None) -> SweepSeries:
+              context: ExecutionContext | None = None,
+              scenario: Any = None) -> SweepSeries:
     """Evaluate one policy at every sweep position.
 
     ``traffic_factory`` maps the sweep coordinate (injection rate or
     app speed) to a traffic spec; ``strategy`` picks each point's
     steady-state frequency; the simulator then measures that operating
     point and, when a ``power_model`` is given, its power breakdown.
+    ``strategy`` may also be a policy-registry name or
+    :class:`~repro.core.registry.Ref` whose parameters pin everything
+    the strategy needs (e.g. ``Ref.of("rmsd", lambda_max=0.5)``); it
+    is resolved through :func:`strategy_from_ref`.
 
     ``context`` carries the whole execution configuration — backend,
     worker count, unit cache, simulation engine, progress — in one
@@ -293,9 +382,11 @@ def run_sweep(config: NocConfig,
     unit_engine = engine if engine is not None else context.engine
     if power_model is None:
         power_model = PowerModel(config)
+    if not hasattr(strategy, "frequency_for"):
+        strategy = strategy_from_ref(strategy)
     exec_runner = runner if runner is not None else context.runner
     units = sweep_units(config, traffic_factory, xs, strategy, budget,
-                        seed, unit_engine)
+                        seed, unit_engine, scenario=scenario)
     points = [point_from_unit(out, power_model)
               for out in exec_runner.run(units)]
     return SweepSeries(policy=strategy.name, points=points)

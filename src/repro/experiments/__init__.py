@@ -7,8 +7,8 @@ plots.  The :class:`Workbench` memoizes simulations so figures that
 share runs in the paper share them here.
 """
 
-from .common import (FULL, POLICIES, Profile, QUICK, Workbench,
-                     active_profile, shared_workbench)
+from .common import (FULL, Profile, QUICK, Workbench, active_profile,
+                     shared_workbench)
 from .fig2 import figure2, rmsd_plateau_latencies
 from .fig4 import figure4
 from .fig5 import figure5
@@ -20,12 +20,23 @@ from .headline import HeadlineReport, headline_report
 from .render import (FigureResult, Series, ascii_chart, render_figure,
                      render_figures)
 
+
+def __getattr__(name: str):
+    if name == "POLICIES":
+        # Deprecated alias; delegated so the warning fires on access,
+        # not on package import.  Deliberately absent from __all__ so
+        # a star import neither warns nor breaks under -W error.
+        from . import common
+        return common.POLICIES
+    raise AttributeError(f"module {__name__!r} has no attribute "
+                         f"{name!r}")
+
+
 __all__ = [
     "FIG7_PATTERNS",
     "FULL",
     "FigureResult",
     "HeadlineReport",
-    "POLICIES",
     "Profile",
     "QUICK",
     "SPEED_GRID",

@@ -39,18 +39,33 @@ process, sharing ``DIR``)::
 runs such a worker until stopped (``--max-tasks`` / ``--max-idle``
 bound it).  Results stay bit-identical to serial execution for any
 worker count or crash schedule (README "Distributed execution").
+
+``--policy NAME[:key=value,...]`` (repeatable) selects which
+registered DVFS policies the figures sweep — the paper's three by
+default — and ``--pattern NAME[:key=value,...]`` overrides the
+traffic pattern of pattern-based figures.  ``--register MODULE``
+imports a plugin module first, so user-defined policies and patterns
+(see ``examples/scenario_plugin.py`` and README "Scenarios") flow
+through any backend::
+
+    python -m repro.experiments list-scenarios
+
+prints every registered policy and pattern with its parameters.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
 import time
 
+from ..core.registry import POLICY_REGISTRY, Ref
 from ..noc.config import NocConfig, PAPER_BASELINE
 from ..noc.engines import DEFAULT_ENGINE, engine_names
 from ..runner import (ExecutionContext, UnitCache, backend_names,
                       default_jobs, print_progress)
+from ..traffic.patterns import PATTERN_REGISTRY
 from .common import FULL, QUICK, Workbench
 from .fig2 import figure2
 from .fig4 import figure4
@@ -71,28 +86,109 @@ TINY_CONFIG = NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
 
 
 def run_figure(name: str, bench: Workbench,
-               config: NocConfig = PAPER_BASELINE) -> str:
-    """Regenerate one figure by name and return its rendering."""
+               config: NocConfig = PAPER_BASELINE,
+               patterns: tuple[str, ...] | None = None) -> str:
+    """Regenerate one figure by name and return its rendering.
+
+    ``patterns`` overrides the figure's default traffic: single-pattern
+    figures (2, 4, 6, headline) use the first entry; Fig. 7 sweeps the
+    whole list.  Figures whose workload is fixed by construction
+    (5: analytic, 8: uniform sensitivity, 10: app matrices) ignore it.
+    """
+    pattern = patterns[0] if patterns else "uniform"
     if name == "fig2":
-        return render_figures(figure2(bench, config))
+        return render_figures(figure2(bench, config, pattern))
     if name == "fig4":
-        return render_figures(figure4(bench, config))
+        return render_figures(figure4(bench, config, pattern))
     if name == "fig5":
         return render_figures([figure5()])
     if name == "fig6":
-        return render_figures([figure6(bench, config)])
+        return render_figures([figure6(bench, config, pattern)])
     if name == "fig7":
         # Transpose/tornado need the full panel set only on square
         # meshes; the standard pattern set works for any config.
+        if patterns:
+            return render_figures(figure7(bench, config, patterns))
         return render_figures(figure7(bench, config))
     if name == "fig8":
         return render_figures(figure8(bench, config))
     if name == "fig10":
         return render_figures(figure10(bench, config))
     if name == "headline":
-        return headline_report(bench, config).render()
+        return headline_report(bench, config, pattern).render()
     raise ValueError(f"unknown figure {name!r}; known: "
                      f"{', '.join(FIGURES)}")
+
+
+def register_modules(modules: list[str] | None,
+                     error) -> None:
+    """Import plugin modules that register policies/patterns.
+
+    ``error`` is the parser's ``error`` callable, so a bad module name
+    exits with a usage message instead of a traceback.
+    """
+    for module in modules or []:
+        try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            error(f"cannot import --register module {module!r}: {exc}")
+        except ValueError as exc:
+            # e.g. a plugin re-registering an existing name
+            error(f"--register module {module!r} failed: {exc}")
+
+
+def _parse_refs(values: list[str] | None, validate, flag: str,
+                error) -> tuple[Ref, ...] | None:
+    if not values:
+        return None
+    refs = []
+    for value in values:
+        try:
+            refs.append(validate(value))
+        except ValueError as exc:
+            error(f"{flag} {value!r}: {exc}")
+    return tuple(refs)
+
+
+def list_scenarios_main(argv: list[str]) -> int:
+    """``python -m repro.experiments list-scenarios``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments list-scenarios",
+        description="List registered DVFS policies and traffic "
+                    "patterns (the scenario building blocks; see "
+                    "README 'Scenarios').")
+    parser.add_argument("--register", action="append", metavar="MODULE",
+                        help="import MODULE first (a plugin that "
+                             "registers policies/patterns); repeatable")
+    args = parser.parse_args(argv)
+    register_modules(args.register, parser.error)
+
+    def fmt_params(params):
+        if params is None:
+            return "any"
+        return ", ".join(params) if params else "-"
+
+    print("Policies (repro.core.registry; spell parameters as "
+          "NAME:key=value,key=value):")
+    for name in POLICY_REGISTRY.names():
+        cls = POLICY_REGISTRY.factory(name)
+        params = POLICY_REGISTRY.accepted_params(name)
+        if POLICY_REGISTRY.has_strategy(name):
+            sweep = ("sweep params: "
+                     f"{fmt_params(POLICY_REGISTRY.strategy_params(name))}")
+        else:
+            sweep = "transient only (no sweep strategy)"
+        print(f"  {name:12s} {cls.__name__:20s} "
+              f"controller params: {fmt_params(params)}; {sweep}")
+    print()
+    print("Traffic patterns (repro.traffic.patterns):")
+    for name in PATTERN_REGISTRY.names():
+        cls = PATTERN_REGISTRY.factory(name)
+        params = PATTERN_REGISTRY.accepted_params(name,
+                                                  skip_positional=1)
+        print(f"  {name:12s} {cls.__name__:20s} "
+              f"params: {fmt_params(params)}")
+    return 0
 
 
 def worker_main(argv: list[str]) -> int:
@@ -157,6 +253,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "worker":
         return worker_main(argv[1:])
+    if argv and argv[0] == "list-scenarios":
+        return list_scenarios_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate figures of Casu & Giaccone, DATE 2015.")
@@ -196,6 +294,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="local worker subprocesses to self-spawn "
                              "for --backend distributed (default 0 = "
                              "wait for externally started workers)")
+    parser.add_argument("--policy", action="append", metavar="NAME[:k=v,...]",
+                        help="sweep this registered policy (repeatable; "
+                             "parameters as key=value pairs, e.g. "
+                             "dmsd:target_delay_ns=150); default: the "
+                             "registry's default ordering — see the "
+                             "list-scenarios subcommand")
+    parser.add_argument("--pattern", action="append",
+                        metavar="NAME[:k=v,...]",
+                        help="traffic pattern for pattern-based figures "
+                             "(repeatable; fig7 sweeps the whole list, "
+                             "other figures use the first; default: "
+                             "each figure's own)")
+    parser.add_argument("--register", action="append", metavar="MODULE",
+                        help="import MODULE before anything else (a "
+                             "plugin registering custom policies or "
+                             "patterns); repeatable.  With --backend "
+                             "distributed the module must also be "
+                             "importable on every worker")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the per-unit result cache (no "
                              "simulation reuse across different sweep "
@@ -206,6 +322,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--progress", action="store_true",
                         help="print per-unit progress to stderr")
     args = parser.parse_args(argv)
+
+    register_modules(args.register, parser.error)
+    from ..traffic.patterns import as_pattern_ref
+    # --policy refs feed sweeps, so validate against the sweep-strategy
+    # factories: `--policy fixed` (no strategy) or a controller-only
+    # parameter is a usage error here, not a mid-run traceback.
+    policy_refs = _parse_refs(args.policy,
+                              POLICY_REGISTRY.validate_sweep_ref,
+                              "--policy", parser.error)
+    pattern_refs = _parse_refs(args.pattern, as_pattern_ref,
+                               "--pattern", parser.error)
+    patterns = (tuple(ref.label for ref in pattern_refs)
+                if pattern_refs else None)
 
     names = list(args.figures)
     if names == ["all"]:
@@ -239,11 +368,12 @@ def main(argv: list[str] | None = None) -> int:
         engine=args.engine,
         progress=print_progress if args.progress else None,
         queue=args.queue, workers=args.workers)
-    bench = Workbench(profile=profile, seed=args.seed, context=context)
+    bench = Workbench(profile=profile, seed=args.seed, context=context,
+                      policies=policy_refs)
     config = TINY_CONFIG if args.tiny else PAPER_BASELINE
     for name in names:
         start = time.time()
-        output = run_figure(name, bench, config)
+        output = run_figure(name, bench, config, patterns)
         elapsed = time.time() - start
         print(output)
         print(f"[{name} regenerated in {elapsed:.1f}s]")

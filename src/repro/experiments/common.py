@@ -16,21 +16,53 @@ from __future__ import annotations
 import os
 import warnings
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..analysis.saturation import SaturationEstimate, find_saturation_rate
-from ..analysis.sweep import (DmsdSteadyState, FAST, NoDvfsSteadyState,
-                              RmsdSteadyState, SimBudget, SweepSeries,
-                              run_fixed_point, run_sweep, sweep_units)
+from ..analysis.sweep import (FAST, SimBudget, StrategyResources,
+                              SweepSeries, run_fixed_point, run_sweep,
+                              strategy_from_ref)
+from ..core.registry import (POLICY_REGISTRY, Ref, as_policy_ref,
+                             default_policies)
 from ..noc.config import NocConfig
 from ..noc.engines import DEFAULT_ENGINE
 from ..power.model import PowerModel
 from ..runner import (ExecutionContext, SweepRunner, UnitCache,
                       context_from_env)
+from ..scenario import ScenarioSpec
 from ..traffic.injection import PatternTraffic, TrafficSpec
-from ..traffic.patterns import make_pattern
+from ..traffic.patterns import as_pattern_ref, make_pattern
 
-POLICIES = ("no-dvfs", "rmsd", "dmsd")
+
+def __getattr__(name: str):
+    if name == "POLICIES":
+        # The old hardwired triple, now a deprecated alias for the
+        # policy registry's default sweep ordering (identical as long
+        # as no plugin policies are registered).
+        warnings.warn(
+            "repro.experiments.common.POLICIES is deprecated; use "
+            "repro.core.registry.default_policies() (the registry's "
+            "default sweep ordering) instead",
+            DeprecationWarning, stacklevel=2)
+        return default_policies()
+    raise AttributeError(f"module {__name__!r} has no attribute "
+                         f"{name!r}")
+
+
+def series_by_policy_name(sweeps: dict[str, SweepSeries]
+                          ) -> dict[str, SweepSeries]:
+    """Re-key a ``policy_comparison`` result by policy *name*.
+
+    Comparison dicts are keyed by ref label (``"dmsd:iterations=8"``)
+    for display; annotation code that asks "is DMSD in this sweep?"
+    must match on the name so a parameterized spelling of a paper
+    policy keeps its paper-ratio annotations.  When one policy appears
+    with several parameterizations, the first (policy-order) one wins.
+    """
+    named: dict[str, SweepSeries] = {}
+    for label, series in sweeps.items():
+        named.setdefault(label.partition(":")[0], series)
+    return named
 
 
 @dataclass(frozen=True)
@@ -79,6 +111,12 @@ class Workbench:
     The engine is part of each unit's spec, so unit-cache entries
     never cross engines.
 
+    ``policies`` selects which registered policies the comparison
+    methods sweep (any mix of names, ``"name:key=value"`` strings and
+    :class:`~repro.core.registry.Ref`s); the default is the policy
+    registry's default ordering — the paper's three, plus any plugin
+    policies registered with a sweep strategy at construction time.
+
     ``Workbench(jobs=, unit_cache=, engine=, runner=)`` are the
     pre-context spellings; they keep working (mapped onto an
     equivalent context) but emit a ``DeprecationWarning``.
@@ -88,9 +126,18 @@ class Workbench:
                  jobs: int | None = None, unit_cache: bool | None = None,
                  runner: SweepRunner | None = None,
                  engine: str | None = None,
-                 context: ExecutionContext | None = None) -> None:
+                 context: ExecutionContext | None = None,
+                 policies: Sequence[Ref | str] | None = None) -> None:
         self.profile = profile or active_profile()
         self.seed = seed
+        if policies is None:
+            policies = default_policies()
+        # Workbench policies always end up in sweeps, so validate
+        # against the strategy factories (not just the names): a
+        # sweep-incapable policy or a controller-only parameter fails
+        # here, not mid-figure.
+        self.policies = tuple(POLICY_REGISTRY.validate_sweep_ref(p)
+                              for p in policies)
         legacy = [kw for kw, value in (("jobs", jobs),
                                        ("unit_cache", unit_cache),
                                        ("runner", runner),
@@ -146,15 +193,22 @@ class Workbench:
         return self._power_models[config]
 
     def pattern_factory(self, config: NocConfig,
-                        pattern: str) -> Callable[[float], TrafficSpec]:
-        mesh = config.make_mesh()
-        pat = make_pattern(pattern, mesh)
+                        pattern: Ref | str) -> Callable[[float],
+                                                        TrafficSpec]:
+        ref = as_pattern_ref(pattern)
+        pat = make_pattern(ref, config.make_mesh())
         return lambda rate: PatternTraffic(pat, rate)
 
+    def scenario(self, config: NocConfig, pattern: Ref | str,
+                 policy: Ref | str) -> ScenarioSpec:
+        """The declarative spec for one (config, pattern, policy)."""
+        return ScenarioSpec(as_policy_ref(policy),
+                            as_pattern_ref(pattern), config)
+
     def saturation(self, config: NocConfig,
-                   pattern: str) -> SaturationEstimate:
+                   pattern: Ref | str) -> SaturationEstimate:
         """Saturation rate and ``lambda_max`` for a scenario (cached)."""
-        key = (config, pattern)
+        key = (config, as_pattern_ref(pattern))
         if key not in self._saturation:
             self._saturation[key] = find_saturation_rate(
                 config, self.pattern_factory(config, pattern),
@@ -163,14 +217,15 @@ class Workbench:
                 engine=self.engine)
         return self._saturation[key]
 
-    def dmsd_target_ns(self, config: NocConfig, pattern: str) -> float:
+    def dmsd_target_ns(self, config: NocConfig,
+                       pattern: Ref | str) -> float:
         """The paper's DMSD target: RMSD delay at ``lambda_max``.
 
         At ``lambda_node = lambda_max`` RMSD runs at ``Fmax``, so the
         target is the full-speed delay at that rate (150 ns for the
         paper's baseline).
         """
-        key = (config, pattern)
+        key = (config, as_pattern_ref(pattern))
         if key not in self._target:
             lam_max = self.saturation(config, pattern).lambda_max
             traffic = self.pattern_factory(config, pattern)(lam_max)
@@ -184,61 +239,103 @@ class Workbench:
         return self._target[key]
 
     # --- sweeps -----------------------------------------------------------
-    def strategy_for(self, policy: str, config: NocConfig, pattern: str):
-        """Instantiate a steady-state strategy for a named policy."""
-        if policy == "no-dvfs":
-            return NoDvfsSteadyState()
-        if policy == "rmsd":
-            return RmsdSteadyState(
-                self.saturation(config, pattern).lambda_max)
-        if policy == "dmsd":
-            return DmsdSteadyState(
-                self.dmsd_target_ns(config, pattern),
-                iterations=self.profile.dmsd_iterations)
-        raise ValueError(f"unknown policy {policy!r}")
+    def resources_for(self, config: NocConfig,
+                      pattern: Ref | str) -> StrategyResources:
+        """Lazy scenario-derived inputs for strategy factories.
 
-    def pattern_sweep(self, config: NocConfig, pattern: str, policy: str,
+        The thunks close over the workbench memos, so a saturation
+        search or DMSD target derivation runs at most once per
+        (config, pattern) no matter how many strategies need it.
+        """
+        return StrategyResources(
+            lambda_max=lambda: self.saturation(config,
+                                               pattern).lambda_max,
+            target_delay_ns=lambda: self.dmsd_target_ns(config, pattern),
+            dmsd_iterations=self.profile.dmsd_iterations)
+
+    def strategy_for(self, policy: Ref | str, config: NocConfig,
+                     pattern: Ref | str):
+        """Instantiate a steady-state strategy via the policy registry.
+
+        Any registered policy resolves — the paper's three or a
+        plugin's; unknown names raise ``ValueError`` listing the
+        registry contents.
+        """
+        return strategy_from_ref(policy,
+                                 self.resources_for(config, pattern))
+
+    def _sweep_key(self, config: NocConfig, pattern: Ref | str,
+                   policy: Ref | str, rates: tuple[float, ...]) -> tuple:
+        return (config, as_pattern_ref(pattern), as_policy_ref(policy),
+                rates)
+
+    def pattern_sweep(self, config: NocConfig, pattern: Ref | str,
+                      policy: Ref | str,
                       rates: tuple[float, ...]) -> SweepSeries:
         """One policy's sweep over injection rates (cached)."""
-        key = (config, pattern, policy, rates)
+        key = self._sweep_key(config, pattern, policy, rates)
         if key not in self._sweeps:
             self._sweeps[key] = run_sweep(
                 config, self.pattern_factory(config, pattern), list(rates),
                 self.strategy_for(policy, config, pattern),
                 budget=self.budget_for(config), seed=self.seed,
                 power_model=self.power_model(config),
-                context=self.context)
+                context=self.context,
+                scenario=self.scenario(config, pattern, policy))
         return self._sweeps[key]
 
-    def policy_comparison(self, config: NocConfig, pattern: str,
-                          rates: tuple[float, ...]
-                          ) -> dict[str, SweepSeries]:
-        """All three policies swept over the same rates.
+    def scenario_sweep(self, spec: ScenarioSpec,
+                       rates: tuple[float, ...] | None = None
+                       ) -> SweepSeries:
+        """Sweep one :class:`ScenarioSpec` (rates default to its grid)."""
+        if rates is None:
+            rates = self.rate_grid(spec.config, spec.pattern)
+        return self.pattern_sweep(spec.config, spec.pattern, spec.policy,
+                                  tuple(rates))
 
-        With a parallel, batched or distributed backend the three
-        policies' pending points are submitted as *one* batch, so the
-        worker pool (or the batched engine, or the work queue — whose
-        backend spawns its worker fleet once per submission) sees
-        ``3 x len(rates)`` independent units instead of three separate
-        sweeps — per-sweep results are then served from the unit
-        cache.
+    def policy_refs(self, policies: Sequence[Ref | str] | None = None
+                    ) -> tuple[Ref, ...]:
+        """The policy set a comparison sweeps, as validated refs."""
+        if policies is None:
+            return self.policies
+        return tuple(POLICY_REGISTRY.validate_sweep_ref(p)
+                     for p in policies)
+
+    def policy_comparison(self, config: NocConfig, pattern: Ref | str,
+                          rates: tuple[float, ...],
+                          policies: Sequence[Ref | str] | None = None
+                          ) -> dict[str, SweepSeries]:
+        """The selected policies swept over the same rates.
+
+        Returns ``{ref.label: series}`` in policy order (for the
+        default registry ordering the keys are exactly the old
+        ``"no-dvfs"/"rmsd"/"dmsd"`` strings).  With a parallel,
+        batched or distributed backend every policy's pending points
+        are submitted as *one* batch, so the worker pool (or the
+        batched engine, or the work queue — whose backend spawns its
+        worker fleet once per submission) sees ``len(policies) x
+        len(rates)`` independent units instead of separate sweeps —
+        per-sweep results are then served from the unit cache.
         """
+        refs = self.policy_refs(policies)
         wide = (self.context.jobs > 1
                 or self.context.resolved_backend() in ("batched",
                                                        "distributed"))
         if wide and self.context.cache is not None:
             units = []
-            for policy in POLICIES:
-                if (config, pattern, policy, rates) in self._sweeps:
+            for ref in refs:
+                if self._sweep_key(config, pattern, ref,
+                                   rates) in self._sweeps:
                     continue
-                units.extend(sweep_units(
-                    config, self.pattern_factory(config, pattern),
-                    list(rates), self.strategy_for(policy, config, pattern),
-                    self.budget_for(config), self.seed, self.engine))
+                units.extend(self.scenario(config, pattern, ref).units(
+                    rates, self.budget_for(config), self.seed,
+                    self.engine,
+                    resources=self.resources_for(config, pattern)))
             if units:
                 self.runner.run(units)
-        return {policy: self.pattern_sweep(config, pattern, policy, rates)
-                for policy in POLICIES}
+        return {ref.label: self.pattern_sweep(config, pattern, ref,
+                                              rates)
+                for ref in refs}
 
     def custom_sweep(self, key: tuple, config: NocConfig,
                      traffic_factory: Callable[[float], TrafficSpec],

@@ -10,13 +10,12 @@ H.264 and ~2.1x for VCE at mid speeds).
 from __future__ import annotations
 
 from ..analysis.saturation import find_saturation_rate
-from ..analysis.sweep import (DmsdSteadyState, NoDvfsSteadyState,
-                              RmsdSteadyState)
+from ..analysis.sweep import StrategyResources, strategy_from_ref
 from ..noc.budget import run_fixed_point
 from ..noc.config import NocConfig
 from ..traffic.apps import ApplicationGraph, h264_encoder, vce_encoder
 from ..traffic.injection import MatrixTraffic
-from .common import POLICIES, Workbench
+from .common import Workbench, series_by_policy_name
 from .render import FigureResult, Series
 
 #: Speed grid of the sweep (relative units, as the paper's x-axis).
@@ -38,6 +37,9 @@ def _app_strategies(bench: Workbench, app: ApplicationGraph,
     The app's spatial traffic distribution differs from any synthetic
     pattern, so saturation is found by scaling the app matrix itself:
     the sweep coordinate is the mean node rate of the scaled matrix.
+    Strategies come from the policy registry with these app-derived
+    resources, so plugin policies flow through the multimedia figure
+    like any other sweep.
     """
     base_matrix = app.traffic_at_speed(config, 1.0)
     mean_at_speed1 = base_matrix.mean_node_rate()
@@ -60,12 +62,13 @@ def _app_strategies(bench: Workbench, app: ApplicationGraph,
     if target_ns is None:
         raise RuntimeError(f"no packets delivered deriving {app.name} "
                            "DMSD target")
-    return {
-        "no-dvfs": NoDvfsSteadyState(),
-        "rmsd": RmsdSteadyState(lam_max),
-        "dmsd": DmsdSteadyState(
-            target_ns, iterations=bench.profile.dmsd_iterations),
-    }, lam_max, target_ns
+    resources = StrategyResources(
+        lambda_max=lambda: lam_max,
+        target_delay_ns=lambda: target_ns,
+        dmsd_iterations=bench.profile.dmsd_iterations)
+    strategies = {ref.label: strategy_from_ref(ref, resources)
+                  for ref in bench.policies}
+    return strategies, lam_max, target_ns
 
 
 def figure10_app(bench: Workbench, app: ApplicationGraph,
@@ -80,10 +83,10 @@ def figure10_app(bench: Workbench, app: ApplicationGraph,
         return MatrixTraffic(app.traffic_at_speed(config, speed))
 
     sweeps = {
-        policy: bench.custom_sweep(
-            (app.name, policy, config), config, traffic_factory, speeds,
-            strategies[policy])
-        for policy in POLICIES
+        label: bench.custom_sweep(
+            (app.name, label, config), config, traffic_factory, speeds,
+            strategy)
+        for label, strategy in strategies.items()
     }
     ref = min(speeds, key=lambda s: abs(s - REFERENCE_SPEED))
 
@@ -92,23 +95,25 @@ def figure10_app(bench: Workbench, app: ApplicationGraph,
         "lambda_max": lam_max,
         "dmsd_target_ns": target_ns,
     }
-    rmsd_d = sweeps["rmsd"].point_at(ref).delay_ns
-    dmsd_d = sweeps["dmsd"].point_at(ref).delay_ns
-    if rmsd_d and dmsd_d:
-        annotations["rmsd_over_dmsd_delay"] = rmsd_d / dmsd_d
-    dmsd_p = sweeps["dmsd"].point_at(ref).power_mw
-    rmsd_p = sweeps["rmsd"].point_at(ref).power_mw
-    if dmsd_p and rmsd_p:
-        annotations["dmsd_over_rmsd_power"] = dmsd_p / rmsd_p
+    named = series_by_policy_name(sweeps)
+    if "rmsd" in named and "dmsd" in named:
+        rmsd_d = named["rmsd"].point_at(ref).delay_ns
+        dmsd_d = named["dmsd"].point_at(ref).delay_ns
+        if rmsd_d and dmsd_d:
+            annotations["rmsd_over_dmsd_delay"] = rmsd_d / dmsd_d
+        dmsd_p = named["dmsd"].point_at(ref).power_mw
+        rmsd_p = named["rmsd"].point_at(ref).power_mw
+        if dmsd_p and rmsd_p:
+            annotations["dmsd_over_rmsd_power"] = dmsd_p / rmsd_p
 
     delay_fig = FigureResult(
         figure_id=f"fig10-delay-{app.name}",
         title=f"Packet delay vs app speed ({app.name})",
         x_label="app speed",
         y_label="packet delay (ns)",
-        series=[Series(p, list(speeds),
-                       [pt.delay_ns for pt in sweeps[p].points])
-                for p in POLICIES],
+        series=[Series(label, list(speeds),
+                       [pt.delay_ns for pt in swp.points])
+                for label, swp in sweeps.items()],
         annotations=annotations,
     )
     power_fig = FigureResult(
@@ -116,9 +121,9 @@ def figure10_app(bench: Workbench, app: ApplicationGraph,
         title=f"NoC power vs app speed ({app.name})",
         x_label="app speed",
         y_label="power (mW)",
-        series=[Series(p, list(speeds),
-                       [pt.power_mw for pt in sweeps[p].points])
-                for p in POLICIES],
+        series=[Series(label, list(speeds),
+                       [pt.power_mw for pt in swp.points])
+                for label, swp in sweeps.items()],
         annotations=annotations,
     )
     return [delay_fig, power_fig]

@@ -10,7 +10,7 @@ the RMSD-over-DMSD power win (1.2–1.4x) for every pattern.
 from __future__ import annotations
 
 from ..noc.config import NocConfig, PAPER_BASELINE
-from .common import POLICIES, Workbench
+from .common import Workbench, series_by_policy_name
 from .render import FigureResult, Series
 
 #: Panel order as in the paper.
@@ -27,45 +27,51 @@ def figure7(bench: Workbench,
             patterns: tuple[str, ...] = FIG7_PATTERNS
             ) -> list[FigureResult]:
     """Regenerate all Fig. 7 panels (delay + power per pattern)."""
+    from ..traffic.patterns import as_pattern_ref
+
     figures = []
     for pattern in patterns:
+        pattern = as_pattern_ref(pattern).label
         rates = bench.rate_grid(config, pattern)
         lam_max = bench.saturation(config, pattern).lambda_max
         ref_rate = min(REFERENCE_RATE, 0.5 * lam_max)
         sweeps = bench.policy_comparison(config, pattern, rates)
         ref = min(rates, key=lambda r: abs(r - ref_rate))
 
+        named = series_by_policy_name(sweeps)
         delay_ann = {}
-        rmsd_d = sweeps["rmsd"].point_at(ref).delay_ns
-        dmsd_d = sweeps["dmsd"].point_at(ref).delay_ns
-        if rmsd_d is not None and dmsd_d:
-            delay_ann["rmsd_over_dmsd_at_ref"] = rmsd_d / dmsd_d
+        if "rmsd" in named and "dmsd" in named:
+            rmsd_d = named["rmsd"].point_at(ref).delay_ns
+            dmsd_d = named["dmsd"].point_at(ref).delay_ns
+            if rmsd_d is not None and dmsd_d:
+                delay_ann["rmsd_over_dmsd_at_ref"] = rmsd_d / dmsd_d
         figures.append(FigureResult(
             figure_id=f"fig7-delay-{pattern}",
             title=f"Packet delay vs injection rate ({pattern})",
             x_label="rate (fl/cy)",
             y_label="packet delay (ns)",
-            series=[Series(p, list(rates),
-                           [pt.delay_ns for pt in sweeps[p].points])
-                    for p in POLICIES],
+            series=[Series(label, list(rates),
+                           [pt.delay_ns for pt in swp.points])
+                    for label, swp in sweeps.items()],
             annotations={"ref_rate": ref, **delay_ann},
         ))
 
         power_ann = {}
-        dmsd_p = sweeps["dmsd"].point_at(ref).power_mw
-        rmsd_p = sweeps["rmsd"].point_at(ref).power_mw
-        nod_p = sweeps["no-dvfs"].point_at(ref).power_mw
-        if dmsd_p and rmsd_p and nod_p:
-            power_ann = {"dmsd_over_rmsd_at_ref": dmsd_p / rmsd_p,
-                         "no_dvfs_over_dmsd_at_ref": nod_p / dmsd_p}
+        if all(p in named for p in ("no-dvfs", "rmsd", "dmsd")):
+            dmsd_p = named["dmsd"].point_at(ref).power_mw
+            rmsd_p = named["rmsd"].point_at(ref).power_mw
+            nod_p = named["no-dvfs"].point_at(ref).power_mw
+            if dmsd_p and rmsd_p and nod_p:
+                power_ann = {"dmsd_over_rmsd_at_ref": dmsd_p / rmsd_p,
+                             "no_dvfs_over_dmsd_at_ref": nod_p / dmsd_p}
         figures.append(FigureResult(
             figure_id=f"fig7-power-{pattern}",
             title=f"NoC power vs injection rate ({pattern})",
             x_label="rate (fl/cy)",
             y_label="power (mW)",
-            series=[Series(p, list(rates),
-                           [pt.power_mw for pt in sweeps[p].points])
-                    for p in POLICIES],
+            series=[Series(label, list(rates),
+                           [pt.power_mw for pt in swp.points])
+                    for label, swp in sweeps.items()],
             annotations={"ref_rate": ref, **power_ann},
         ))
     return figures

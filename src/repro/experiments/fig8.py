@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..analysis.sensitivity import SensitivityCase, sensitivity_cases
 from ..noc.config import NocConfig, PAPER_BASELINE
-from .common import POLICIES, Workbench
+from .common import Workbench, series_by_policy_name
 from .render import FigureResult, Series
 
 #: Fraction of each case's lambda_max at which ratios are quoted.
@@ -32,24 +32,26 @@ def figure8_case(bench: Workbench, case: SensitivityCase,
     sweeps = bench.policy_comparison(case.config, "uniform", rates)
     ref = rates[max(0, int(len(rates) * REFERENCE_FRACTION) - 1)]
 
+    named = series_by_policy_name(sweeps)
     annotations: dict[str, float] = {"ref_rate": ref}
-    rmsd_d = sweeps["rmsd"].point_at(ref).delay_ns
-    dmsd_d = sweeps["dmsd"].point_at(ref).delay_ns
-    dmsd_p = sweeps["dmsd"].point_at(ref).power_mw
-    rmsd_p = sweeps["rmsd"].point_at(ref).power_mw
-    if rmsd_d and dmsd_d:
-        annotations["rmsd_over_dmsd_delay"] = rmsd_d / dmsd_d
-    if dmsd_p and rmsd_p:
-        annotations["dmsd_over_rmsd_power"] = dmsd_p / rmsd_p
+    if "rmsd" in named and "dmsd" in named:
+        rmsd_d = named["rmsd"].point_at(ref).delay_ns
+        dmsd_d = named["dmsd"].point_at(ref).delay_ns
+        dmsd_p = named["dmsd"].point_at(ref).power_mw
+        rmsd_p = named["rmsd"].point_at(ref).power_mw
+        if rmsd_d and dmsd_d:
+            annotations["rmsd_over_dmsd_delay"] = rmsd_d / dmsd_d
+        if dmsd_p and rmsd_p:
+            annotations["dmsd_over_rmsd_power"] = dmsd_p / rmsd_p
 
     delay_fig = FigureResult(
         figure_id=f"fig8-delay-{case.parameter}-{case.label}",
         title=f"Delay, {case.parameter} = {case.label}",
         x_label="rate (fl/cy)",
         y_label="packet delay (ns)",
-        series=[Series(p, list(rates),
-                       [pt.delay_ns for pt in sweeps[p].points])
-                for p in POLICIES],
+        series=[Series(label, list(rates),
+                       [pt.delay_ns for pt in swp.points])
+                for label, swp in sweeps.items()],
         annotations=annotations,
     )
     power_fig = FigureResult(
@@ -57,9 +59,9 @@ def figure8_case(bench: Workbench, case: SensitivityCase,
         title=f"Power, {case.parameter} = {case.label}",
         x_label="rate (fl/cy)",
         y_label="power (mW)",
-        series=[Series(p, list(rates),
-                       [pt.power_mw for pt in sweeps[p].points])
-                for p in POLICIES],
+        series=[Series(label, list(rates),
+                       [pt.power_mw for pt in swp.points])
+                for label, swp in sweeps.items()],
         annotations=annotations,
     )
     return delay_fig, power_fig

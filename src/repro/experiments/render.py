@@ -68,8 +68,12 @@ def render_figure(fig: FigureResult) -> str:
     """Format one figure's data as an aligned text table."""
     lines = [f"{fig.figure_id} — {fig.title}",
              f"  y: {fig.y_label}"]
+    # Column width follows the longest series label (parameterized
+    # scenario labels like "deadband:target_delay_ns=60" can exceed
+    # the 12 characters the built-in policy names fit in).
+    width = max([12] + [len(s.name) + 2 for s in fig.series])
     header = f"{fig.x_label:>12} |" + "".join(
-        f"{s.name:>12}" for s in fig.series)
+        f"{s.name:>{width}}" for s in fig.series)
     lines.append(header)
     lines.append("-" * len(header))
     # Merge x grids: series may have distinct xs (sensitivity panels).
@@ -82,9 +86,9 @@ def render_figure(fig: FigureResult) -> str:
         row = [f"{x:12.3f} |"]
         for s in fig.series:
             if any(abs(x - sx) < 1e-9 for sx in s.xs):
-                row.append(_fmt(s.y_at(x), 12))
+                row.append(_fmt(s.y_at(x), width))
             else:
-                row.append(" " * 12)
+                row.append(" " * width)
         lines.append("".join(row))
     for key, value in fig.annotations.items():
         lines.append(f"  [{key}: {value:.2f}]")

@@ -53,11 +53,28 @@ DEFAULT = SimBudget(2000, 4000, 10000)
 THOROUGH = SimBudget(4000, 10000, 30000)
 
 
-def run_fixed_point(config: NocConfig, traffic: TrafficSpec,
+def run_fixed_point(config: NocConfig, traffic: TrafficSpec | float,
                     freq_hz: float, budget: SimBudget,
                     seed: int = 1,
                     engine: str = DEFAULT_ENGINE) -> SimResult:
-    """One simulation at a pinned network frequency."""
+    """One simulation at a pinned network frequency.
+
+    Also accepts the scenario spelling ``run_fixed_point(spec, rate,
+    ...)``: a :class:`repro.scenario.ScenarioSpec` in the ``config``
+    slot with the injection rate in the ``traffic`` slot (detected
+    structurally to keep this simulator-level module free of
+    scenario-layer imports).
+    """
+    if isinstance(traffic, (int, float)):
+        if not hasattr(config, "traffic_factory"):
+            raise TypeError(
+                f"run_fixed_point got a numeric traffic argument "
+                f"({traffic!r}); that spelling needs a ScenarioSpec "
+                f"first — run_fixed_point(spec, rate, ...) — not "
+                f"{type(config).__name__}")
+        spec = config
+        config, traffic = spec.config, spec.traffic_factory()(
+            float(traffic))
     sim = Simulation(config, traffic, controller=freq_hz, seed=seed,
                      engine=engine)
     return sim.run(budget.warmup_cycles, budget.measure_cycles,

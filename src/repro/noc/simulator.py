@@ -124,7 +124,7 @@ class Simulation:
     """One simulation run of a traffic spec under a DVFS controller."""
 
     def __init__(self, config: NocConfig, traffic: TrafficSpec,
-                 controller: Controller | float | None = None,
+                 controller: "Controller | float | str | None" = None,
                  seed: int = 1,
                  control_period_node_cycles: int = 10_000,
                  engine: str = DEFAULT_ENGINE) -> None:
@@ -136,11 +136,7 @@ class Simulation:
         self.control_period_node_cycles = control_period_node_cycles
         self.engine = engine
 
-        if controller is None or isinstance(controller, (int, float)):
-            self.controller: Controller = _FixedController(
-                None if controller is None else float(controller))
-        else:
-            self.controller = controller
+        self.controller = self._coerce_controller(controller)
 
         self.network = make_engine(engine, config)
         self.rng = np.random.default_rng(seed)
@@ -154,6 +150,30 @@ class Simulation:
         self.bridge = NodeClockBridge(config.f_node_hz)
         self.node_bridge = (MultiNodeClockBridge(config.node_freqs_hz)
                             if config.node_freqs_hz is not None else None)
+
+    @staticmethod
+    def _coerce_controller(controller) -> Controller:
+        """Accept a Controller, a pinned frequency, or a registry ref.
+
+        Policy-registry spellings — a name string like
+        ``"dmsd:target_delay_ns=150"`` or a
+        :class:`~repro.core.registry.Ref` — always construct a *fresh*
+        controller instance, so two simulations built from the same
+        spec never share PI state.
+        """
+        if controller is None or isinstance(controller, (int, float)):
+            return _FixedController(
+                None if controller is None else float(controller))
+        if isinstance(controller, Controller):
+            return controller
+        # Late import: the registry lives in repro.core, which imports
+        # this package's config/stats modules.
+        from ..core.registry import Ref, make_policy
+        if isinstance(controller, (str, Ref)):
+            return make_policy(controller)
+        raise TypeError(
+            f"controller must be a Controller, a frequency in Hz, a "
+            f"policy-registry name/Ref or None; got {controller!r}")
 
     # ------------------------------------------------------------------
     def run(self, warmup_cycles: int = 2000, measure_cycles: int = 5000,

@@ -73,6 +73,14 @@ class WorkUnit:
     budget: SimBudget
     run_seed: int
     engine: str = DEFAULT_ENGINE
+    #: The declarative :class:`repro.scenario.ScenarioSpec` this unit
+    #: was expanded from, when it came through the scenario API.  Pure
+    #: metadata: the spec's policy/pattern/config are already spelled
+    #: out in the fields above, so it is deliberately excluded from
+    #: ``spec_key()`` — digests (and therefore unit caches, batch-group
+    #: keys and distributed task ids) stay byte-identical whether a
+    #: unit was built by hand or from a scenario.
+    scenario: Any = field(default=None, compare=False)
 
     def spec_key(self) -> tuple:
         """Everything that determines this unit's result, as a tuple."""

@@ -6,10 +6,11 @@ from .apps import (APPLICATIONS, ApplicationGraph, H264_PUBLISHED_WEIGHTS,
 from .injection import (InjectionProcess, MatrixTraffic, PatternTraffic,
                         PiecewiseRateTraffic, TrafficSpec)
 from .matrix import TrafficMatrix
-from .patterns import (PATTERNS, ComplementTraffic, HotspotTraffic,
-                       NeighborTraffic, ShuffleTraffic, TornadoTraffic,
-                       TrafficPattern, TransposeTraffic, UniformTraffic,
-                       make_pattern)
+from .patterns import (PATTERN_REGISTRY, PATTERNS, ComplementTraffic,
+                       HotspotTraffic, NeighborTraffic, ShuffleTraffic,
+                       TornadoTraffic, TrafficPattern, TransposeTraffic,
+                       UniformTraffic, as_pattern_ref, make_pattern,
+                       pattern_names, register_pattern)
 
 __all__ = [
     "APPLICATIONS",
@@ -21,6 +22,7 @@ __all__ = [
     "MatrixTraffic",
     "NeighborTraffic",
     "PATTERNS",
+    "PATTERN_REGISTRY",
     "PEAK_NODE_RATE_AT_SPEED1",
     "PatternTraffic",
     "PiecewiseRateTraffic",
@@ -34,7 +36,10 @@ __all__ = [
     "TransposeTraffic",
     "UniformTraffic",
     "VCE_PUBLISHED_WEIGHTS",
+    "as_pattern_ref",
     "h264_encoder",
     "make_pattern",
+    "pattern_names",
+    "register_pattern",
     "vce_encoder",
 ]

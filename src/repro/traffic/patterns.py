@@ -24,7 +24,36 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from ..core.registry import Ref, Registry
 from ..noc.topology import Mesh
+
+#: The process-wide traffic-pattern registry — the mirror of
+#: ``repro.core.registry.POLICY_REGISTRY`` for workloads.  Factories
+#: take the mesh first, then the pattern's own parameters.
+PATTERN_REGISTRY = Registry("traffic pattern")
+
+
+def register_pattern(cls=None, *, name: str | None = None,
+                     replace: bool = False):
+    """Class decorator registering a ``TrafficPattern`` under its name.
+
+    Usable bare (``@register_pattern``) or parameterized
+    (``@register_pattern(name="mine")``).  Registered patterns are
+    reachable everywhere a pattern name is accepted: ``make_pattern``,
+    ``ScenarioSpec``, ``Workbench`` sweeps and the CLI ``--pattern``
+    flag.
+    """
+    return PATTERN_REGISTRY.registering(cls, name=name, replace=replace)
+
+
+def pattern_names() -> tuple[str, ...]:
+    """All registered pattern names, in registration order."""
+    return PATTERN_REGISTRY.names()
+
+
+def as_pattern_ref(pattern: "Ref | str") -> Ref:
+    """Coerce and fully validate a pattern reference (name + params)."""
+    return PATTERN_REGISTRY.validate_ref(pattern, skip_positional=1)
 
 
 class TrafficPattern(ABC):
@@ -62,6 +91,7 @@ class TrafficPattern(ABC):
                 or not self.is_deterministic]
 
 
+@register_pattern
 class UniformTraffic(TrafficPattern):
     """Uniform random: each packet targets a uniformly random other node."""
 
@@ -78,6 +108,7 @@ class UniformTraffic(TrafficPattern):
         return d + 1 if d >= src else d
 
 
+@register_pattern
 class ComplementTraffic(TrafficPattern):
     """Bit-complement, generalized to coordinate complement."""
 
@@ -89,6 +120,7 @@ class ComplementTraffic(TrafficPattern):
                                  self.mesh.height - 1 - c.y)
 
 
+@register_pattern
 class TransposeTraffic(TrafficPattern):
     """Matrix transpose: ``(x, y) -> (y, x)``.  Requires a square mesh."""
 
@@ -104,6 +136,7 @@ class TransposeTraffic(TrafficPattern):
         return self.mesh.node_at(c.y, c.x)
 
 
+@register_pattern
 class TornadoTraffic(TrafficPattern):
     """Tornado: shift each coordinate halfway around its dimension."""
 
@@ -117,6 +150,7 @@ class TornadoTraffic(TrafficPattern):
         return self.mesh.node_at(dx, dy)
 
 
+@register_pattern
 class NeighborTraffic(TrafficPattern):
     """Nearest-neighbor: send one hop east (with wrap in the index)."""
 
@@ -127,6 +161,7 @@ class NeighborTraffic(TrafficPattern):
         return self.mesh.node_at((c.x + 1) % self.mesh.width, c.y)
 
 
+@register_pattern
 class BitReverseTraffic(TrafficPattern):
     """Bit-reversal of the node index (power-of-two node counts only)."""
 
@@ -148,6 +183,7 @@ class BitReverseTraffic(TrafficPattern):
         return out
 
 
+@register_pattern
 class ShuffleTraffic(TrafficPattern):
     """Perfect shuffle: rotate the index bits left by one."""
 
@@ -166,6 +202,7 @@ class ShuffleTraffic(TrafficPattern):
         return ((src << 1) | msb) & (self.mesh.num_nodes - 1)
 
 
+@register_pattern
 class HotspotTraffic(TrafficPattern):
     """Uniform traffic with a fraction diverted to one hotspot node."""
 
@@ -196,20 +233,19 @@ class HotspotTraffic(TrafficPattern):
         return self._uniform.dest(src, rng)
 
 
-PATTERNS: dict[str, type[TrafficPattern]] = {
-    cls.name: cls
-    for cls in (UniformTraffic, ComplementTraffic, TransposeTraffic,
-                TornadoTraffic, NeighborTraffic, BitReverseTraffic,
-                ShuffleTraffic, HotspotTraffic)
-}
+#: Backward-compatible name -> class view of the registry.  Live: a
+#: pattern registered later (e.g. by a plugin module) appears here too.
+PATTERNS = PATTERN_REGISTRY.mapping
 
 
-def make_pattern(name: str, mesh: Mesh, **kwargs) -> TrafficPattern:
-    """Instantiate a registered pattern by name."""
-    try:
-        cls = PATTERNS[name]
-    except KeyError:
-        known = ", ".join(sorted(PATTERNS))
-        raise ValueError(
-            f"unknown traffic pattern {name!r}; known: {known}") from None
-    return cls(mesh, **kwargs)
+def make_pattern(pattern: "Ref | str", mesh: Mesh,
+                 **kwargs) -> TrafficPattern:
+    """Instantiate a **fresh** registered pattern for this mesh.
+
+    ``pattern`` may be a plain name, a parameterized
+    :class:`~repro.core.registry.Ref` (``Ref.of("hotspot",
+    fraction=0.1)``), or the CLI spelling ``"hotspot:fraction=0.1"``.
+    Unknown names and parameters raise ``ValueError`` listing the
+    alternatives.
+    """
+    return PATTERN_REGISTRY.create(pattern, mesh, **kwargs)

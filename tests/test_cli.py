@@ -1,12 +1,17 @@
 """Tests for the figure-regeneration CLI (and the worker CLI)."""
 
+import sys
 import threading
 import time
+from pathlib import Path
 
 import pytest
+from hypothesis import given, strategies as st
 
-from repro.experiments.__main__ import (FIGURES, main, run_figure,
-                                        worker_main)
+from repro.core import policy_names
+from repro.experiments.__main__ import (FIGURES, list_scenarios_main,
+                                        main, run_figure, worker_main)
+from repro.traffic import pattern_names
 from repro.experiments.common import Profile, Workbench
 from repro.noc import SimBudget
 from repro.runner import ExecutionPlan, Worker, WorkQueue
@@ -124,6 +129,131 @@ class TestBadArgumentDiagnostics:
             ["--backend", "distributed", "--queue", str(tmp_path / "q"),
              "--workers", "-1", "fig5"], capsys)
         assert "--workers must be >= 0" in err
+
+
+class TestScenarioFlags:
+    """--policy/--pattern/--register and the list-scenarios command."""
+
+    def _error_output(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        return err
+
+    def test_list_scenarios_prints_registries(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("no-dvfs", "rmsd", "dmsd", "fixed"):
+            assert name in out
+        for name in ("uniform", "tornado", "hotspot"):
+            assert name in out
+        assert "target_delay_ns" in out      # dmsd's parameters
+        assert "transient only" in out       # fixed has no strategy
+
+    def test_unknown_policy_lists_known(self, capsys):
+        err = self._error_output(["--policy", "warp", "fig5"], capsys)
+        assert "--policy" in err and "unknown policy" in err
+        assert "rmsd" in err and "dmsd" in err
+
+    def test_bad_policy_param_reported(self, capsys):
+        err = self._error_output(
+            ["--policy", "dmsd:bogus=1", "fig5"], capsys)
+        assert "does not accept parameter" in err
+        assert "target_delay_ns" in err
+
+    def test_malformed_policy_spelling_reported(self, capsys):
+        err = self._error_output(["--policy", "dmsd:", "fig5"], capsys)
+        assert "--policy" in err
+
+    def test_sweep_incapable_policy_is_a_usage_error(self, capsys):
+        # 'fixed' is registered but has no sweep strategy: must fail at
+        # parse time, not as a mid-run traceback.
+        err = self._error_output(["--policy", "fixed", "fig5"], capsys)
+        assert "no steady-state sweep strategy" in err
+
+    def test_controller_only_param_is_a_usage_error(self, capsys):
+        # 'smoothing' exists on the RmsdController but not on the sweep
+        # strategy --policy feeds; reject it up front.
+        err = self._error_output(
+            ["--policy", "rmsd:smoothing=0.5", "fig5"], capsys)
+        assert "does not accept parameter" in err
+        assert "lambda_max" in err
+
+    def test_unknown_pattern_lists_known(self, capsys):
+        err = self._error_output(["--pattern", "warp", "fig5"], capsys)
+        assert "unknown traffic pattern" in err and "uniform" in err
+
+    def test_unimportable_register_module(self, capsys):
+        err = self._error_output(
+            ["--register", "no.such.module", "fig5"], capsys)
+        assert "cannot import" in err and "no.such.module" in err
+
+    @given(name=st.text(alphabet="abcdefghijklmnop", min_size=1,
+                        max_size=10)
+           .filter(lambda s: s not in set(policy_names())))
+    def test_any_unknown_policy_name_is_a_usage_error(self, name):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--policy", name, "fig5"])
+        assert excinfo.value.code == 2
+
+    @given(name=st.text(alphabet="abcdefghijklmnop", min_size=1,
+                        max_size=10)
+           .filter(lambda s: s not in set(pattern_names())))
+    def test_any_unknown_pattern_name_is_a_usage_error(self, name):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pattern", name, "fig5"])
+        assert excinfo.value.code == 2
+
+
+EXAMPLES_DIR = str(Path(__file__).resolve().parent.parent / "examples")
+
+
+class TestScenarioPluginEndToEnd:
+    """The example plugin through the real CLI path."""
+
+    @pytest.fixture
+    def plugin_on_path(self, monkeypatch):
+        from repro.core import POLICY_REGISTRY
+        from repro.traffic import PATTERN_REGISTRY
+
+        monkeypatch.syspath_prepend(EXAMPLES_DIR)
+        yield
+        sys.modules.pop("scenario_plugin", None)
+        if "deadband" in POLICY_REGISTRY:
+            POLICY_REGISTRY.remove("deadband")
+        if "diagonal" in PATTERN_REGISTRY:
+            PATTERN_REGISTRY.remove("diagonal")
+
+    def test_list_scenarios_shows_registered_plugin(self, capsys,
+                                                    plugin_on_path):
+        assert list_scenarios_main(["--register",
+                                    "scenario_plugin"]) == 0
+        out = capsys.readouterr().out
+        assert "deadband" in out and "diagonal" in out
+
+    def test_custom_policy_and_pattern_reach_a_figure(
+            self, capsys, monkeypatch, plugin_on_path):
+        """`--register ... --policy deadband --pattern diagonal` runs a
+        real (stripped-down) fig4 sweep with the plugin policy next to
+        the paper's rmsd."""
+        import repro.experiments.__main__ as cli
+        from repro.experiments.common import Profile
+        from repro.noc import SimBudget
+
+        monkeypatch.setattr(cli, "QUICK", Profile(
+            "cli-smoke", SimBudget(100, 250, 600), sweep_points=2,
+            dmsd_iterations=2, saturation_iterations=2))
+        assert main(["--tiny", "--engine", "fast",
+                     "--register", "scenario_plugin",
+                     "--policy", "rmsd",
+                     "--policy", "deadband:target_delay_ns=60",
+                     "--pattern", "diagonal", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "deadband:target_delay_ns=60" in out
+        assert "rmsd" in out
+        assert "regenerated in" in out
 
 
 class TestWorkerCli:

@@ -1,0 +1,373 @@
+"""The declarative scenario API and its digest-stability contract.
+
+Two guarantees are pinned here:
+
+* **Digest stability** — units expanded from a :class:`ScenarioSpec`
+  carry byte-identical digests to the hand-built units of the
+  pre-scenario era (hex goldens recorded at the scenario-API rollout),
+  so unit caches, batch-group keys and distributed task ids survive
+  the refactor for the paper's three policies.
+* **Full-stack reach** — a policy and a traffic pattern registered
+  *outside* ``repro`` run end-to-end through the serial, batched and
+  distributed backends with bit-identical results.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import (PatternTraffic, Ref, ScenarioSpec, Simulation,
+                   make_pattern, run_scenario_sweep)
+from repro.analysis.sweep import (DmsdSteadyState, NoDvfsSteadyState,
+                                  RmsdSteadyState, SteadyStateStrategy,
+                                  sweep_units)
+from repro.core import DvfsPolicy, POLICY_REGISTRY
+from repro.core.registry import register_policy, register_strategy
+from repro.noc import NocConfig, SimBudget
+from repro.noc.budget import run_fixed_point
+from repro.noc.engines import DEFAULT_ENGINE
+from repro.runner import ExecutionContext, Worker, WorkQueue
+from repro.traffic import (PATTERN_REGISTRY, TrafficPattern,
+                           register_pattern)
+
+TINY_BUDGET = SimBudget(200, 500, 1500)
+GOLDEN_SEED = 11
+GOLDEN_RATES = (0.05, 0.15, 0.25)
+
+#: Unit digests of the paper's three policies on the tiny 3x3 uniform
+#: scenario (budget 200/500/1500, seed 11), recorded from the
+#: pre-scenario-era WorkUnit implementation.  ScenarioSpec-expanded
+#: units must reproduce them byte for byte.
+PRE_REFACTOR_DIGESTS = {
+    "no-dvfs": (
+        "650b32a7a8b1020a9dc161d680e6ede4387e6b517ab438f50c7a09d45266ef41",
+        "55b131917708b90d992f0b43dc93f74db7a5b690a484b9e13ed9c40a51e6e90a",
+        "9fc7af21c73492df4ca605e9b000deb25ad7652909e9d821c28e4aa4a96a25cb",
+    ),
+    "rmsd": (
+        "f429eea0ca4d917e0442f97a6e29169df850a06bcece58dacaec9b9d7d9ee1ea",
+        "68819737f6e7157a70ea36cca1286abd348864855c3260c671bc7c67d7e11033",
+        "a06c0c3ef76c224346a827543e5be464b8cc223f08f8abd0cf6be7a4326e07b9",
+    ),
+    "dmsd": (
+        "05f38fc1a24b14e8724ac0409b298f8549d364b2cd569e5757e4f4b2f50b39e8",
+        "65153e18845fa320063a6227d1aceef9a0223a585208a2fa594ac951dab9eab4",
+        "29d2e163ba893800c5bbe492aefc3a8273494037a91dfe7805e10929ceed2d6e",
+    ),
+}
+
+#: Same scenario on the fast engine (the engine enters the digest).
+PRE_REFACTOR_DIGESTS_FAST_NO_DVFS = (
+    "c5d1d322f1be5ef5b337727e54658a6b65d94551371f974756f837e732e4a71d",
+    "d6abe81da743f3d58a8db1d27ecc52ada598316b8eda04a2d1c5225e732f0147",
+    "c760f4068aaee4b3010d7288424ffaba9fdd53cec09d6093158e5120b1934e51",
+)
+
+#: The golden scenario's policy refs, parameters pinned explicitly.
+GOLDEN_POLICY_REFS = {
+    "no-dvfs": Ref.of("no-dvfs"),
+    "rmsd": Ref.of("rmsd", lambda_max=0.5),
+    "dmsd": Ref.of("dmsd", target_delay_ns=40.0, iterations=6,
+                   search_budget=TINY_BUDGET),
+}
+
+
+def golden_spec(policy_ref):
+    return ScenarioSpec.build(policy_ref, "uniform", width=3, height=3,
+                              num_vcs=2, vc_buf_depth=2,
+                              packet_length=3)
+
+
+class TestDigestStabilityGoldens:
+    @pytest.mark.parametrize("policy", sorted(PRE_REFACTOR_DIGESTS))
+    def test_scenario_units_match_pre_refactor_digests(self, policy):
+        spec = golden_spec(GOLDEN_POLICY_REFS[policy])
+        units = spec.units(GOLDEN_RATES, budget=TINY_BUDGET,
+                           seed=GOLDEN_SEED)
+        assert tuple(u.digest() for u in units) \
+            == PRE_REFACTOR_DIGESTS[policy]
+
+    def test_fast_engine_digests_match(self):
+        spec = golden_spec(GOLDEN_POLICY_REFS["no-dvfs"])
+        units = spec.units(GOLDEN_RATES, budget=TINY_BUDGET,
+                           seed=GOLDEN_SEED, engine="fast")
+        assert tuple(u.digest() for u in units) \
+            == PRE_REFACTOR_DIGESTS_FAST_NO_DVFS
+
+    def test_hand_built_units_agree_with_scenario_units(self,
+                                                        tiny_config):
+        """Structural form of the same contract: hand construction and
+        scenario expansion are digest-indistinguishable."""
+        pattern = make_pattern("uniform", tiny_config.make_mesh())
+        by_hand = sweep_units(
+            tiny_config, lambda r: PatternTraffic(pattern, r),
+            list(GOLDEN_RATES),
+            DmsdSteadyState(40.0, iterations=6,
+                            search_budget=TINY_BUDGET),
+            TINY_BUDGET, GOLDEN_SEED)
+        spec = golden_spec(GOLDEN_POLICY_REFS["dmsd"])
+        via_spec = spec.units(GOLDEN_RATES, budget=TINY_BUDGET,
+                              seed=GOLDEN_SEED)
+        assert ([u.digest() for u in by_hand]
+                == [u.digest() for u in via_spec])
+
+    def test_scenario_metadata_never_enters_the_digest(self):
+        spec = golden_spec(GOLDEN_POLICY_REFS["no-dvfs"])
+        unit = spec.units(GOLDEN_RATES, budget=TINY_BUDGET,
+                          seed=GOLDEN_SEED)[0]
+        assert unit.scenario == spec
+        assert "scenario" not in repr(unit.spec_key())
+
+
+class TestScenarioSpec:
+    def test_build_applies_overrides(self):
+        spec = ScenarioSpec.build("no-dvfs", "uniform", width=3,
+                                  height=3)
+        assert (spec.config.width, spec.config.height) == (3, 3)
+
+    def test_with_swaps_dimensions(self):
+        spec = golden_spec("no-dvfs")
+        other = spec.with_(policy="rmsd:lambda_max=0.5", num_vcs=4)
+        assert other.policy.name == "rmsd"
+        assert other.config.num_vcs == 4
+        assert other.pattern == spec.pattern
+
+    def test_digest_distinguishes_every_dimension(self):
+        base = golden_spec("no-dvfs")
+        assert base.digest() == golden_spec("no-dvfs").digest()
+        for other in (base.with_(policy="rmsd:lambda_max=0.5"),
+                      base.with_(pattern="tornado"),
+                      base.with_(num_vcs=4)):
+            assert other.digest() != base.digest()
+
+    def test_unknown_policy_rejected_at_build(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            ScenarioSpec.build("warp")
+
+    def test_unknown_pattern_rejected_at_build(self):
+        with pytest.raises(ValueError, match="unknown traffic pattern"):
+            ScenarioSpec.build("no-dvfs", "warp")
+
+    def test_config_must_be_nocconfig(self):
+        with pytest.raises(ValueError, match="NocConfig"):
+            ScenarioSpec(Ref.of("no-dvfs"), Ref.of("uniform"),
+                         config="5x5")
+
+    def test_simulation_uses_registry_controller(self):
+        spec = golden_spec("dmsd:target_delay_ns=40")
+        sim = spec.simulation(0.05, seed=3)
+        assert type(sim.controller).__name__ == "DmsdController"
+        assert sim.controller.target_delay_ns == 40
+
+    def test_run_fixed_point_numeric_traffic_without_spec_rejected(
+            self, tiny_config):
+        with pytest.raises(TypeError, match="needs a ScenarioSpec"):
+            run_fixed_point(tiny_config, 0.1, tiny_config.f_max_hz,
+                            TINY_BUDGET)
+
+    def test_run_fixed_point_accepts_scenario_spelling(self,
+                                                       tiny_config):
+        spec = golden_spec("no-dvfs")
+        by_spec = run_fixed_point(spec, 0.1, spec.config.f_max_hz,
+                                  TINY_BUDGET, seed=3)
+        traffic = PatternTraffic(
+            make_pattern("uniform", tiny_config.make_mesh()), 0.1)
+        by_hand = run_fixed_point(tiny_config, traffic,
+                                  tiny_config.f_max_hz, TINY_BUDGET,
+                                  seed=3)
+        assert by_spec.mean_delay_ns == by_hand.mean_delay_ns
+        assert by_spec.accepted_node_rate == by_hand.accepted_node_rate
+
+    def test_simulation_accepts_policy_name(self, tiny_config):
+        traffic = PatternTraffic(
+            make_pattern("uniform", tiny_config.make_mesh()), 0.05)
+        sim = Simulation(tiny_config, traffic, controller="no-dvfs")
+        assert type(sim.controller).__name__ == "NoDvfs"
+        with pytest.raises(ValueError, match="unknown policy"):
+            Simulation(tiny_config, traffic, controller="warp")
+        with pytest.raises(TypeError):
+            Simulation(tiny_config, traffic, controller=object())
+
+
+# --- the acceptance scenario: plugin policy + pattern, every backend --
+
+
+class PluginPolicy(DvfsPolicy):
+    """Proportional-only delay controller (deliberately not a built-in
+    shape: settles at a closed-form operating point)."""
+
+    name = "plugin-prop"
+
+    def __init__(self, target_delay_ns: float, gain: float = 0.5):
+        super().__init__()
+        if target_delay_ns <= 0:
+            raise ValueError("target delay must be positive")
+        self.target_delay_ns = target_delay_ns
+        self.gain = gain
+
+    def update(self, sample):
+        config = self._require_config()
+        if sample.mean_delay_ns is None:
+            return config.f_max_hz
+        error = ((sample.mean_delay_ns - self.target_delay_ns)
+                 / self.target_delay_ns)
+        span = config.f_max_hz - config.f_min_hz
+        f = config.f_min_hz + (0.5 + self.gain * error) * span
+        return min(config.f_max_hz, max(config.f_min_hz, f))
+
+
+class PluginSteadyState(SteadyStateStrategy):
+    """Closed-form eq. (2)-style law with a headroom factor — cheap,
+    deterministic, and engine-independent (like user closed forms)."""
+
+    name = "plugin-prop"
+
+    def __init__(self, lambda_max: float, headroom: float = 1.1):
+        if lambda_max <= 0:
+            raise ValueError("lambda_max must be positive")
+        self.lambda_max = lambda_max
+        self.headroom = headroom
+
+    def spec_key(self):
+        return (self.name, repr(self.lambda_max), repr(self.headroom))
+
+    def frequency_for(self, config, traffic, budget, seed,
+                      engine: str = DEFAULT_ENGINE) -> float:
+        f = (config.f_node_hz * traffic.mean_node_rate()
+             * self.headroom / self.lambda_max)
+        return min(config.f_max_hz, max(config.f_min_hz, f))
+
+
+class PluginPattern(TrafficPattern):
+    """Deterministic column-rotation permutation."""
+
+    name = "plugin-rotate"
+
+    def dest(self, src, rng):
+        c = self.mesh.coord(src)
+        return self.mesh.node_at(c.x, (c.y + 1) % self.mesh.height)
+
+
+@pytest.fixture
+def plugin_scenario():
+    register_policy(PluginPolicy)
+    register_strategy(
+        PluginPolicy.name,
+        lambda resources=None, lambda_max=None, headroom=1.1:
+        PluginSteadyState(
+            lambda_max if lambda_max is not None
+            else resources.lambda_max(), headroom))
+    register_pattern(PluginPattern)
+    try:
+        yield ScenarioSpec.build(
+            Ref.of("plugin-prop", lambda_max=0.4), "plugin-rotate",
+            width=3, height=3, num_vcs=2, vc_buf_depth=2,
+            packet_length=3)
+    finally:
+        POLICY_REGISTRY.remove(PluginPolicy.name)
+        PATTERN_REGISTRY.remove(PluginPattern.name)
+
+
+def fingerprint(series):
+    return [(p.policy, p.x, p.freq_hz, p.delay_ns, p.accepted_rate,
+             p.power_mw) for p in series.points]
+
+
+class TestPluginScenarioThroughEveryBackend:
+    """The PR's acceptance gate: a custom policy and pattern registered
+    outside ``repro`` flow through the whole execution stack."""
+
+    def _run(self, spec, backend, **kwargs):
+        context = ExecutionContext(backend=backend, engine="fast",
+                                   **kwargs)
+        return run_scenario_sweep(spec, GOLDEN_RATES,
+                                  budget=TINY_BUDGET, seed=GOLDEN_SEED,
+                                  context=context)
+
+    def test_batched_bit_identical_to_serial(self, plugin_scenario):
+        serial = self._run(plugin_scenario, "serial")
+        batched = self._run(plugin_scenario, "batched")
+        assert fingerprint(batched) == fingerprint(serial)
+        # The policy really ran: operating points vary across rates.
+        freqs = {p.freq_hz for p in serial.points}
+        assert len(freqs) > 1
+
+    def test_distributed_bit_identical_to_serial(self, plugin_scenario,
+                                                 tmp_path):
+        serial = self._run(plugin_scenario, "serial")
+        queue = WorkQueue(tmp_path / "q").ensure()
+        stop = threading.Event()
+
+        def external_worker():
+            worker = Worker(queue)
+            while not stop.is_set():
+                if not worker.run_once():
+                    time.sleep(0.02)
+
+        thread = threading.Thread(target=external_worker, daemon=True)
+        thread.start()
+        try:
+            distributed = self._run(plugin_scenario, "distributed",
+                                    queue=str(tmp_path / "q"),
+                                    workers=0)
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert fingerprint(distributed) == fingerprint(serial)
+
+    def test_transient_simulation_runs_plugin_controller(
+            self, plugin_scenario):
+        spec = plugin_scenario.with_(
+            policy=Ref.of("plugin-prop", target_delay_ns=40.0))
+        result = spec.simulation(0.1, seed=3).run(
+            warmup_cycles=400, measure_cycles=400, drain_cycles=1200)
+        assert result.measured_delivered > 0
+
+
+class TestWorkbenchScenarioIntegration:
+    def test_custom_policy_rides_the_policy_comparison(
+            self, plugin_scenario, tiny_config):
+        """A plugin policy appears in a sweep next to the paper's
+        three, through the normal figure machinery."""
+        from repro.experiments import Profile, Workbench
+        from repro.experiments.fig4 import figure4
+
+        bench = Workbench(
+            profile=Profile("t", TINY_BUDGET, sweep_points=2,
+                            dmsd_iterations=2, saturation_iterations=2),
+            seed=5)
+        assert [r.name for r in bench.policies] \
+            == ["no-dvfs", "rmsd", "dmsd", "plugin-prop"]
+        figs = figure4(bench, tiny_config, "plugin-rotate")
+        names = {s.name for s in figs[0].series}
+        assert names == {"no-dvfs", "rmsd", "dmsd", "plugin-prop"}
+
+    def test_parameterized_paper_policy_keeps_annotations(
+            self, tiny_config):
+        """A parameterized spelling of dmsd is still DMSD to the
+        annotation code (matched by name, not label)."""
+        from repro.experiments import Profile, Workbench
+        from repro.experiments.fig4 import figure4
+
+        bench = Workbench(
+            profile=Profile("t", TINY_BUDGET, sweep_points=2,
+                            dmsd_iterations=2, saturation_iterations=2),
+            seed=5,
+            policies=("no-dvfs", "rmsd", "dmsd:iterations=3"))
+        figs = figure4(bench, tiny_config, "uniform")
+        assert "dmsd_target_ns" in figs[0].annotations
+        assert "max_rmsd_over_dmsd" in figs[1].annotations
+        assert {s.name for s in figs[0].series} \
+            == {"no-dvfs", "rmsd", "dmsd:iterations=3"}
+
+    def test_scenario_sweep_memoizes(self, plugin_scenario):
+        from repro.experiments import Profile, Workbench
+
+        bench = Workbench(
+            profile=Profile("t", TINY_BUDGET, sweep_points=2,
+                            dmsd_iterations=2, saturation_iterations=2),
+            seed=5)
+        a = bench.scenario_sweep(plugin_scenario, GOLDEN_RATES)
+        b = bench.scenario_sweep(plugin_scenario, GOLDEN_RATES)
+        assert a is b
