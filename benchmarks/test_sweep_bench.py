@@ -30,7 +30,9 @@ traffic, well below the 5x5 baseline's 0.42.)
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -119,12 +121,16 @@ def _three_policy_units(engine: str = "fast"):
     return units
 
 
-def _run_backend(backend: str, jobs: int = 1, **context_kwargs):
+def _run_backend(backend: str, jobs: int = 1, units=None,
+                 **context_kwargs):
     context = ExecutionContext(backend=backend, jobs=jobs, cache=None,
                                engine="fast", **context_kwargs)
-    units = _three_policy_units()
+    units = _three_policy_units() if units is None else units
     start = time.perf_counter()
-    results = context.run(units)
+    try:
+        results = context.run(units)
+    finally:
+        context.close()
     elapsed = time.perf_counter() - start
     return results, elapsed, context.runner.last_report
 
@@ -179,29 +185,41 @@ def test_backend_sweep_speedups():
         f">= {REQUIRED_BATCHED_SPEEDUP}x on the 8x8 three-policy sweep")
 
 
-def test_distributed_backend_bit_identical_for_any_worker_count():
-    """The distributed acceptance gate on the paper-scale sweep: the
-    8x8 three-policy sweep through the shared-directory work queue is
-    bit-identical to serial for worker counts {1, 2, 4} (self-spawned
-    local worker subprocesses, a fresh queue each).
+@contextlib.contextmanager
+def _benchmarks_importable():
+    """Export this directory on PYTHONPATH for worker subprocesses.
 
     Worker processes unpickle the shards, so this module (which
     defines ``DmsdLikeSteadyState``) must be importable on them —
     exactly the deployment rule README "Distributed execution" states
-    for user-defined strategies.  Exporting the benchmarks directory
-    on ``PYTHONPATH`` for the duration of the case does that here.
+    for user-defined strategies.
     """
-    import os
-    import tempfile
-
-    serial_results, serial_s, _ = _serial_run()
-    reference = _fingerprint(serial_results)
     bench_dir = str(Path(__file__).resolve().parent)
     saved = os.environ.get("PYTHONPATH")
     os.environ["PYTHONPATH"] = (bench_dir + os.pathsep + saved
                                 if saved else bench_dir)
-    timings = {}
     try:
+        yield
+    finally:
+        if saved is None:
+            del os.environ["PYTHONPATH"]
+        else:
+            os.environ["PYTHONPATH"] = saved
+
+
+def test_distributed_backend_bit_identical_for_any_worker_count():
+    """The distributed acceptance gate on the paper-scale sweep: the
+    8x8 three-policy sweep through the shared-directory work queue is
+    bit-identical to serial for worker counts {1, 2, 4} (self-spawned
+    local worker subprocesses, a fresh queue each) — and, with enough
+    cores, adding workers is never a slowdown (the PR-6 inverse
+    scaling stays fixed)."""
+    import tempfile
+
+    serial_results, serial_s, _ = _serial_run()
+    reference = _fingerprint(serial_results)
+    timings = {}
+    with _benchmarks_importable():
         for workers in (1, 2, 4):
             with tempfile.TemporaryDirectory() as queue_dir:
                 results, elapsed, report = _run_backend(
@@ -211,27 +229,141 @@ def test_distributed_backend_bit_identical_for_any_worker_count():
                 f"from serial")
             assert report.executed == len(results)
             timings[f"distributed_{workers}w_s"] = round(elapsed, 3)
-    finally:
-        if saved is None:
-            del os.environ["PYTHONPATH"]
-        else:
-            os.environ["PYTHONPATH"] = saved
     _results["distributed"] = {"scenario": SCENARIO,
                                "serial_s": round(serial_s, 3),
+                               "cores": default_jobs(),
                                **timings}
+    if default_jobs() >= 4:
+        # Cold one-shot fleets, so allow measurement slack — the bug
+        # this pins was 1.9x *slower* at 4 workers, not 20%.
+        assert (timings["distributed_4w_s"]
+                <= timings["distributed_1w_s"] * 1.2), (
+            f"4 workers ({timings['distributed_4w_s']}s) slower than "
+            f"1 worker ({timings['distributed_1w_s']}s): the "
+            f"distributed backend is inverse-scaling again")
 
 
-def test_write_bench_sweep_json():
-    """Persist the numbers (runs last: depends on the test above)."""
-    assert "sweep" in _results, (
-        "run the whole module: test_backend_sweep_speedups fills "
-        "_results")
-    payload = {
+# --- the 16x16 warm-pool scaling gate (its own CI step) ---------------
+
+CONFIG_16 = PAPER_BASELINE.with_(width=16, height=16)
+BUDGET_16 = SimBudget(100, 250, 500)
+
+#: The full scenario matrix: every benchmark policy crossed with a
+#: spread of registered traffic patterns.  Rates stay in the stable
+#: region for all four patterns on this mesh; the fixed budget bounds
+#: per-unit cost regardless.
+PATTERNS_16 = ("uniform", "transpose", "tornado", "bitcomp")
+RATES_16 = (0.025, 0.05, 0.075, 0.1)
+
+#: The PR-6 acceptance gate: four warm workers over one warm worker on
+#: the 16x16 matrix.
+REQUIRED_POOL_SCALING = 2.5
+
+
+def _matrix_units_16():
+    mesh = CONFIG_16.make_mesh()
+    units = []
+    for pattern_name in PATTERNS_16:
+        pattern = make_pattern(pattern_name, mesh)
+        factory = lambda rate: PatternTraffic(pattern, rate)  # noqa: E731
+        for strategy in _STRATEGIES:
+            units.extend(sweep_units(CONFIG_16, factory,
+                                     list(RATES_16), strategy,
+                                     BUDGET_16, SEED, "fast"))
+    return units
+
+
+def _warmup_units_16():
+    """A small distinct sweep to pay fleet spawn + imports before the
+    timed round (warm means warm)."""
+    mesh = CONFIG_16.make_mesh()
+    pattern = make_pattern("uniform", mesh)
+    factory = lambda rate: PatternTraffic(pattern, rate)  # noqa: E731
+    return sweep_units(CONFIG_16, factory, [0.015], _STRATEGIES[0],
+                       BUDGET_16, SEED, "fast")
+
+
+def test_pool_scaling_16x16_full_matrix():
+    """Warm-pool scaling on the 16x16 full scenario matrix.
+
+    For 1 and 4 warm workers: spawn the fleet, amortize startup on a
+    warmup round, then time the matrix sweep.  Results must be
+    bit-identical to serial for every worker count; on hosts with >= 4
+    cores (CI), 4 warm workers must beat 1 by
+    :data:`REQUIRED_POOL_SCALING`.
+    """
+    import tempfile
+
+    units = _matrix_units_16()
+    serial_results, serial_s, _ = _run_backend("serial", units=units)
+    reference = _fingerprint(serial_results)
+    timings = {}
+    with _benchmarks_importable():
+        for workers in (1, 4):
+            with tempfile.TemporaryDirectory() as queue_dir:
+                context = ExecutionContext(
+                    backend="distributed", queue=queue_dir,
+                    workers=workers, pool=True, claim_batch=2,
+                    cache=None, engine="fast")
+                try:
+                    context.run(_warmup_units_16())
+                    start = time.perf_counter()
+                    results = context.run(_matrix_units_16())
+                    elapsed = time.perf_counter() - start
+                finally:
+                    context.close()
+            assert _fingerprint(results) == reference, (
+                f"16x16 pool run with {workers} worker(s) diverged "
+                f"from serial")
+            timings[f"pool_{workers}w_s"] = round(elapsed, 3)
+    scaling = round(timings["pool_1w_s"] / timings["pool_4w_s"], 2)
+    section = {
+        "mesh": f"{CONFIG_16.width}x{CONFIG_16.height}",
+        "scenario": {"patterns": list(PATTERNS_16),
+                     "policies": [s.name for s in _STRATEGIES]},
+        "points": len(units),
+        "budget": [BUDGET_16.warmup_cycles, BUDGET_16.measure_cycles,
+                   BUDGET_16.drain_cycles],
+        "serial_s": round(serial_s, 3),
+        "cores": default_jobs(),
+        "pool_scaling_4w_over_1w": scaling,
+        **timings,
+    }
+    # This test also runs standalone (its own CI step), so it writes
+    # its section itself instead of relying on the module-level
+    # writer test.
+    _write_bench_sections({"scaling_16x16": section})
+    if default_jobs() >= 4:
+        assert scaling >= REQUIRED_POOL_SCALING, (
+            f"4 warm workers only {scaling}x over 1 on the 16x16 "
+            f"matrix; the PR-6 gate requires "
+            f">= {REQUIRED_POOL_SCALING}x")
+
+
+def _write_bench_sections(sections: dict) -> None:
+    """Merge sections into ``BENCH_sweep.json`` (read-modify-write),
+    so the main benchmark job and the separate scaling-gate job can
+    both report without clobbering each other."""
+    payload = {}
+    if BENCH_PATH.exists():
+        try:
+            payload = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            payload = {}
+    payload.update({
         "benchmark": "sweep-backend-walltime",
         "python": platform.python_version(),
         "machine": platform.machine(),
-        **_results,
-    }
+    })
+    payload.update(sections)
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def test_write_bench_sweep_json():
+    """Persist the numbers (runs last: depends on the tests above)."""
+    assert "sweep" in _results, (
+        "run the whole module: test_backend_sweep_speedups fills "
+        "_results")
+    _write_bench_sections(_results)
     assert (json.loads(BENCH_PATH.read_text())["sweep"]["batched_speedup"]
             > 0)

@@ -227,17 +227,26 @@ def worker_main(argv: list[str]) -> int:
                         help="per-task attempt budget before a task "
                              f"is marked failed (default "
                              f"{DEFAULT_MAX_ATTEMPTS})")
+    parser.add_argument("--claim-batch", type=int, default=1,
+                        metavar="N",
+                        help="tasks to claim per queue round-trip "
+                             "(default 1; higher cuts filesystem "
+                             "chatter on shared/network queues — see "
+                             "README 'Distributed execution')")
     args = parser.parse_args(argv)
     if args.lease_ttl <= 0:
         parser.error("--lease-ttl must be > 0")
     if args.max_attempts < 1:
         parser.error("--max-attempts must be >= 1")
+    if args.claim_batch < 1:
+        parser.error("--claim-batch must be >= 1")
     try:
         queue = WorkQueue(args.queue,
                           lease_ttl_s=args.lease_ttl).ensure()
     except QueueError as exc:
         parser.error(str(exc))
-    worker = Worker(queue, max_attempts=args.max_attempts)
+    worker = Worker(queue, max_attempts=args.max_attempts,
+                    claim_batch=args.claim_batch)
     handled = worker.run(poll_s=args.poll, max_tasks=args.max_tasks,
                          max_idle_s=args.max_idle)
     print(f"[worker {worker.worker_id}: {handled} task(s) handled, "
@@ -294,6 +303,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="local worker subprocesses to self-spawn "
                              "for --backend distributed (default 0 = "
                              "wait for externally started workers)")
+    parser.add_argument("--pool", action="store_true",
+                        help="keep the self-spawned workers warm "
+                             "across all figures this run generates "
+                             "instead of spawning a fresh fleet per "
+                             "sweep (needs --workers >= 1)")
+    parser.add_argument("--claim-batch", type=int, default=1,
+                        metavar="N",
+                        help="tasks each self-spawned worker claims "
+                             "per queue round-trip (default 1; higher "
+                             "cuts queue chatter on shared "
+                             "filesystems)")
     parser.add_argument("--policy", action="append", metavar="NAME[:k=v,...]",
                         help="sweep this registered policy (repeatable; "
                              "parameters as key=value pairs, e.g. "
@@ -348,18 +368,23 @@ def main(argv: list[str] | None = None) -> int:
     jobs = args.jobs if args.jobs > 0 else default_jobs()
     if args.workers < 0:
         parser.error("--workers must be >= 0")
+    if args.claim_batch < 1:
+        parser.error("--claim-batch must be >= 1")
     if args.backend == "distributed":
         if not args.queue:
             parser.error("--backend distributed requires --queue DIR "
                          "(the shared work-queue directory)")
+        if args.pool and args.workers < 1:
+            parser.error("--pool needs self-spawned workers "
+                         "(--workers >= 1)")
         from ..runner.distributed import QueueError, WorkQueue
         try:
             WorkQueue(args.queue).ensure()
         except QueueError as exc:
             parser.error(str(exc))
-    elif args.queue or args.workers:
-        parser.error("--queue/--workers are only meaningful with "
-                     "--backend distributed")
+    elif args.queue or args.workers or args.pool or args.claim_batch != 1:
+        parser.error("--queue/--workers/--pool/--claim-batch are only "
+                     "meaningful with --backend distributed")
 
     profile = FULL if args.profile == "full" else QUICK
     context = ExecutionContext(
@@ -367,17 +392,23 @@ def main(argv: list[str] | None = None) -> int:
         cache=None if args.no_cache else UnitCache(),
         engine=args.engine,
         progress=print_progress if args.progress else None,
-        queue=args.queue, workers=args.workers)
+        queue=args.queue, workers=args.workers,
+        pool=args.pool, claim_batch=args.claim_batch)
     bench = Workbench(profile=profile, seed=args.seed, context=context,
                       policies=policy_refs)
     config = TINY_CONFIG if args.tiny else PAPER_BASELINE
-    for name in names:
-        start = time.time()
-        output = run_figure(name, bench, config, patterns)
-        elapsed = time.time() - start
-        print(output)
-        print(f"[{name} regenerated in {elapsed:.1f}s]")
-        print()
+    try:
+        for name in names:
+            start = time.time()
+            output = run_figure(name, bench, config, patterns)
+            elapsed = time.time() - start
+            print(output)
+            print(f"[{name} regenerated in {elapsed:.1f}s]")
+            print()
+    finally:
+        # Retire backend-held resources (the --pool warm worker
+        # fleet) even when a figure fails mid-run.
+        context.close()
     totals = bench.runner.totals
     if totals.total_units:
         print(f"[runner: {totals.render()}, jobs={jobs}]")

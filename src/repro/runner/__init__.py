@@ -25,7 +25,7 @@ from .context import ExecutionContext, context_from_env
 from .executor import (RunReport, RunTotals, SweepRunner, default_jobs,
                        print_progress)
 from .plan import (BatchGroup, ExecutionPlan, MAX_SHARD_POINTS,
-                   batch_eligible)
+                   MIN_SHARD_POINTS, batch_eligible)
 from .seeding import derive_unit_seed, unit_generator, unit_seed_sequence
 from .units import FrequencyStrategy, UnitResult, WorkUnit, strategy_key
 
@@ -35,7 +35,8 @@ from .units import FrequencyStrategy, UnitResult, WorkUnit, strategy_key
 #: ``backend="distributed"``.
 _DISTRIBUTED_EXPORTS = frozenset({
     "CollectTimeout", "Collector", "DistributedBackend",
-    "FailedUnitError", "QueueError", "Worker", "WorkQueue",
+    "FailedUnitError", "QueueError", "Worker", "WorkerPool",
+    "WorkQueue",
 })
 
 
@@ -61,6 +62,7 @@ __all__ = [
     "FailedUnitError",
     "FrequencyStrategy",
     "MAX_SHARD_POINTS",
+    "MIN_SHARD_POINTS",
     "ProcessPoolBackend",
     "QueueError",
     "RunReport",
@@ -72,6 +74,7 @@ __all__ = [
     "WorkQueue",
     "WorkUnit",
     "Worker",
+    "WorkerPool",
     "backend_names",
     "batch_eligible",
     "context_from_env",

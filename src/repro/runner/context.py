@@ -18,7 +18,17 @@ and passed down whole:
 * ``queue`` / ``workers`` — the shared work-queue directory and
   self-spawned local worker count for the ``distributed`` backend
   (``workers=0`` waits on externally started workers; see
-  :mod:`repro.runner.distributed`).
+  :mod:`repro.runner.distributed`);
+* ``pool`` — keep the self-spawned distributed workers *warm* across
+  submissions (spawn once, serve every sweep this context runs;
+  :meth:`ExecutionContext.close` retires them);
+* ``claim_batch`` — tasks a distributed worker claims per queue
+  round-trip.
+
+The context memoizes its backend instance, so repeated ``run`` calls
+share state the backend keeps across plans (the warm worker pool).
+Call :meth:`~ExecutionContext.close` when done with a context whose
+backend holds external resources; in-process backends make it a no-op.
 
 ``auto`` resolves to ``batched`` when the context's engine is the fast
 engine (its sweeps then execute through
@@ -63,6 +73,8 @@ class ExecutionContext:
     progress: ProgressFn | None = None
     queue: str | None = None
     workers: int = 0
+    pool: bool = False
+    claim_batch: int = 1
 
     def __post_init__(self) -> None:
         if (self.backend != "auto"
@@ -74,13 +86,23 @@ class ExecutionContext:
             raise ValueError("jobs must be >= 1")
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
+        if self.claim_batch < 1:
+            raise ValueError("claim_batch must be >= 1")
         if self.engine not in engine_names():
             raise ValueError(f"unknown engine {self.engine!r}; known: "
                              f"{', '.join(engine_names())}")
         if self.backend == "distributed" and not self.queue:
             raise ValueError("backend 'distributed' requires queue=DIR "
                              "(the shared work-queue directory)")
+        if self.pool:
+            if self.backend != "distributed":
+                raise ValueError("pool=True is only meaningful with "
+                                 "backend='distributed'")
+            if self.workers < 1:
+                raise ValueError("pool=True needs self-spawned workers "
+                                 "(workers >= 1)")
         self._runner: "SweepRunner" | None = None
+        self._backend = None
 
     def resolved_backend(self) -> str:
         """The concrete backend ``auto`` stands for under this context.
@@ -103,7 +125,34 @@ class ExecutionContext:
         """
         if self.resolved_backend() != "distributed":
             return {}
-        return {"queue_dir": self.queue, "workers": self.workers}
+        return {"queue_dir": self.queue, "workers": self.workers,
+                "pool": self.pool, "claim_batch": self.claim_batch}
+
+    def make_backend(self):
+        """The context's backend instance (created on first use).
+
+        Memoized so state a backend keeps *across* plans — the
+        distributed backend's warm worker pool — survives repeated
+        ``run`` calls under one context.  In-process backends are
+        stateless; for them this is just an allocation saved.
+        """
+        from .backends import make_backend
+
+        name = self.resolved_backend()
+        if self._backend is None or self._backend.name != name:
+            self.close()
+            self._backend = make_backend(name, **self.backend_options())
+        return self._backend
+
+    def close(self) -> None:
+        """Release backend-held resources (warm worker pools).
+
+        Safe to call any number of times; a context keeps working
+        after ``close()`` (the next ``run`` builds a fresh backend).
+        """
+        backend, self._backend = self._backend, None
+        if backend is not None and hasattr(backend, "close"):
+            backend.close()
 
     @property
     def runner(self) -> "SweepRunner":
@@ -126,18 +175,23 @@ class ExecutionContext:
 
 def context_from_env() -> ExecutionContext:
     """Build a context from ``REPRO_BACKEND``/``REPRO_JOBS``/
-    ``REPRO_ENGINE``/``REPRO_QUEUE``/``REPRO_WORKERS`` (the benchmark
-    harness entry point)."""
+    ``REPRO_ENGINE``/``REPRO_QUEUE``/``REPRO_WORKERS``/``REPRO_POOL``/
+    ``REPRO_CLAIM_BATCH`` (the benchmark harness entry point)."""
     backend = os.environ.get("REPRO_BACKEND", "auto")
     queue = os.environ.get("REPRO_QUEUE") or None
     workers = int(os.environ.get("REPRO_WORKERS", "0"))
-    if backend != "distributed" and (queue or workers):
+    pool = os.environ.get("REPRO_POOL", "") not in ("", "0")
+    claim_batch = int(os.environ.get("REPRO_CLAIM_BATCH", "1"))
+    if backend != "distributed" and (queue or workers or pool
+                                     or claim_batch != 1):
         # Same guard as the CLI: a queue that would be silently
         # ignored is a misconfiguration, not a default.
-        raise ValueError("REPRO_QUEUE/REPRO_WORKERS are only "
-                         "meaningful with REPRO_BACKEND=distributed")
+        raise ValueError("REPRO_QUEUE/REPRO_WORKERS/REPRO_POOL/"
+                         "REPRO_CLAIM_BATCH are only meaningful with "
+                         "REPRO_BACKEND=distributed")
     return ExecutionContext(
         backend=backend,
         jobs=int(os.environ.get("REPRO_JOBS", "1")),
         engine=os.environ.get("REPRO_ENGINE", DEFAULT_ENGINE),
-        queue=queue, workers=workers)
+        queue=queue, workers=workers, pool=pool,
+        claim_batch=claim_batch)

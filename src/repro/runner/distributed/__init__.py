@@ -12,17 +12,20 @@ problem.  This package solves it with files:
 * :mod:`.broker` — publish an :class:`~repro.runner.plan.ExecutionPlan`
   as content-addressed shard tasks;
 * :mod:`.worker` — the claim/execute/complete loop behind
-  ``python -m repro.experiments worker --queue DIR``;
+  ``python -m repro.experiments worker --queue DIR``, with multi-claim
+  leases (``--claim-batch``) and backed-off idle polling;
+* :mod:`.pool` — :class:`WorkerPool`: warm local worker fleets that
+  outlive a single sweep and retire via the queue's shutdown sentinel;
 * :mod:`.collector` — the driver side: block until the plan completes,
   re-enqueue expired leases, surface exhausted retries;
 * :mod:`.backend` — :class:`DistributedBackend`, registered as
   ``backend="distributed"`` (CLI ``--backend distributed --queue DIR
-  --workers N``).
+  --workers N [--pool] [--claim-batch N]``).
 
 The determinism guarantee extends unchanged: a distributed sweep is
-bit-identical to a serial one for any worker count, crash schedule or
-claim interleaving — enforced by the fault-injection harness in
-``tests/test_distributed.py``.
+bit-identical to a serial one for any worker count, pool lifetime,
+claim batch size, crash schedule or claim interleaving — enforced by
+the fault-injection harness in ``tests/test_distributed.py``.
 """
 
 from .backend import DistributedBackend
@@ -30,6 +33,7 @@ from .broker import ShardTask, plan_tasks, publish_plan
 from .collector import (CollectStats, CollectTimeout, Collector,
                         FailedUnitError)
 from .lease import DEFAULT_LEASE_TTL_S, Lease, read_lease
+from .pool import WorkerPool
 from .queue import (Claim, DEFAULT_MAX_ATTEMPTS, QueueError,
                     RequeueReport, WorkQueue, default_worker_id)
 from .worker import Worker
@@ -48,6 +52,7 @@ __all__ = [
     "RequeueReport",
     "ShardTask",
     "Worker",
+    "WorkerPool",
     "WorkQueue",
     "default_worker_id",
     "plan_tasks",

@@ -8,30 +8,33 @@ are is the deployment's choice:
 
 * ``workers=N`` (CLI ``--workers N``) self-spawns ``N`` local worker
   subprocesses — zero-setup multi-process distribution on one machine;
+* ``workers=N, pool=True`` (CLI ``--pool``) keeps that fleet **warm**:
+  the subprocesses spawn once and serve every subsequent ``execute()``
+  call (a Workbench regenerating several figures, repeated sweeps in
+  one session) instead of paying interpreter+import startup per sweep
+  — the cost that made small multi-worker sweeps *slower* than one
+  worker.  ``close()`` (via ``ExecutionContext.close()``) retires the
+  fleet;
 * ``workers=0`` publishes and waits for *external* workers: processes
   started by hand, by a cluster scheduler, or on other hosts sharing
   the queue directory (``python -m repro.experiments worker --queue
   DIR`` on each).
 
 Self-spawned workers are babysat from the collector's poll hook: a
-worker that dies while shards remain is respawned (within a bounded
-budget), and if no subprocess can run at all the driver degrades to
-draining the queue in-process — the same "the runner still works,
-just without the speedup" guarantee the pool backends give.  The
-fleet lives for one ``execute()`` call (clean teardown, no orphan
-processes); drivers amortize the spawn cost by submitting wide — the
-Workbench batches whole figures into one submission — or by running
-``workers=0`` against long-lived external workers.  Results
-are bit-identical to ``serial`` for any worker count, crash schedule
-or claim interleaving, because every unit's seed derives from its spec
-digest alone.
+worker that dies while shards remain is respawned (within a bounded,
+per-round budget), and if no subprocess can run at all the driver
+degrades to draining the queue in-process — the same "the runner still
+works, just without the speedup" guarantee the pool backends give.
+Teardown is graceful: the driver publishes a shutdown sentinel, idle
+workers exit on their own within the poll cap, and only stragglers are
+terminated.  Results are bit-identical to ``serial`` for any worker
+count, pool lifetime, claim batch size, crash schedule or claim
+interleaving, because every unit's seed derives from its spec digest
+alone.
 """
 
 from __future__ import annotations
 
-import os
-import subprocess
-import sys
 from pathlib import Path
 
 from ..backends import BackendRun, FinishFn
@@ -39,6 +42,9 @@ from ..plan import ExecutionPlan
 from .broker import publish_plan
 from .collector import Collector
 from .lease import DEFAULT_LEASE_TTL_S
+from .pool import WorkerPool, _worker_command, _worker_env  # noqa: F401
+# (_worker_command/_worker_env are re-exported: they lived here before
+# the pool split and external code imports them from this module)
 from .queue import DEFAULT_MAX_ATTEMPTS, WorkQueue
 from .worker import Worker
 
@@ -46,34 +52,6 @@ from .worker import Worker
 #: driver cannot know how many hosts will drain the queue, and one
 #: giant shard would serialize them all.  ``jobs`` raises it further.
 EXTERNAL_SHARD_FANOUT = 8
-
-
-def _worker_command(queue_root: Path, lease_ttl_s: float,
-                    poll_s: float, max_attempts: int) -> list[str]:
-    # --max-idle bounds the orphan lifetime if the driver dies so hard
-    # (SIGKILL, OOM) that its terminate-in-finally never runs; the
-    # bound is generous enough that workers never self-exit between a
-    # live driver's submissions.
-    max_idle_s = max(60.0, 5.0 * lease_ttl_s)
-    return [sys.executable, "-m", "repro.experiments", "worker",
-            "--queue", str(queue_root),
-            "--lease-ttl", repr(lease_ttl_s),
-            "--poll", repr(poll_s),
-            "--max-attempts", str(max_attempts),
-            "--max-idle", repr(max_idle_s)]
-
-
-def _worker_env() -> dict[str, str]:
-    """The subprocess environment, with ``repro`` importable."""
-    import repro
-
-    src_root = str(Path(repro.__file__).resolve().parents[1])
-    env = dict(os.environ)
-    paths = env.get("PYTHONPATH", "")
-    if src_root not in paths.split(os.pathsep):
-        env["PYTHONPATH"] = (src_root + os.pathsep + paths if paths
-                             else src_root)
-    return env
 
 
 class DistributedBackend:
@@ -85,23 +63,61 @@ class DistributedBackend:
                  lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
                  max_attempts: int = DEFAULT_MAX_ATTEMPTS,
                  poll_s: float = 0.05,
-                 timeout_s: float | None = None) -> None:
+                 timeout_s: float | None = None,
+                 pool: bool = False,
+                 claim_batch: int = 1) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if pool and workers < 1:
+            raise ValueError("pool=True needs self-spawned workers "
+                             "(workers >= 1); external fleets manage "
+                             "their own lifecycle")
+        if claim_batch < 1:
+            raise ValueError("claim_batch must be >= 1")
         self.queue_dir = Path(queue_dir)
         self.workers = workers
         self.lease_ttl_s = lease_ttl_s
         self.max_attempts = max_attempts
         self.poll_s = poll_s
         self.timeout_s = timeout_s
-        #: total subprocess (re)spawns allowed per execute() call
-        self.spawn_budget = max(2 * workers, 4) if workers else 0
+        self.pool = pool
+        self.claim_batch = claim_batch
+        #: the warm fleet, kept across execute() calls when pool=True
+        self._pool: WorkerPool | None = None
+
+    # ------------------------------------------------------------------
+    def _fleet(self) -> WorkerPool:
+        """The fleet for this round: warm (reused) or one-shot."""
+        if self.pool:
+            if self._pool is None or self._pool.closed:
+                self._pool = WorkerPool(
+                    self.queue_dir, self.workers,
+                    lease_ttl_s=self.lease_ttl_s, poll_s=self.poll_s,
+                    max_attempts=self.max_attempts,
+                    claim_batch=self.claim_batch)
+            return self._pool
+        return WorkerPool(
+            self.queue_dir, self.workers,
+            lease_ttl_s=self.lease_ttl_s, poll_s=self.poll_s,
+            max_attempts=self.max_attempts,
+            claim_batch=self.claim_batch,
+            max_idle_s=max(WorkerPool.ONESHOT_MAX_IDLE_S,
+                           5.0 * self.lease_ttl_s))
+
+    def close(self) -> None:
+        """Retire the warm fleet (no-op without ``pool=True``)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     # ------------------------------------------------------------------
     def execute(self, plan: ExecutionPlan, jobs: int,
                 finish: FinishFn) -> BackendRun:
         queue = WorkQueue(self.queue_dir,
                           lease_ttl_s=self.lease_ttl_s).ensure()
+        # A sentinel left by an earlier round's teardown must not
+        # retire workers spawned for this one.
+        queue.clear_shutdown()
         # Shard so every worker stays busy; a lone worker still
         # batches.  With an external fleet (workers=0) the count is
         # unknowable, so shard for a reasonable one.
@@ -113,52 +129,31 @@ class DistributedBackend:
         tasks, enqueued = publish_plan(queue, plan)
         if not tasks:
             return run
-        procs: list[subprocess.Popen] = []
-        spawns_left = self.spawn_budget
-        fallback = Worker(queue, max_attempts=self.max_attempts)
-
-        def spawn() -> bool:
-            nonlocal spawns_left
-            if spawns_left <= 0:
-                return False
-            # A failed attempt also consumes budget: a host that truly
-            # cannot spawn exhausts it within a few polls and drops to
-            # the in-process fallback, while a transient fork error
-            # just retries on the next poll.
-            spawns_left -= 1
-            log_path = (self.queue_dir / "logs" /
-                        f"worker-{self.spawn_budget - spawns_left - 1}"
-                        f".log")
-            try:
-                with open(log_path, "ab") as log:
-                    procs.append(subprocess.Popen(
-                        _worker_command(self.queue_dir,
-                                        self.lease_ttl_s, self.poll_s,
-                                        self.max_attempts),
-                        env=_worker_env(), stdout=log, stderr=log))
-            except OSError:
-                return False
-            return True
+        fallback = Worker(queue, max_attempts=self.max_attempts,
+                          claim_batch=self.claim_batch)
+        fleet: WorkerPool | None = None
+        peak_alive = 0
+        if self.workers and enqueued:
+            # A plan served wholly from pre-existing results/ needs no
+            # fleet at all — don't pay N interpreter startups for it.
+            fleet = self._fleet()
+            fleet.reset_budget()
+            peak_alive = fleet.ensure()
 
         def tend(outstanding: set) -> None:
             """Collector poll hook: babysit the self-spawned fleet."""
-            if not self.workers or not enqueued:
+            nonlocal peak_alive
+            if fleet is None:
                 return              # external workers own the queue,
                 #                     or everything is already on disk
-            procs[:] = [p for p in procs if p.poll() is None]
-            while len(procs) < self.workers and spawn():
-                pass
-            if not procs:
+            alive = fleet.ensure()
+            peak_alive = max(peak_alive, alive)
+            if not alive:
                 # No subprocess can run (restricted host, or the
                 # respawn budget is spent): drain in-process so the
                 # sweep still completes, identically.
                 fallback.run_once()
 
-        if enqueued:
-            # A plan served wholly from pre-existing results/ needs no
-            # fleet at all — don't pay N interpreter startups for it.
-            for _ in range(self.workers):
-                spawn()
         try:
             Collector(queue, [t.task_id for t in tasks],
                       max_attempts=self.max_attempts,
@@ -166,16 +161,14 @@ class DistributedBackend:
                       timeout_s=self.timeout_s).collect(
                 finish, on_poll=tend)
         finally:
-            for proc in procs:
-                proc.terminate()
-            for proc in procs:
-                try:
-                    proc.wait(timeout=10)
-                except subprocess.TimeoutExpired:
-                    proc.kill()
+            if fleet is not None and not self.pool:
+                # One-shot fleet: sentinel-retire it now.  A warm pool
+                # stays up for the next round (close() ends it).
+                fleet.close()
+                queue.clear_shutdown()
         # Honest accounting: a plan served wholly from pre-existing
         # results/ (enqueued == 0) never left this process.
-        run.parallel = bool(procs) or (self.workers == 0
-                                       and enqueued > 0)
-        run.workers = self.workers if procs else 0
+        run.parallel = peak_alive > 0 or (self.workers == 0
+                                          and enqueued > 0)
+        run.workers = self.workers if peak_alive > 0 else 0
         return run

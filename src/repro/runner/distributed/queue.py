@@ -61,7 +61,7 @@ from .lease import DEFAULT_LEASE_TTL_S, Lease, read_lease
 DEFAULT_MAX_ATTEMPTS = 3
 
 _QUEUE_DIRS = ("tasks", "todo", "claimed", "leases", "results",
-               "failed", "tmp", "logs")
+               "failed", "tmp", "logs", "control")
 
 _tmp_counter = itertools.count()
 
@@ -177,10 +177,31 @@ class WorkQueue:
               ttl_s: float | None = None) -> Claim | None:
         """Claim one task by atomic rename; ``None`` when nothing is
         claimable.  Exactly one claimant wins each ticket."""
+        claims = self.claim_batch(1, worker_id, ttl_s)
+        return claims[0] if claims else None
+
+    def claim_batch(self, n: int, worker_id: str | None = None,
+                    ttl_s: float | None = None) -> list[Claim]:
+        """Claim up to ``n`` tasks in one ``todo/`` listing.
+
+        One directory scan serves the whole batch, so a worker asking
+        for several tasks per round pays one round-trip of filesystem
+        stats instead of ``n`` — the difference between dispatch-bound
+        and worker-bound on the network filesystems shared queues live
+        on.  Each task still gets its own ticket rename and lease, so
+        the claim/expiry protocol (and every fault-tolerance guarantee
+        built on it) is unchanged; losing a rename race skips to the
+        next ticket.
+        """
+        if n < 1:
+            raise ValueError("claim batch size must be >= 1")
         worker_id = worker_id or default_worker_id()
         ttl_s = self.lease_ttl_s if ttl_s is None else ttl_s
         todo, claimed = self._dir("todo"), self._dir("claimed")
+        claims: list[Claim] = []
         for name in sorted(os.listdir(todo)):
+            if len(claims) >= n:
+                break
             if not name.endswith(".json"):
                 continue
             src, dst = todo / name, claimed / name
@@ -202,8 +223,8 @@ class WorkQueue:
             claim = Claim(task_id=ticket["task"], worker_id=worker_id,
                           ticket=ticket, ttl_s=ttl_s)
             self.renew(claim)
-            return claim
-        return None
+            claims.append(claim)
+        return claims
 
     def renew(self, claim: Claim) -> None:
         """Extend the claim's lease by its TTL from now."""
@@ -211,6 +232,11 @@ class WorkQueue:
                               claim.ttl_s)
         self._write_atomic(self.lease_path(claim.task_id),
                            lease.to_json())
+
+    def renew_many(self, claims: list[Claim]) -> None:
+        """Renew several held claims in one heartbeat tick."""
+        for claim in claims:
+            self.renew(claim)
 
     def load_payload(self, claim: Claim) -> Any:
         try:
@@ -367,6 +393,46 @@ class WorkQueue:
                 requeued.append(task_id)
         return RequeueReport(requeued=tuple(requeued),
                              failed=tuple(failed))
+
+    # --- shutdown sentinel (driver side) ------------------------------
+    def shutdown_path(self) -> Path:
+        return self._dir("control") / "shutdown.json"
+
+    def request_shutdown(self, now: float | None = None) -> None:
+        """Ask idle workers to exit (the self-spawn/pool teardown).
+
+        The sentinel is timestamped so only workers that started
+        *before* the request honour it: a stale sentinel left on disk
+        (a driver that died between requesting and clearing) must not
+        instantly kill the next fleet pointed at the queue.  Workers
+        only check it when idle, so in-flight work always drains
+        first.
+        """
+        now = time.time() if now is None else now
+        self._write_atomic(self.shutdown_path(),
+                           json.dumps({"requested_at": now}).encode())
+
+    def clear_shutdown(self) -> None:
+        """Withdraw the shutdown request (start of a new round)."""
+        try:
+            self.shutdown_path().unlink()
+        except OSError:
+            pass
+
+    def shutdown_requested(self, since: float | None = None) -> bool:
+        """Is a shutdown sentinel newer than ``since`` present?
+
+        ``since`` is the caller's start time: a worker passes when it
+        began, so sentinels predating its own spawn are ignored (see
+        :meth:`request_shutdown`).  Clock comparisons cross hosts with
+        the same NTP-level tolerance the leases already assume.
+        """
+        try:
+            payload = json.loads(self.shutdown_path().read_text())
+            requested_at = float(payload["requested_at"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return False
+        return since is None or requested_at >= since
 
     # --- inspection ---------------------------------------------------
     def has_result(self, task_id: str) -> bool:

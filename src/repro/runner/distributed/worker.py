@@ -13,6 +13,19 @@ Execution reuses the existing backends' kernels verbatim
 bit-identical results to a serial one: seeds derive from spec digests
 and never from which worker ran what, when.
 
+Queue round-trips are kept off the critical path two ways:
+
+* ``claim_batch=N`` claims up to N tasks per round — one ``todo/``
+  listing, one lease heartbeat — and executes them back to back, with
+  each task still completed (or failed) individually, so the retry
+  protocol is per-task exactly as before.  A worker that dies holding
+  a batch loses the whole batch to lease expiry; each co-claimed task
+  costs one attempt, the same bounded price a wide shard already pays.
+* Idle polling backs off exponentially with jitter instead of statting
+  the queue at a fixed rate: an idle fleet converges to a few listings
+  per second *total*, not per worker, while a freshly published plan
+  is still picked up within the (bounded) backoff cap.
+
 CLI form (see ``python -m repro.experiments worker --help``)::
 
     python -m repro.experiments worker --queue DIR
@@ -21,6 +34,7 @@ CLI form (see ``python -m repro.experiments worker --help``)::
 from __future__ import annotations
 
 import itertools
+import random
 import threading
 import time
 
@@ -29,73 +43,102 @@ from .queue import (Claim, DEFAULT_MAX_ATTEMPTS, WorkQueue,
 
 _worker_counter = itertools.count()
 
+#: Hard cap on the idle-poll backoff, so a worker never lags a newly
+#: published plan by more than this many seconds.
+MAX_IDLE_POLL_S = 2.0
+
 
 class Worker:
     """Claims tasks from one queue and executes them to completion."""
 
     def __init__(self, queue: WorkQueue, worker_id: str | None = None,
-                 max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 claim_batch: int = 1) -> None:
+        if claim_batch < 1:
+            raise ValueError("claim_batch must be >= 1")
         self.queue = queue
         self.worker_id = (worker_id or
                           f"{default_worker_id()}-{next(_worker_counter)}")
         self.max_attempts = max_attempts
+        self.claim_batch = claim_batch
         self.executed = 0
         self.failed = 0
 
     # ------------------------------------------------------------------
     def run_once(self) -> bool:
-        """Claim and finish (or fail) one task; False when queue idle."""
-        claim = self.queue.claim(self.worker_id)
-        if claim is None:
+        """Claim up to ``claim_batch`` tasks and finish (or fail) each;
+        False when the queue had nothing claimable."""
+        claims = self.queue.claim_batch(self.claim_batch,
+                                        self.worker_id)
+        if not claims:
             return False
-        self.execute_claim(claim)
+        self.execute_claims(claims)
         return True
 
     def execute_claim(self, claim: Claim) -> None:
-        """Execute one claimed task under a lease heartbeat.
+        """Execute one claimed task (see :meth:`execute_claims`)."""
+        self.execute_claims([claim])
 
-        A background thread renews the lease every TTL/3 for as long
-        as the task runs, so arbitrarily long shards (a wide batched
-        group, a search-heavy strategy) never expire under a healthy
-        worker — only a *dead* worker's lease lapses.  The heartbeat
-        stops before completion or release so it can never resurrect a
-        lease for a finished task.
+    def execute_claims(self, claims: list[Claim]) -> None:
+        """Execute claimed tasks back to back under one lease heartbeat.
 
-        An execution error does not kill the worker: the ticket goes
-        back to the queue (or to ``failed/`` once its attempt budget
-        is spent, carrying the error history for the collector to
-        surface) and the worker moves on to the next task.
+        A single background thread renews every *still-held* lease in
+        the batch each tick (TTL/3 of the shortest claim), so
+        arbitrarily long shards never expire under a healthy worker —
+        only a *dead* worker's leases lapse.  A claim leaves the
+        heartbeat set (under the lock, so a tick can never resurrect
+        it) immediately before its completion or release is written.
+
+        An execution error does not kill the worker and does not
+        abandon the rest of the batch: the failing ticket goes back to
+        the queue (or to ``failed/`` once its attempt budget is spent,
+        carrying the error history for the collector to surface) and
+        execution moves on to the next claimed task.
         """
+        held = list(claims)
+        lock = threading.Lock()
         stop = threading.Event()
+        interval = max(min(c.ttl_s for c in claims) / 3.0, 0.02)
 
         def heartbeat() -> None:
-            interval = max(claim.ttl_s / 3.0, 0.02)
             while not stop.wait(interval):
-                try:
-                    self.queue.renew(claim)
-                except OSError:     # pragma: no cover - transient fs
-                    pass            # error; the next beat retries
+                with lock:
+                    try:
+                        self.queue.renew_many(held)
+                    except OSError:  # pragma: no cover - transient fs
+                        pass         # error; the next beat retries
+
         beat = threading.Thread(target=heartbeat, daemon=True)
         beat.start()
+
+        def release(claim: Claim) -> None:
+            with lock:
+                held.remove(claim)
+
         try:
-            try:
-                task = self.queue.load_payload(claim)
-                results = list(task.iter_results())
-            finally:
-                stop.set()
-                beat.join()
-        except Exception as exc:  # noqa: BLE001 — task faults must not
-            # take down the worker; they are reported via the ticket.
-            outcome = self.queue.release_error(
-                claim, f"{type(exc).__name__}: {exc}", self.max_attempts)
-            if outcome == "failed":
-                self.failed += 1
-            return
-        self.queue.complete(claim, results)
-        self.executed += 1
+            for claim in claims:
+                try:
+                    task = self.queue.load_payload(claim)
+                    results = list(task.iter_results())
+                except Exception as exc:  # noqa: BLE001 — task faults
+                    # must not take down the worker; they are reported
+                    # via the ticket.
+                    release(claim)
+                    outcome = self.queue.release_error(
+                        claim, f"{type(exc).__name__}: {exc}",
+                        self.max_attempts)
+                    if outcome == "failed":
+                        self.failed += 1
+                    continue
+                release(claim)
+                self.queue.complete(claim, results)
+                self.executed += 1
+        finally:
+            stop.set()
+            beat.join()
 
     def drain(self) -> int:
-        """Execute until the queue has nothing claimable; tasks done."""
+        """Execute until the queue has nothing claimable; rounds done."""
         done = 0
         while self.run_once():
             done += 1
@@ -103,25 +146,40 @@ class Worker:
 
     def run(self, poll_s: float = 0.2, max_tasks: int | None = None,
             max_idle_s: float | None = None) -> int:
-        """The long-running loop: claim, execute, sleep when idle.
+        """The long-running loop: claim, execute, back off when idle.
 
         Exits after ``max_tasks`` executed-or-failed tasks (``None`` =
-        unbounded) or after ``max_idle_s`` seconds without claimable
-        work (``None`` = wait forever — the self-spawn backend
-        terminates its workers when the sweep completes).  Returns the
+        unbounded), after ``max_idle_s`` seconds without claimable work
+        (``None`` = wait forever), or as soon as the queue is idle and
+        the driver has published a shutdown sentinel newer than this
+        loop's start (the warm-pool/self-spawn teardown path — workers
+        always drain claimable work before honouring it).  Returns the
         number of tasks handled.
+
+        Idle polls start at ``poll_s`` and double (with +-50% jitter,
+        so a fleet's polls decorrelate instead of stampeding the
+        filesystem together) up to :data:`MAX_IDLE_POLL_S`; any
+        successful claim resets the backoff.
         """
         handled = 0
+        started = time.time()
         idle_since: float | None = None
+        delay = poll_s
+        cap = max(poll_s, MAX_IDLE_POLL_S)
         while max_tasks is None or handled < max_tasks:
+            before = self.executed + self.failed
             if self.run_once():
-                handled += 1
+                handled += self.executed + self.failed - before
                 idle_since = None
+                delay = poll_s
                 continue
             now = time.time()
             idle_since = idle_since if idle_since is not None else now
             if (max_idle_s is not None
                     and now - idle_since >= max_idle_s):
                 break
-            time.sleep(poll_s)
+            if self.queue.shutdown_requested(since=started):
+                break
+            time.sleep(delay * random.uniform(0.5, 1.5))
+            delay = min(delay * 2.0, cap)
         return handled

@@ -37,7 +37,6 @@ from concurrent.futures import ProcessPoolExecutor  # noqa: F401  (see
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from .backends import make_backend
 from .cache import UnitCache
 from .context import ExecutionContext, ProgressFn
 from .plan import ExecutionPlan
@@ -203,8 +202,9 @@ class SweepRunner:
                 context.progress(done_count, plan.total_units, result)
 
         backend_name = context.resolved_backend()
-        outcome = make_backend(
-            backend_name, **context.backend_options()).execute(
+        # The context memoizes its backend, so backend-held state (the
+        # distributed backend's warm worker pool) spans run() calls.
+        outcome = context.make_backend().execute(
             plan, context.jobs, finish)
 
         elapsed = time.perf_counter() - start

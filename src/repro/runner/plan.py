@@ -38,6 +38,17 @@ from .units import UnitResult, WorkUnit
 #: a single worker.
 MAX_SHARD_POINTS = 96
 
+#: Narrowest shard worth carving out of a batch-eligible group when
+#: fanning out.  The batched kernel's >=5x advantage comes from
+#: amortizing per-invocation setup over many mesh replicas; below
+#: about this many replicas the setup dominates and a "parallel" shard
+#: is slower than its share of one wide batch.  When ``jobs`` exceeds
+#: ``len(group) / MIN_SHARD_POINTS``, sharding deliberately leaves
+#: workers idle rather than shred the group into degenerate slivers
+#: (the inverse-scaling bug the distributed backend exhibited when
+#: many workers split a ~36-unit group into singles).
+MIN_SHARD_POINTS = 6
+
 
 def batch_eligible(unit: WorkUnit) -> bool:
     """Can this unit run as a replica of a batched engine?
@@ -60,14 +71,31 @@ class BatchGroup:
     units: list[WorkUnit]
 
     def split(self, shard_size: int) -> list["BatchGroup"]:
-        """Shards of at most ``shard_size`` units (submission order)."""
+        """Shards of at most ``shard_size`` units (submission order).
+
+        Units spread *evenly* over ``ceil(len / shard_size)`` shards —
+        widths differ by at most one — instead of filling shards to
+        ``shard_size`` and leaving a runt remainder: a 13-unit group
+        at ``shard_size=6`` becomes ``[5, 4, 4]``, not ``[6, 6, 1]``.
+        Even widths keep the slowest shard (the executor's critical
+        path) as narrow as possible and never strand a near-empty
+        batched-engine invocation.
+        """
         if shard_size < 1:
             raise ValueError("shard size must be >= 1")
-        if len(self.units) <= shard_size:
+        n = len(self.units)
+        if n <= shard_size:
             return [self]
-        return [BatchGroup(self.config, self.budget, self.engine,
-                           self.units[i:i + shard_size])
-                for i in range(0, len(self.units), shard_size)]
+        shards = -(-n // shard_size)            # ceil div
+        base, extra = divmod(n, shards)
+        out: list[BatchGroup] = []
+        start = 0
+        for i in range(shards):
+            width = base + (1 if i < extra else 0)
+            out.append(BatchGroup(self.config, self.budget, self.engine,
+                                  self.units[start:start + width]))
+            start += width
+        return out
 
 
 class ExecutionPlan:
@@ -99,12 +127,18 @@ class ExecutionPlan:
 
     # ------------------------------------------------------------------
     def group_batches(self, jobs: int = 1,
-                      max_shard: int = MAX_SHARD_POINTS) -> None:
+                      max_shard: int = MAX_SHARD_POINTS,
+                      min_shard: int = MIN_SHARD_POINTS) -> None:
         """Partition ``todo`` into batch groups and per-unit singles.
 
         ``jobs`` steers sharding: a group is split into roughly
         ``jobs`` equal shards (never wider than ``max_shard``) so a
-        pool-backed batched backend keeps every worker busy.
+        pool-backed batched backend keeps every worker busy — but
+        never narrower than ``min_shard``, because a shard below the
+        kernel's efficient width costs more in lost batching than it
+        buys in parallelism.  When the two pull against each other
+        (many workers, small group) the floor wins: better three
+        efficient shards than twenty-four degenerate singles.
         """
         grouped: dict[tuple, BatchGroup] = {}
         self.singles = []
@@ -129,7 +163,10 @@ class ExecutionPlan:
             shard_size = max_shard
             if jobs > 1:
                 per_worker = -(-len(group.units) // jobs)  # ceil div
-                shard_size = min(max_shard, max(1, per_worker))
+                # A group smaller than the floor is its own floor: it
+                # still runs as one shard rather than splitting.
+                floor = min(min_shard, len(group.units))
+                shard_size = min(max_shard, max(floor, per_worker))
             self.groups.extend(group.split(shard_size))
 
     # ------------------------------------------------------------------

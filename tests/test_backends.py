@@ -164,16 +164,42 @@ class TestPlanner:
         units = make_units(tiny_config, factory, rates=rates)
         plan = ExecutionPlan(units, None)
         plan.group_batches(jobs=1, max_shard=4)
-        assert [len(g.units) for g in plan.groups] == [4, 4, 2]
+        # Balanced split: 10 units under a 4-wide cap give [4, 3, 3],
+        # not [4, 4, 2] — no shard is ever more than one unit wider
+        # than another.
+        assert [len(g.units) for g in plan.groups] == [4, 3, 3]
         flattened = [u for g in plan.groups for u in g.units]
         assert flattened == plan.todo      # submission order preserved
 
     def test_sharding_balances_across_jobs(self, tiny_config, factory):
-        rates = tuple(0.01 + 0.002 * i for i in range(10))
+        rates = tuple(0.01 + 0.015 * i for i in range(24))
         units = make_units(tiny_config, factory, rates=rates)
         plan = ExecutionPlan(units, None)
         plan.group_batches(jobs=3)
-        assert [len(g.units) for g in plan.groups] == [4, 4, 2]
+        assert [len(g.units) for g in plan.groups] == [8, 8, 8]
+
+    def test_sharding_respects_batch_floor(self, tiny_config, factory):
+        # The PR-6 regression: jobs far above the group size used to
+        # shred the group into 1-unit shards, destroying the batched
+        # kernel's vectorization win.  The MIN_SHARD_POINTS floor keeps
+        # shards at an efficient width no matter the fan-out.
+        rates = tuple(0.01 + 0.015 * i for i in range(24))
+        units = make_units(tiny_config, factory, rates=rates)
+        for jobs in (4, 24, 200):
+            plan = ExecutionPlan(units, None)
+            plan.group_batches(jobs=jobs)
+            widths = [len(g.units) for g in plan.groups]
+            assert widths == [6, 6, 6, 6], (jobs, widths)
+
+    def test_sharding_floor_never_exceeds_group(self, tiny_config,
+                                                factory):
+        # Groups smaller than the floor still shard as one whole
+        # group (the floor clamps, it never pads).
+        rates = tuple(0.01 + 0.002 * i for i in range(4))
+        units = make_units(tiny_config, factory, rates=rates)
+        plan = ExecutionPlan(units, None)
+        plan.group_batches(jobs=16)
+        assert [len(g.units) for g in plan.groups] == [4]
 
     def test_group_split_validates(self, tiny_config, factory):
         units = make_units(tiny_config, factory)

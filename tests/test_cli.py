@@ -130,6 +130,26 @@ class TestBadArgumentDiagnostics:
              "--workers", "-1", "fig5"], capsys)
         assert "--workers must be >= 0" in err
 
+    def test_pool_and_claim_batch_need_distributed_backend(
+            self, capsys):
+        err = self._error_output(["--pool", "fig5"], capsys)
+        assert "only meaningful with --backend distributed" in err
+        err = self._error_output(["--claim-batch", "2", "fig5"],
+                                 capsys)
+        assert "only meaningful with --backend distributed" in err
+
+    def test_pool_needs_self_spawned_workers(self, capsys, tmp_path):
+        err = self._error_output(
+            ["--backend", "distributed", "--queue", str(tmp_path / "q"),
+             "--pool", "fig5"], capsys)
+        assert "--pool needs self-spawned workers" in err
+
+    def test_claim_batch_must_be_positive(self, capsys, tmp_path):
+        err = self._error_output(
+            ["--backend", "distributed", "--queue", str(tmp_path / "q"),
+             "--claim-batch", "0", "fig5"], capsys)
+        assert "--claim-batch must be >= 1" in err
+
 
 class TestScenarioFlags:
     """--policy/--pattern/--register and the list-scenarios command."""
@@ -283,6 +303,28 @@ class TestWorkerCli:
             worker_main(["--queue", str(tmp_path / "q"),
                          "--max-attempts", "0"])
         assert "--max-attempts" in capsys.readouterr().err
+
+    def test_bad_claim_batch(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            worker_main(["--queue", str(tmp_path / "q"),
+                         "--claim-batch", "0"])
+        assert "--claim-batch must be >= 1" in capsys.readouterr().err
+
+    def test_worker_cli_claim_batch_drains_in_one_round(
+            self, capsys, tmp_path, tiny_config, factory):
+        """`--claim-batch N` reaches the worker loop: every published
+        shard completes through multi-claim rounds."""
+        queue = WorkQueue(tmp_path / "q").ensure()
+        plan = ExecutionPlan(
+            make_units(tiny_config, factory,
+                       rates=(0.04, 0.06, 0.08, 0.1)), None)
+        plan.group_batches(jobs=4, max_shard=1, min_shard=1)
+        tasks, _ = publish_plan(queue, plan)
+        assert len(tasks) >= 2
+        assert worker_main(["--queue", str(tmp_path / "q"),
+                            "--claim-batch", str(len(tasks)),
+                            "--max-tasks", str(len(tasks))]) == 0
+        assert all(queue.has_result(t.task_id) for t in tasks)
 
     def test_worker_cli_drains_published_tasks(self, capsys, tmp_path,
                                                tiny_config, factory):

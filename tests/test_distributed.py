@@ -62,7 +62,9 @@ class CrashingWorker(Worker):
     Models a worker process killed after claiming a shard but before
     completing it: the claim ticket stays in ``claimed/`` and the
     lease is never renewed, so recovery *must* come from the
-    collector's expiry sweep.
+    collector's expiry sweep.  With ``claim_batch > 1`` the worker
+    dies holding the *whole* batch — every co-claimed ticket is
+    abandoned at once, the worst case multi-claim leases add.
     """
 
     class Died(RuntimeError):
@@ -74,13 +76,14 @@ class CrashingWorker(Worker):
         self.claims = 0
 
     def run_once(self):
-        claim = self.queue.claim(self.worker_id)
-        if claim is None:
+        claims = self.queue.claim_batch(self.claim_batch,
+                                        self.worker_id)
+        if not claims:
             return False
-        self.claims += 1
+        self.claims += len(claims)
         if self.claims >= self.crash_on:
-            raise CrashingWorker.Died(claim.task_id)
-        self.execute_claim(claim)
+            raise CrashingWorker.Died([c.task_id for c in claims])
+        self.execute_claims(claims)
         return True
 
 
@@ -108,19 +111,24 @@ def serial_fingerprints(units):
 
 
 def run_distributed_inprocess(units, tmp_path, n_workers,
-                              crash_on=None, lease_ttl=FAST_TTL):
+                              crash_on=None, lease_ttl=FAST_TTL,
+                              claim_batch=1):
     """Execute ``units`` through the queue with ``n_workers``
     round-robin in-process workers (one optionally crashing), then
     collect.  Returns results in submission order."""
     queue = WorkQueue(tmp_path / "q", lease_ttl_s=lease_ttl).ensure()
     plan = ExecutionPlan(list(units), None)
-    # Shard finer than the worker count so every crash schedule can
-    # observe a worker claiming more than one task.
-    plan.group_batches(jobs=max(n_workers, 4))
+    # Shard finer than the worker count (overriding the efficiency
+    # floor) so every crash schedule can observe a worker claiming
+    # more than one task.
+    plan.group_batches(jobs=max(n_workers, 4), max_shard=2,
+                       min_shard=1)
     tasks, _ = publish_plan(queue, plan)
-    workers = [Worker(queue) for _ in range(n_workers)]
+    workers = [Worker(queue, claim_batch=claim_batch)
+               for _ in range(n_workers)]
     if crash_on is not None:
-        workers[0] = CrashingWorker(queue, crash_on=crash_on)
+        workers[0] = CrashingWorker(queue, crash_on=crash_on,
+                                    claim_batch=claim_batch)
     with pytest.raises(CrashingWorker.Died) if crash_on is not None \
             else contextlib.nullcontext():
         while True:
@@ -549,6 +557,48 @@ class TestFaultInjection:
             units, tmp_path, n_workers=2, crash_on=crash_on)
         assert [fingerprint(r) for r in results] == serial
 
+    @pytest.mark.parametrize("crash_on", [1, 3])
+    def test_crash_holding_a_multi_claim_batch_is_recovered(
+            self, tmp_path, tiny_config, factory, crash_on):
+        """A worker dying with several co-claimed leases abandons the
+        whole batch; expiry recovers every ticket, bit-identically."""
+        units = three_policy_units(tiny_config, factory)
+        serial = serial_fingerprints(units)
+        results = run_distributed_inprocess(
+            units, tmp_path, n_workers=2, crash_on=crash_on,
+            claim_batch=3)
+        assert [fingerprint(r) for r in results] == serial
+
+    def test_abandoned_batch_leaves_a_lease_per_ticket(
+            self, tmp_path, tiny_config, factory):
+        """White-box: every co-claimed ticket of a crashed batch sits
+        in claimed/ with its own (dead) lease and is requeued, each
+        costing exactly one attempt."""
+        units = three_policy_units(tiny_config, factory)
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=FAST_TTL).ensure()
+        plan = ExecutionPlan(units, None)
+        plan.group_batches(jobs=4, max_shard=2, min_shard=1)
+        tasks, _ = publish_plan(queue, plan)
+        crasher = CrashingWorker(queue, crash_on=1, claim_batch=3)
+        with pytest.raises(CrashingWorker.Died):
+            crasher.run_once()
+        abandoned = queue.claimed_ids()
+        assert len(abandoned) == 3
+        assert all(read_lease(queue.lease_path(t)) is not None
+                   for t in abandoned)
+        time.sleep(FAST_TTL + 0.1)
+        assert set(queue.requeue_expired().requeued) == set(abandoned)
+        reclaims = queue.claim_batch(len(tasks), "healthy")
+        # every abandoned ticket burned exactly one attempt; the rest
+        # of the plan none
+        by_id = {c.task_id: c.attempts for c in reclaims}
+        assert all(by_id[t] == 1 for t in abandoned)
+        assert all(a == 0 for t, a in by_id.items()
+                   if t not in abandoned)
+        healthy = Worker(queue, claim_batch=3)
+        healthy.execute_claims(reclaims)
+        assert all(queue.has_result(t.task_id) for t in tasks)
+
     def test_lease_expiry_observable_before_recovery(
             self, tmp_path, tiny_config, factory):
         """White-box: the crashed claim sits in claimed/ with a dead
@@ -606,7 +656,7 @@ class TestDistributedBitIdentity:
         queue = WorkQueue(tmp_path / "q").ensure()
         plan = ExecutionPlan(list(units), None)
         # Same sharding as the first run -> same content-derived ids.
-        plan.group_batches(jobs=4)
+        plan.group_batches(jobs=4, max_shard=2, min_shard=1)
         tasks, enqueued = publish_plan(queue, plan)
         assert enqueued == 0
         collected = []
@@ -653,7 +703,8 @@ class TestDistributedBackend:
         ctx = ExecutionContext(backend="distributed",
                                queue=str(tmp_path / "q"), workers=3)
         assert ctx.backend_options() == {
-            "queue_dir": str(tmp_path / "q"), "workers": 3}
+            "queue_dir": str(tmp_path / "q"), "workers": 3,
+            "pool": False, "claim_batch": 1}
         assert ExecutionContext().backend_options() == {}
         # auto never resolves to distributed, even with a queue set
         auto = ExecutionContext(queue=str(tmp_path / "q"), workers=3)
@@ -688,12 +739,12 @@ class TestDistributedBackend:
             self, tmp_path, tiny_config, factory, monkeypatch):
         """Hosts that cannot spawn subprocesses still complete the
         sweep, identically, in process."""
-        import repro.runner.distributed.backend as backend_mod
+        import repro.runner.distributed.pool as pool_mod
 
         def no_spawn(*args, **kwargs):
             raise OSError("spawning disabled for this test")
 
-        monkeypatch.setattr(backend_mod.subprocess, "Popen", no_spawn)
+        monkeypatch.setattr(pool_mod.subprocess, "Popen", no_spawn)
         units = make_units(tiny_config, factory)
         serial = serial_fingerprints(units)
         ctx = ExecutionContext(backend="distributed",
@@ -736,7 +787,7 @@ class TestDistributedBackend:
         split into several shards so external hosts share the work."""
         import repro.runner.distributed.backend as backend_mod
 
-        rates = tuple(0.01 + 0.002 * i for i in range(16))
+        rates = tuple(0.01 + 0.002 * i for i in range(32))
         units = make_units(tiny_config, factory, rates=rates)
         serial = serial_fingerprints(units)
         queue_dir = tmp_path / "q"
@@ -797,3 +848,358 @@ def _drain_then_collect(real_collect, drainer):
         drainer.drain()
         return real_collect(self, finish, on_poll=on_poll)
     return wrapper
+
+
+# ---------------------------------------------------------------------
+class TestClaimBatch:
+    """Multi-claim leases: one todo/ listing serves up to N tasks."""
+
+    def test_claim_batch_claims_up_to_n_in_order(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q").ensure()
+        for tid in ("e-5", "b-2", "a-1", "d-4", "c-3"):
+            queue.publish(tid, tid)
+        first = queue.claim_batch(3, "w1")
+        assert [c.task_id for c in first] == ["a-1", "b-2", "c-3"]
+        # every co-claimed task holds its own live lease
+        assert all(read_lease(queue.lease_path(c.task_id)) is not None
+                   for c in first)
+        rest = queue.claim_batch(10, "w2")
+        assert [c.task_id for c in rest] == ["d-4", "e-5"]
+        assert queue.claim_batch(1, "w3") == []
+
+    def test_claim_batch_validates(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q").ensure()
+        with pytest.raises(ValueError, match=">= 1"):
+            queue.claim_batch(0, "w")
+        with pytest.raises(ValueError, match="claim_batch"):
+            Worker(queue, claim_batch=0)
+
+    def test_renew_many_extends_every_lease(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=0.2).ensure()
+        for tid in ("t1", "t2", "t3"):
+            queue.publish(tid, tid)
+        claims = queue.claim_batch(3, "w1")
+        for _ in range(3):
+            time.sleep(0.1)
+            queue.renew_many(claims)
+            # all renewed within the TTL: nothing ever expires
+            assert queue.requeue_expired().requeued == ()
+        assert all(not read_lease(queue.lease_path(c.task_id)).expired()
+                   for c in claims)
+
+    def test_multi_claim_drain_is_bit_identical(self, tmp_path,
+                                                tiny_config, factory):
+        units = three_policy_units(tiny_config, factory)
+        serial = serial_fingerprints(units)
+        results = run_distributed_inprocess(units, tmp_path,
+                                            n_workers=2, claim_batch=4)
+        assert [fingerprint(r) for r in results] == serial
+
+    def test_batch_task_fault_does_not_abandon_the_rest(
+            self, tmp_path, tiny_config, factory):
+        """One failing task inside a claimed batch burns only its own
+        ticket; its batch-mates still complete in the same round."""
+        bad = make_units(tiny_config, factory, rates=(0.1,),
+                         strategy=ExplodingStrategy(),
+                         engine="reference")
+        good = make_units(tiny_config, factory,
+                          rates=(0.05, 0.15), engine="reference")
+        queue = WorkQueue(tmp_path / "q").ensure()
+        plan = ExecutionPlan(bad + good, None)
+        plan.group_batches()
+        tasks, _ = publish_plan(queue, plan)
+        worker = Worker(queue, max_attempts=1, claim_batch=len(tasks))
+        assert worker.run_once() is True    # one claim round for all
+        assert worker.executed == 2 and worker.failed == 1
+        assert len(queue.failed_tickets()) == 1
+        assert sum(queue.has_result(t.task_id) for t in tasks) == 2
+
+
+# ---------------------------------------------------------------------
+class TestShutdownSentinel:
+    """Driver-published teardown: workers exit when the queue drains."""
+
+    def test_sentinel_roundtrip_and_staleness(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q").ensure()
+        assert queue.shutdown_requested() is False
+        queue.request_shutdown(now=100.0)
+        assert queue.shutdown_requested() is True
+        # A sentinel older than the observer's start is stale: it must
+        # never retire a fleet spawned after it was written.
+        assert queue.shutdown_requested(since=100.0) is True
+        assert queue.shutdown_requested(since=100.1) is False
+        queue.clear_shutdown()
+        queue.clear_shutdown()          # idempotent
+        assert queue.shutdown_requested() is False
+
+    def test_worker_loop_exits_promptly_on_sentinel(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q").ensure()
+        for tid in ("t1", "t2"):
+            queue.publish(tid, _EchoTask(tid))
+        handled = []
+        worker = Worker(queue)
+        thread = threading.Thread(
+            target=lambda: handled.append(
+                worker.run(poll_s=0.01)),   # no max_idle: sentinel or
+            daemon=True)                    # bust
+        thread.start()
+        deadline = time.time() + 10
+        while worker.executed < 2 and time.time() < deadline:
+            time.sleep(0.01)
+        assert worker.executed == 2
+        queue.request_shutdown()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert handled == [2]
+
+    def test_worker_ignores_stale_sentinel_and_still_drains(
+            self, tmp_path):
+        """A sentinel left by an earlier round's teardown neither
+        retires a younger worker nor starves published work."""
+        queue = WorkQueue(tmp_path / "q").ensure()
+        queue.request_shutdown(now=time.time() - 60)
+        for tid in ("t1", "t2"):
+            queue.publish(tid, _EchoTask(tid))
+        worker = Worker(queue)
+        # Exits via max_idle (stale sentinel ignored), work done.
+        assert worker.run(poll_s=0.01, max_idle_s=0.1) == 2
+        assert worker.executed == 2
+
+
+class _EchoTask:
+    """The least possible executable payload (duck-typed like
+    :class:`SlowTask`)."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def iter_results(self):
+        yield self.value
+
+
+class _FakeProc:
+    """A subprocess.Popen stand-in for pool-logic tests (no spawns)."""
+
+    def __init__(self, *args, **kwargs):
+        self.returncode = None
+        self.terminated = self.killed = False
+
+    def poll(self):
+        return self.returncode
+
+    def wait(self, timeout=None):
+        if self.returncode is None and not (self.terminated
+                                            or self.killed):
+            raise __import__("subprocess").TimeoutExpired("worker",
+                                                          timeout)
+        self.returncode = self.returncode if self.returncode is not None \
+            else (-15 if self.terminated else -9)
+        return self.returncode
+
+    def exit(self, code=0):
+        self.returncode = code
+
+    def terminate(self):
+        self.terminated = True
+
+    def kill(self):
+        self.killed = True
+
+
+# ---------------------------------------------------------------------
+class TestWorkerPool:
+    """Pool lifecycle logic, with subprocess spawning stubbed out."""
+
+    @pytest.fixture
+    def fake_pool(self, tmp_path, monkeypatch):
+        import repro.runner.distributed.pool as pool_mod
+
+        from repro.runner.distributed.pool import WorkerPool
+
+        WorkQueue(tmp_path / "q").ensure()
+        monkeypatch.setattr(pool_mod.subprocess, "Popen", _FakeProc)
+        return WorkerPool(tmp_path / "q", workers=2, lease_ttl_s=0.5)
+
+    def test_validates_worker_count(self, tmp_path):
+        from repro.runner.distributed.pool import WorkerPool
+        with pytest.raises(ValueError, match="workers >= 1"):
+            WorkerPool(tmp_path / "q", workers=0)
+
+    def test_ensure_tops_up_and_respawns(self, fake_pool):
+        assert fake_pool.ensure() == 2
+        procs = list(fake_pool.procs)
+        assert fake_pool.ensure() == 2          # steady state: no spawn
+        assert fake_pool.procs == procs
+        procs[0].exit(1)                        # one worker dies
+        assert fake_pool.ensure() == 2          # ...and is replaced
+        assert procs[0] not in fake_pool.procs
+        assert procs[1] in fake_pool.procs
+
+    def test_respawn_budget_bounds_crash_loops(self, fake_pool):
+        assert fake_pool.spawns_left == 4       # max(2*workers, 4)
+        fake_pool.ensure()
+        for _ in range(5):                      # crash-loop the fleet
+            for proc in fake_pool.procs:
+                proc.exit(1)
+            fake_pool.ensure()
+        assert fake_pool.spawns_left == 0
+        assert fake_pool.ensure() == 0          # budget spent: give up
+        fake_pool.reset_budget()                # a new round refills it
+        assert fake_pool.ensure() == 2
+
+    def test_close_writes_sentinel_and_reaps(self, fake_pool,
+                                             tmp_path):
+        fake_pool.ensure()
+        procs = list(fake_pool.procs)
+
+        # Fake workers exit the moment the sentinel lands, like real
+        # idle workers inside the grace period.
+        real_request = WorkQueue.request_shutdown
+
+        def request_and_exit(queue, now=None):
+            real_request(queue, now)
+            for proc in procs:
+                proc.exit(0)
+
+        import unittest.mock
+        with unittest.mock.patch.object(WorkQueue, "request_shutdown",
+                                        request_and_exit):
+            fake_pool.close(grace_s=5.0)
+        assert fake_pool.closed
+        assert fake_pool.procs == []
+        assert all(p.returncode == 0 and not p.terminated
+                   for p in procs)
+        assert WorkQueue(tmp_path / "q").shutdown_requested()
+        fake_pool.close()                       # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            fake_pool.ensure()
+
+    def test_close_terminates_stragglers(self, fake_pool):
+        fake_pool.ensure()
+        procs = list(fake_pool.procs)
+        fake_pool.close(grace_s=0.0)            # nobody honours the
+        assert all(p.terminated for p in procs)  # sentinel in time
+
+
+# ---------------------------------------------------------------------
+class TestWarmPool:
+    """Self-spawned fleets end to end: one-shot teardown and pool
+    reuse across rounds (the PR-6 inverse-scaling fix)."""
+
+    @pytest.fixture
+    def record_spawns(self, monkeypatch):
+        """Record every worker subprocess the pool module spawns."""
+        import repro.runner.distributed.pool as pool_mod
+
+        spawned = []
+        real_popen = pool_mod.subprocess.Popen
+
+        def recording(*args, **kwargs):
+            proc = real_popen(*args, **kwargs)
+            spawned.append(proc)
+            return proc
+
+        monkeypatch.setattr(pool_mod.subprocess, "Popen", recording)
+        return spawned
+
+    def test_oneshot_fleet_gone_when_run_returns(
+            self, tmp_path, tiny_config, factory, record_spawns):
+        """Without --pool, run_sweep leaves no worker subprocess
+        behind — and the sentinel retires them gracefully (exit 0),
+        not by SIGTERM."""
+        units = three_policy_units(tiny_config, factory)
+        serial = serial_fingerprints(units)
+        ctx = ExecutionContext(backend="distributed",
+                               queue=str(tmp_path / "q"), workers=2,
+                               cache=None, engine="fast")
+        results = ctx.run(units)
+        assert [fingerprint(r) for r in results] == serial
+        assert record_spawns, "fleet never spawned"
+        for proc in record_spawns:
+            assert proc.poll() is not None, "live worker after run()"
+            assert proc.returncode == 0, "worker was terminated, " \
+                "not sentinel-retired"
+
+    def test_warm_pool_reuses_workers_across_rounds(
+            self, tmp_path, tiny_config, factory, record_spawns):
+        """pool=True: two sweeps, one fleet — the processes serving
+        round 2 are the same ones spawned for round 1, and both
+        rounds are bit-identical to serial."""
+        units_a = make_units(tiny_config, factory,
+                             rates=(0.04, 0.08, 0.12))
+        units_b = make_units(tiny_config, factory,
+                             rates=(0.05, 0.09, 0.13))
+        serial_a = serial_fingerprints(units_a)
+        serial_b = serial_fingerprints(units_b)
+        ctx = ExecutionContext(backend="distributed",
+                               queue=str(tmp_path / "q"), workers=2,
+                               pool=True, claim_batch=2,
+                               cache=None, engine="fast")
+        try:
+            assert ([fingerprint(r) for r in ctx.run(units_a)]
+                    == serial_a)
+            backend = ctx.make_backend()
+            round1_procs = list(backend._pool.procs)
+            round1_pids = sorted(p.pid for p in round1_procs)
+            assert len(round1_pids) == 2
+            assert ([fingerprint(r) for r in ctx.run(units_b)]
+                    == serial_b)
+            assert sorted(p.pid for p in backend._pool.procs) \
+                == round1_pids, "round 2 respawned the fleet"
+            assert len(record_spawns) == 2, "spawned more than once"
+        finally:
+            ctx.close()
+        # close() retires the fleet: gracefully, and completely.
+        for proc in record_spawns:
+            assert proc.poll() is not None
+            assert proc.returncode == 0
+        # A closed context still works: the next run builds a fresh
+        # backend (and fleet) transparently.
+        assert ([fingerprint(r) for r in ctx.run(units_a)]
+                == serial_a)
+        ctx.close()
+
+    def test_warm_rounds_survive_mid_round_crash_inprocess(
+            self, tmp_path, tiny_config, factory):
+        """The in-process analogue with fault injection: one persistent
+        worker set serves two publish_plan rounds; a worker dies
+        mid-round-2 holding a multi-claim batch; both rounds stay
+        bit-identical to serial."""
+        units_a = make_units(tiny_config, factory,
+                             rates=(0.04, 0.08, 0.12))
+        units_b = make_units(tiny_config, factory,
+                             rates=(0.05, 0.09, 0.13))
+        queue = WorkQueue(tmp_path / "q",
+                          lease_ttl_s=FAST_TTL).ensure()
+        crasher = CrashingWorker(queue, crash_on=10 ** 9,
+                                 claim_batch=2)
+        pool_workers = [crasher, Worker(queue, claim_batch=2)]
+
+        def run_round(units, crash_after_round):
+            if crash_after_round:           # arm the crash mid-round
+                crasher.crash_on = crasher.claims + 1
+            plan = ExecutionPlan(list(units), None)
+            plan.group_batches(jobs=4, max_shard=2, min_shard=1)
+            tasks, _ = publish_plan(queue, plan)
+            with pytest.raises(CrashingWorker.Died) \
+                    if crash_after_round else contextlib.nullcontext():
+                while True:
+                    if not any(w.run_once() for w in pool_workers):
+                        break
+            healthy = Worker(queue, claim_batch=2)
+
+            def finish(result):
+                for i in plan.pending[result.digest]:
+                    plan.results[i] = result
+
+            Collector(queue, [t.task_id for t in tasks], poll_s=0.02,
+                      timeout_s=60).collect(
+                finish, on_poll=lambda out: healthy.run_once())
+            return plan.results
+
+        round_a = run_round(units_a, crash_after_round=False)
+        round_b = run_round(units_b, crash_after_round=True)
+        assert ([fingerprint(r) for r in round_a]
+                == serial_fingerprints(units_a))
+        assert ([fingerprint(r) for r in round_b]
+                == serial_fingerprints(units_b))
