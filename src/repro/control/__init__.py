@@ -1,0 +1,43 @@
+"""Adaptive DVFS controller family (beyond the paper's static laws).
+
+The paper's RMSD and DMSD are *static* feedback laws: their operating
+target (``lambda_max``, the delay setpoint) is chosen offline and held
+for the whole run.  This package adds controllers that adapt the
+target online from the measurements themselves:
+
+* :class:`~repro.control.adaptive.GccController` (``"gcc"``) — a
+  delay-*gradient* controller in the style of Google Congestion
+  Control: a Kalman filter estimates the per-window delay gradient, an
+  overuse detector with an adaptive threshold classifies the window,
+  and an INC/DEC/HOLD state machine steers the network-utilization
+  target that eq. (2) turns into a frequency.
+* :class:`~repro.control.adaptive.UtilityController` (``"utility"``)
+  — a utility-maximizing delay-constrained controller after D'Aronco
+  et al. 2015: dual ascent on the Lagrangian of "minimize power
+  subject to delay <= budget", with the delay price as the only state.
+
+Importing this package registers both with the policy registry
+(:mod:`repro.core.registry`), so they resolve by name through every
+consumer — ``Simulation(controller="gcc")``, ``ScenarioSpec``,
+``run_sweep``, the CLI's ``--policy gcc:k_up=0.04`` and
+``list-scenarios``.  Their steady-state sweep strategies live in
+:mod:`repro.analysis.sweep` next to the paper policies' and are
+registered as **opt-in** (``default=False``): the adaptive family
+never silently changes the paper's three-policy default figures, but
+joins any sweep that names it (``Workbench(policies=[...])``,
+``--policy gcc``).
+"""
+
+from .adaptive import (BandwidthSignal, DelayGradientFilter,
+                       GccController, OveruseDetector, RateControlState,
+                       RateController, UtilityController)
+
+__all__ = [
+    "BandwidthSignal",
+    "DelayGradientFilter",
+    "GccController",
+    "OveruseDetector",
+    "RateControlState",
+    "RateController",
+    "UtilityController",
+]

@@ -1,0 +1,409 @@
+"""Adaptive DVFS controllers: GCC-style delay-gradient and utility-based.
+
+Two controllers that close the loop on *measured delay trends* rather
+than a fixed setpoint:
+
+``gcc``
+    A Google-Congestion-Control-style controller transplanted from
+    congestion control to DVFS.  GCC's three pieces survive intact —
+    a Kalman filter estimating the one-way delay gradient, an overuse
+    detector with an adaptive threshold, and the INC/DEC/HOLD rate
+    state machine with its canonical laws (multiplicative increase by
+    ``eta``, decrease to ``alpha`` x the received rate, everything
+    capped at 1.5x the received rate).  The transplant: GCC's "sending
+    rate" becomes the controller's *network-utilization target* (flits
+    per network cycle per node — the same quantity RMSD's
+    ``lambda_max`` pins offline), and the paper's eq. (2)
+    ``F = f_node * lambda / u_target`` turns the target into a clock.
+    Directions compose correctly without touching the GCC table:
+    OVERUSE (delay rising) -> DEC the utilization target -> eq. (2)
+    raises the frequency; NORMAL -> INC the target (probe) -> the
+    frequency creeps down to save power; UNDERUSE (delay draining)
+    -> HOLD while the queues empty.
+
+``utility``
+    The utility-maximizing delay-constrained controller of D'Aronco,
+    Toni & Frossard (2015), reduced to its dual-ascent core:
+    minimize a quadratic power proxy subject to mean delay <= budget.
+    The only state is the Lagrange multiplier ("delay price") ``mu``,
+    walked by subgradient steps on the normalized constraint
+    violation; the primal update is the closed-form argmin of the
+    Lagrangian.
+
+Both are plain :class:`~repro.core.policy.DvfsPolicy` subclasses
+registered with :func:`~repro.core.registry.register_policy`, so they
+resolve by name everywhere a paper policy does.  Their steady-state
+sweep strategies live in :mod:`repro.analysis.sweep`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Optional
+
+from ..core.policy import DvfsPolicy
+from ..core.registry import register_policy
+from ..noc.config import NocConfig
+from ..noc.stats import MeasurementSample
+
+__all__ = [
+    "BandwidthSignal",
+    "RateControlState",
+    "DelayGradientFilter",
+    "OveruseDetector",
+    "RateController",
+    "GccController",
+    "UtilityController",
+    "GCC_ALPHA",
+    "GCC_ETA",
+]
+
+# Canonical GCC constants (Carlucci et al., "Analysis and design of the
+# google congestion control for web real-time communication").
+GCC_ALPHA = 0.85   # DEC: new rate = alpha * received rate
+GCC_ETA = 1.05     # INC: new rate = eta * old rate
+RATE_CAP_FACTOR = 1.5  # every law is capped at 1.5x the received rate
+
+
+class BandwidthSignal(enum.Enum):
+    """Overuse-detector verdict for one measurement window."""
+
+    NORMAL = "normal"
+    OVERUSE = "overuse"
+    UNDERUSE = "underuse"
+
+
+class RateControlState(enum.Enum):
+    """GCC rate-controller finite states."""
+
+    INCREASE = "increase"
+    DECREASE = "decrease"
+    HOLD = "hold"
+
+
+class DelayGradientFilter:
+    """Scalar Kalman filter tracking the delay gradient.
+
+    State is the gradient estimate ``m_hat``; the measurement is the
+    raw per-window gradient.  The innovation is soft-clamped at three
+    measurement standard deviations so a single wild window cannot
+    yank the estimate, and the measurement-noise variance itself is
+    tracked by an exponential average of the squared innovation.
+    """
+
+    def __init__(self, *, process_noise: float = 1e-3,
+                 initial_error: float = 0.1,
+                 noise_alpha: float = 0.95) -> None:
+        if process_noise <= 0.0:
+            raise ValueError("process_noise must be positive")
+        if not 0.0 < noise_alpha < 1.0:
+            raise ValueError("noise_alpha must be in (0, 1)")
+        self._q = process_noise
+        self._alpha = noise_alpha
+        self._initial_error = initial_error
+        self.reset()
+
+    def reset(self) -> None:
+        self.m_hat = 0.0
+        self._e = self._initial_error
+        self._var_v = 0.1
+
+    def update(self, gradient: float) -> float:
+        """Fold one raw gradient measurement; return the new estimate."""
+        z = gradient - self.m_hat
+        self._var_v = max(
+            self._alpha * self._var_v + (1.0 - self._alpha) * z * z,
+            1e-9,
+        )
+        bound = 3.0 * math.sqrt(self._var_v)
+        z = min(max(z, -bound), bound)
+        k = (self._e + self._q) / (self._var_v + self._e + self._q)
+        self.m_hat += k * z
+        self._e = (1.0 - k) * (self._e + self._q)
+        return self.m_hat
+
+
+class OveruseDetector:
+    """Classify windows as OVERUSE / UNDERUSE / NORMAL.
+
+    Compares the filtered delay gradient against an *adaptive*
+    threshold ``gamma`` that chases ``|m_hat|`` — fast when the
+    estimate is outside the band (``k_up``), slowly when inside
+    (``k_down``) — so the detector stays sensitive near equilibrium
+    without chattering under load.  An OVERUSE verdict additionally
+    requires ``overuse_windows`` *consecutive* raw overuse windows,
+    GCC's "sustained for at least 10 ms" rule in window units.
+    """
+
+    def __init__(self, *, k_up: float = 0.01, k_down: float = 0.00018,
+                 gamma_init: float = 0.05, gamma_min: float = 0.01,
+                 gamma_max: float = 0.6, overuse_windows: int = 2) -> None:
+        if k_up <= 0.0 or k_down <= 0.0:
+            raise ValueError("k_up and k_down must be positive")
+        if not 0.0 < gamma_min <= gamma_init <= gamma_max:
+            raise ValueError(
+                "need 0 < gamma_min <= gamma_init <= gamma_max")
+        if overuse_windows < 1:
+            raise ValueError("overuse_windows must be >= 1")
+        self._k_up = k_up
+        self._k_down = k_down
+        self._gamma_init = gamma_init
+        self._gamma_min = gamma_min
+        self._gamma_max = gamma_max
+        self._required = overuse_windows
+        self.reset()
+
+    def reset(self) -> None:
+        self.gamma = self._gamma_init
+        self._overuse_run = 0
+
+    def update(self, m_hat: float) -> BandwidthSignal:
+        """Classify the filtered gradient, then adapt the threshold."""
+        if m_hat > self.gamma:
+            self._overuse_run += 1
+            signal = (BandwidthSignal.OVERUSE
+                      if self._overuse_run >= self._required
+                      else BandwidthSignal.NORMAL)
+        elif m_hat < -self.gamma:
+            self._overuse_run = 0
+            signal = BandwidthSignal.UNDERUSE
+        else:
+            self._overuse_run = 0
+            signal = BandwidthSignal.NORMAL
+
+        k = self._k_up if abs(m_hat) > self.gamma else self._k_down
+        self.gamma += k * (abs(m_hat) - self.gamma)
+        self.gamma = min(max(self.gamma, self._gamma_min), self._gamma_max)
+        return signal
+
+
+class RateController:
+    """GCC's INC/DEC/HOLD finite-state machine and rate laws.
+
+    Dimensionless: "rate" here is whatever quantity the caller steers
+    (for :class:`GccController`, the utilization target).  The
+    transition table and the three update laws are the canonical GCC
+    ones; the 1.5x received-rate cap applies in every state.
+    """
+
+    #: state transition table: (state, signal) -> next state.  Pairs
+    #: not listed keep the current state.
+    _TRANSITIONS = {
+        (RateControlState.DECREASE, BandwidthSignal.NORMAL):
+            RateControlState.HOLD,
+        (RateControlState.DECREASE, BandwidthSignal.UNDERUSE):
+            RateControlState.HOLD,
+        (RateControlState.HOLD, BandwidthSignal.OVERUSE):
+            RateControlState.DECREASE,
+        (RateControlState.HOLD, BandwidthSignal.NORMAL):
+            RateControlState.INCREASE,
+        (RateControlState.INCREASE, BandwidthSignal.OVERUSE):
+            RateControlState.DECREASE,
+        (RateControlState.INCREASE, BandwidthSignal.UNDERUSE):
+            RateControlState.HOLD,
+    }
+
+    def __init__(self, initial_rate: float, *, eta: float = GCC_ETA,
+                 alpha: float = GCC_ALPHA,
+                 min_rate: float = 1e-6) -> None:
+        if eta <= 1.0:
+            raise ValueError("eta must be > 1 (multiplicative increase)")
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        if initial_rate <= 0.0:
+            raise ValueError("initial_rate must be positive")
+        self._eta = eta
+        self._alpha = alpha
+        self._min_rate = min_rate
+        self._initial_rate = initial_rate
+        self.reset()
+
+    def reset(self) -> None:
+        self.state = RateControlState.HOLD
+        self.rate = self._initial_rate
+
+    def update(self, signal: BandwidthSignal, received_rate: float) -> float:
+        """Advance the state machine and apply the matching rate law."""
+        self.state = self._TRANSITIONS.get((self.state, signal), self.state)
+        cap = RATE_CAP_FACTOR * received_rate
+        if self.state is RateControlState.INCREASE:
+            rate = min(self._eta * self.rate, cap)
+        elif self.state is RateControlState.DECREASE:
+            rate = min(self._alpha * received_rate, cap)
+        else:
+            rate = min(self.rate, cap)
+        self.rate = max(rate, self._min_rate)
+        return self.rate
+
+
+@register_policy
+class GccController(DvfsPolicy):
+    """GCC-style delay-gradient DVFS controller.
+
+    Per window: (1) compute the relative delay gradient
+    ``(delay - prev_delay) / prev_delay`` (dimensionless, so the
+    detector thresholds are mesh- and clock-independent); (2) filter
+    it; (3) classify OVERUSE/UNDERUSE/NORMAL; (4) run the GCC rate
+    machine on the *utilization target*, with the measured utilization
+    ``generated_flits / (window_cycles * num_nodes)`` playing the
+    received-rate role; (5) map the target through eq. (2),
+    ``F = f_node * node_lambda / u_target``, clipped to the DVFS range.
+
+    Parameters
+    ----------
+    k_up, k_down, gamma_init, gamma_min, gamma_max, overuse_windows:
+        Overuse-detector knobs (see :class:`OveruseDetector`).
+    eta, alpha:
+        GCC rate laws (see :class:`RateController`).
+    u_init:
+        Initial utilization target; also the target's ceiling (a mesh
+        cannot usefully run above its saturation utilization).
+    """
+
+    name = "gcc"
+
+    def __init__(self, *, k_up: float = 0.01, k_down: float = 0.00018,
+                 gamma_init: float = 0.05, gamma_min: float = 0.01,
+                 gamma_max: float = 0.6, overuse_windows: int = 2,
+                 eta: float = GCC_ETA, alpha: float = GCC_ALPHA,
+                 u_init: float = 0.7) -> None:
+        if not 0.0 < u_init <= 1.0:
+            raise ValueError("u_init must be in (0, 1]")
+        self._filter = DelayGradientFilter()
+        self._detector = OveruseDetector(
+            k_up=k_up, k_down=k_down, gamma_init=gamma_init,
+            gamma_min=gamma_min, gamma_max=gamma_max,
+            overuse_windows=overuse_windows)
+        self._rate = RateController(u_init, eta=eta, alpha=alpha)
+        self._u_max = u_init
+        self._prev_delay: Optional[float] = None
+        self._last_freq: Optional[float] = None
+
+    def reset(self, config: NocConfig) -> float:
+        freq = super().reset(config)
+        self._filter.reset()
+        self._detector.reset()
+        self._rate.reset()
+        self._prev_delay = None
+        self._last_freq = freq
+        return freq
+
+    def update(self, sample: MeasurementSample) -> float:
+        config = self._require_config()
+        delay = sample.mean_delay_ns
+        if delay is None or delay <= 0.0:
+            # No deliveries this window: nothing to learn, hold the
+            # clock (matches DMSD's treatment of empty windows).
+            self._prev_delay = None
+            freq = self._last_freq if self._last_freq is not None \
+                else sample.freq_hz
+            self._last_freq = freq
+            return freq
+
+        if self._prev_delay is not None and self._prev_delay > 0.0:
+            gradient = (delay - self._prev_delay) / self._prev_delay
+        else:
+            gradient = 0.0
+        self._prev_delay = delay
+
+        m_hat = self._filter.update(gradient)
+        signal = self._detector.update(m_hat)
+
+        # Measured utilization: flits injected per network cycle per
+        # node — the received-rate analogue for the GCC laws.
+        if sample.window_cycles > 0 and sample.num_nodes > 0:
+            u_meas = sample.generated_flits / (
+                sample.window_cycles * sample.num_nodes)
+        else:
+            u_meas = 0.0
+        if u_meas <= 0.0:
+            # Idle network: delay gradient already folded; leave the
+            # target alone and run at the current clock.
+            freq = self._last_freq if self._last_freq is not None \
+                else sample.freq_hz
+            self._last_freq = freq
+            return freq
+
+        u_target = self._rate.update(signal, u_meas)
+        u_target = min(u_target, self._u_max)
+
+        # Eq. (2): the node clock that serves node_lambda at u_target.
+        freq = config.f_node_hz * sample.node_lambda / u_target
+        freq = min(max(freq, config.f_min_hz), config.f_max_hz)
+        self._last_freq = freq
+        return freq
+
+
+@register_policy
+class UtilityController(DvfsPolicy):
+    """Utility-based delay-constrained controller (D'Aronco et al. 2015).
+
+    Solves ``min_u power(u) s.t. delay <= budget`` online by dual
+    ascent.  With the quadratic power proxy
+    ``power(u) = power_weight * u^2`` (dynamic power rises roughly
+    quadratically with the clock via the voltage scaling that
+    accompanies it), the Lagrangian argmin is closed-form:
+    ``u* = clamp(mu / (2 * power_weight), 0, 1)``, mapped affinely to
+    ``[f_min, f_max]``.  The price update is a subgradient step on the
+    normalized constraint violation::
+
+        mu <- max(0, mu + price_step * (delay - budget) / budget)
+
+    Delay above budget raises the price and with it the clock; delay
+    under budget lets the price decay and the clock sink toward
+    ``f_min``.  ``mu`` starts at ``2 * power_weight`` so the first
+    window runs at ``f_max``, matching every other policy's reset
+    contract.
+
+    Parameters
+    ----------
+    delay_budget_ns:
+        The delay constraint (required — there is no universal
+        default; the sweep strategy derives one from the scenario's
+        target delay when not given explicitly).
+    price_step:
+        Dual-ascent step size on the normalized violation.
+    power_weight:
+        Curvature of the power proxy; sets how expensive high clocks
+        are relative to delay violations.
+    """
+
+    name = "utility"
+
+    def __init__(self, *, delay_budget_ns: float,
+                 price_step: float = 0.5,
+                 power_weight: float = 1.0) -> None:
+        if delay_budget_ns <= 0.0:
+            raise ValueError("delay_budget_ns must be positive")
+        if price_step <= 0.0:
+            raise ValueError("price_step must be positive")
+        if power_weight <= 0.0:
+            raise ValueError("power_weight must be positive")
+        self.delay_budget_ns = delay_budget_ns
+        self._step = price_step
+        self._weight = power_weight
+        self._mu = 2.0 * power_weight
+        self._last_freq: Optional[float] = None
+
+    def reset(self, config: NocConfig) -> float:
+        freq = super().reset(config)
+        self._mu = 2.0 * self._weight
+        self._last_freq = freq
+        return freq
+
+    def update(self, sample: MeasurementSample) -> float:
+        config = self._require_config()
+        delay = sample.mean_delay_ns
+        if delay is None:
+            freq = self._last_freq if self._last_freq is not None \
+                else sample.freq_hz
+            self._last_freq = freq
+            return freq
+
+        violation = (delay - self.delay_budget_ns) / self.delay_budget_ns
+        self._mu = max(0.0, self._mu + self._step * violation)
+        u = min(max(self._mu / (2.0 * self._weight), 0.0), 1.0)
+        freq = config.f_min_hz + u * (config.f_max_hz - config.f_min_hz)
+        self._last_freq = freq
+        return freq

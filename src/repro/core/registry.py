@@ -317,13 +317,16 @@ class PolicyRegistry(Registry):
     def __init__(self) -> None:
         super().__init__("policy")
         self._strategies: dict[str, Callable] = {}
+        self._default: dict[str, bool] = {}
 
     def remove(self, name: str) -> None:
         super().remove(name)
         self._strategies.pop(name, None)
+        self._default.pop(name, None)
 
     def add_strategy(self, name: str, factory: Callable, *,
-                     replace: bool = False) -> Callable:
+                     replace: bool = False,
+                     default: bool = True) -> Callable:
         if name not in self:
             known = ", ".join(sorted(self.names())) or "none"
             raise ValueError(
@@ -335,6 +338,7 @@ class PolicyRegistry(Registry):
                 f"policy {name!r} already has a sweep strategy "
                 f"(pass replace=True to override)")
         self._strategies[name] = factory
+        self._default[name] = default
         return factory
 
     def has_strategy(self, name: str) -> bool:
@@ -353,6 +357,19 @@ class PolicyRegistry(Registry):
     def sweepable(self) -> tuple[str, ...]:
         """Names usable in sweeps, in registration order."""
         return tuple(n for n in self.names() if n in self._strategies)
+
+    def default_sweep(self) -> tuple[str, ...]:
+        """Sweepable names that joined the default set.
+
+        A strategy registered with ``default=False`` is *opt-in*: it
+        resolves by name anywhere but never silently widens the
+        figures' default policy comparison.
+        """
+        return tuple(n for n in self.sweepable() if self._default[n])
+
+    def is_default(self, name: str) -> bool:
+        """Whether ``name`` is in the default sweep set."""
+        return self._default.get(name, False)
 
     def strategy_params(self, name: str) -> tuple[str, ...] | None:
         """Parameters the sweep-strategy factory accepts (for help)."""
@@ -462,16 +479,20 @@ def register_policy(cls=None, *, name: str | None = None,
 
 
 def register_strategy(name: str, factory: Callable | None = None, *,
-                      replace: bool = False):
+                      replace: bool = False, default: bool = True):
     """Attach a sweep-strategy factory to a registered policy.
 
     ``factory(resources, **params)`` must return a
     ``SteadyStateStrategy``; ``resources`` may be ``None`` when the
     caller supplies every parameter explicitly.  Usable as a decorator
-    (``@register_strategy("mine")``) or called directly.
+    (``@register_strategy("mine")``) or called directly.  Pass
+    ``default=False`` for an opt-in policy: resolvable by name
+    everywhere, but excluded from :func:`default_policies` so the
+    standard figures keep the paper's comparison set.
     """
     def wrap(fn):
-        return POLICY_REGISTRY.add_strategy(name, fn, replace=replace)
+        return POLICY_REGISTRY.add_strategy(
+            name, fn, replace=replace, default=default)
     return wrap(factory) if factory is not None else wrap
 
 
@@ -497,8 +518,10 @@ def default_policies() -> tuple[str, ...]:
     ``("no-dvfs", "rmsd", "dmsd")``; plugin policies registered with a
     sweep strategy extend it in registration order, which is how a
     custom controller shows up in every figure without touching them.
+    Strategies registered with ``default=False`` (the adaptive
+    ``gcc``/``utility`` built-ins) are opt-in and excluded here.
     """
-    return POLICY_REGISTRY.sweepable()
+    return POLICY_REGISTRY.default_sweep()
 
 
 def as_policy_ref(policy: "Ref | str") -> Ref:

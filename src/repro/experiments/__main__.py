@@ -176,6 +176,10 @@ def list_scenarios_main(argv: list[str]) -> int:
         if POLICY_REGISTRY.has_strategy(name):
             sweep = ("sweep params: "
                      f"{fmt_params(POLICY_REGISTRY.strategy_params(name))}")
+            if not POLICY_REGISTRY.is_default(name):
+                # Opt-in policies sweep when named (--policy NAME) but
+                # stay out of the default figure comparison.
+                sweep += "; opt-in (not in default sweeps)"
         else:
             sweep = "transient only (no sweep strategy)"
         print(f"  {name:12s} {cls.__name__:20s} "

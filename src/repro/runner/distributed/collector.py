@@ -8,7 +8,9 @@ every poll it
    produce them; the runner's plan maps each back to its submission
    slots by digest);
 2. re-enqueues claimed tasks whose lease expired — a dead worker's
-   shards go back to ``todo/`` with their attempt count incremented;
+   shards go back to ``todo/`` with their attempt count incremented —
+   and, on the same cadence, reclaims ``tmp/`` staging files orphaned
+   by workers that crashed mid-atomic-write;
 3. surfaces tasks whose retry budget is exhausted as a
    :class:`FailedUnitError` carrying the full error history, rather
    than letting the sweep hang on work that can never finish.
@@ -106,6 +108,10 @@ class Collector:
                 last_sweep = now
                 report = self.queue.requeue_expired(self.max_attempts)
                 requeues += len(report.requeued)
+                # Same cadence: reclaim staging files orphaned by
+                # workers that crashed mid-atomic-write (they would
+                # otherwise accumulate in tmp/ forever).
+                self.queue.sweep_stale_tmp(now)
             if on_poll is not None:
                 on_poll(outstanding)
             if deadline is not None and time.time() > deadline:

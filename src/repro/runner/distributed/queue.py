@@ -394,6 +394,38 @@ class WorkQueue:
         return RequeueReport(requeued=tuple(requeued),
                              failed=tuple(failed))
 
+    def sweep_stale_tmp(self, now: float | None = None) -> tuple[str, ...]:
+        """Delete orphaned ``tmp/`` staging files older than the TTL.
+
+        Every queue write stages under ``tmp/`` and atomically renames
+        into place; a worker crashing between the write and the rename
+        strands the staging file forever.  Anything in ``tmp/`` whose
+        mtime is older than the lease TTL cannot still be mid-write (a
+        healthy write-then-rename is sub-second, and even the slowest
+        writer would have renamed or died within one lease), so the
+        collector's periodic sweep reclaims it.  Returns the names
+        removed.
+        """
+        now = time.time() if now is None else now
+        removed: list[str] = []
+        tmp_dir = self._dir("tmp")
+        try:
+            names = sorted(os.listdir(tmp_dir))
+        except OSError:
+            return ()
+        for name in names:
+            path = tmp_dir / name
+            try:
+                if now - path.stat().st_mtime <= self.lease_ttl_s:
+                    continue  # fresh: possibly an in-flight write
+                path.unlink()
+            except OSError:
+                # Renamed into place or already reclaimed by a
+                # concurrent sweep — either way it is gone.
+                continue
+            removed.append(name)
+        return tuple(removed)
+
     # --- shutdown sentinel (driver side) ------------------------------
     def shutdown_path(self) -> Path:
         return self._dir("control") / "shutdown.json"

@@ -102,7 +102,12 @@ class ApplicationGraph:
         """
         if frames_per_second < 0:
             raise ValueError("frame rate must be non-negative")
-        if config.num_nodes != self.mesh_width * self.mesh_height:
+        # Compare the full shape, not just the node count: task
+        # coordinates are mapped on a specific width x height grid, so
+        # e.g. a 2x8 config must not pass for a 4x4-mapped app (the
+        # node count matches but every coordinate would remap).
+        if (config.width, config.height) != (self.mesh_width,
+                                             self.mesh_height):
             raise ValueError(
                 f"{self.name} is mapped on {self.mesh_width}x"
                 f"{self.mesh_height}; config is "

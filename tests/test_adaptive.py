@@ -1,0 +1,423 @@
+"""The adaptive controller family: GCC-style and utility-based DVFS.
+
+Three layers of contract are pinned here:
+
+* **State-machine laws** (hypothesis) — the GCC rate controller never
+  leaves its three-state alphabet, never takes a transition outside
+  the canonical table, never exceeds 1.5x the received rate, and never
+  raises its rate while holding; the overuse detector keeps its
+  adaptive threshold inside the configured band and only reports
+  OVERUSE after the required consecutive windows.
+* **Registry reach** — ``gcc`` and ``utility`` resolve by name through
+  ``Simulation(controller=...)``, ``run_sweep(strategy=...)`` and
+  scenario specs, with parameter validation; they are *opt-in*:
+  ``default_policies()`` still returns exactly the paper's triple.
+* **Execution-stack identity** — both policies are bit-identical
+  across serial/batched/distributed backends, and their unit digests
+  are pinned as hex goldens (recorded at the family's introduction) so
+  caches and distributed task ids stay stable.
+"""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Ref, ScenarioSpec, Simulation, run_scenario_sweep
+from repro.analysis.sweep import (GccSteadyState, UtilitySteadyState,
+                                  strategy_from_ref)
+from repro.control.adaptive import (BandwidthSignal, DelayGradientFilter,
+                                    GccController, OveruseDetector,
+                                    RATE_CAP_FACTOR, RateControlState,
+                                    RateController, UtilityController)
+from repro.core.registry import POLICY_REGISTRY, default_policies
+from repro.noc import NocConfig, SimBudget
+from repro.runner import ExecutionContext, Worker, WorkQueue
+
+TINY_BUDGET = SimBudget(200, 500, 1500)
+GOLDEN_SEED = 11
+GOLDEN_RATES = (0.05, 0.15, 0.25)
+
+#: Unit digests of the adaptive policies on the tiny 3x3 uniform
+#: scenario (budget 200/500/1500, seed 11), recorded when the family
+#: was introduced.  They must never drift: distributed task ids and
+#: on-disk caches key on them.
+ADAPTIVE_GOLDEN_DIGESTS = {
+    "gcc": (
+        "6d2ac19a65194dfbda821b4015204369a6fa09a411befcaecd14e6c88c6f119c",
+        "b5c46d2ce65cb070306e4aefca1c5126dd87ff664d7f55a66cf7f43a64bbad22",
+        "a891ab0e05f0fc079b0e9d759562d09e69127401fae014d14ae7b54525d41094",
+    ),
+    "utility": (
+        "4bc779ebf61e792ee2a207fa8c5959ef45e63be14d6c840db65d432e67bff106",
+        "5b4f53d1cc30a3af249c3ccb2cf76f3b1061b24cb505f33028837c838eddd19a",
+        "bf6afeebf72c6bd4ab52449cef4cc04a662e689118f209d47587848707e3e036",
+    ),
+}
+
+ADAPTIVE_GOLDEN_REFS = {
+    "gcc": Ref.of("gcc", lambda_max=0.5),
+    "utility": Ref.of("utility", delay_budget_ns=50.0, iterations=6,
+                      search_budget=TINY_BUDGET),
+}
+
+#: The canonical GCC transition table, written out independently of
+#: the implementation so the property test is a genuine cross-check.
+EXPECTED_TRANSITIONS = {
+    (RateControlState.DECREASE, BandwidthSignal.OVERUSE):
+        RateControlState.DECREASE,
+    (RateControlState.DECREASE, BandwidthSignal.NORMAL):
+        RateControlState.HOLD,
+    (RateControlState.DECREASE, BandwidthSignal.UNDERUSE):
+        RateControlState.HOLD,
+    (RateControlState.HOLD, BandwidthSignal.OVERUSE):
+        RateControlState.DECREASE,
+    (RateControlState.HOLD, BandwidthSignal.NORMAL):
+        RateControlState.INCREASE,
+    (RateControlState.HOLD, BandwidthSignal.UNDERUSE):
+        RateControlState.HOLD,
+    (RateControlState.INCREASE, BandwidthSignal.OVERUSE):
+        RateControlState.DECREASE,
+    (RateControlState.INCREASE, BandwidthSignal.NORMAL):
+        RateControlState.INCREASE,
+    (RateControlState.INCREASE, BandwidthSignal.UNDERUSE):
+        RateControlState.HOLD,
+}
+
+signals = st.lists(st.sampled_from(list(BandwidthSignal)),
+                   min_size=1, max_size=40)
+rcv_rates = st.lists(st.floats(1e-4, 2.0), min_size=40, max_size=40)
+
+
+def golden_spec(policy_ref):
+    return ScenarioSpec.build(policy_ref, "uniform", width=3, height=3,
+                              num_vcs=2, vc_buf_depth=2,
+                              packet_length=3)
+
+
+# ---------------------------------------------------------------------
+class TestRateControllerProperties:
+    """Hypothesis: the GCC state machine under arbitrary inputs."""
+
+    @given(seq=signals, rates=rcv_rates)
+    @settings(max_examples=200, deadline=None)
+    def test_transitions_follow_the_canonical_table(self, seq, rates):
+        ctl = RateController(0.7)
+        state = ctl.state
+        assert state is RateControlState.HOLD  # starts holding
+        for signal, rcv in zip(seq, rates):
+            ctl.update(signal, rcv)
+            assert ctl.state is EXPECTED_TRANSITIONS[(state, signal)]
+            state = ctl.state
+
+    @given(seq=signals, rates=rcv_rates)
+    @settings(max_examples=200, deadline=None)
+    def test_rate_bounded_by_cap_times_received(self, seq, rates):
+        ctl = RateController(0.7, min_rate=1e-9)
+        for signal, rcv in zip(seq, rates):
+            rate = ctl.update(signal, rcv)
+            assert rate <= RATE_CAP_FACTOR * rcv + 1e-12
+            assert rate > 0.0
+
+    @given(seq=signals, rates=rcv_rates)
+    @settings(max_examples=200, deadline=None)
+    def test_hold_never_raises_the_rate(self, seq, rates):
+        ctl = RateController(0.7)
+        for signal, rcv in zip(seq, rates):
+            before = ctl.rate
+            ctl.update(signal, rcv)
+            if ctl.state is RateControlState.HOLD:
+                assert ctl.rate <= before + 1e-12
+
+    @given(seq=signals, rates=rcv_rates)
+    @settings(max_examples=100, deadline=None)
+    def test_state_alphabet_is_closed(self, seq, rates):
+        ctl = RateController(0.7)
+        for signal, rcv in zip(seq, rates):
+            ctl.update(signal, rcv)
+            assert ctl.state in RateControlState
+
+    def test_decrease_law_uses_alpha_times_received(self):
+        ctl = RateController(1.0, alpha=0.85)
+        ctl.update(BandwidthSignal.OVERUSE, 0.4)
+        assert ctl.state is RateControlState.DECREASE
+        assert ctl.rate == pytest.approx(0.85 * 0.4)
+
+    def test_increase_law_is_multiplicative(self):
+        ctl = RateController(0.2, eta=1.05)
+        ctl.update(BandwidthSignal.NORMAL, 10.0)  # HOLD -> INCREASE
+        assert ctl.rate == pytest.approx(0.2 * 1.05)
+
+    def test_reset_restores_hold_and_initial_rate(self):
+        ctl = RateController(0.7)
+        ctl.update(BandwidthSignal.OVERUSE, 0.1)
+        ctl.reset()
+        assert ctl.state is RateControlState.HOLD
+        assert ctl.rate == pytest.approx(0.7)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="eta"):
+            RateController(0.5, eta=0.9)
+        with pytest.raises(ValueError, match="alpha"):
+            RateController(0.5, alpha=1.2)
+        with pytest.raises(ValueError, match="initial_rate"):
+            RateController(0.0)
+
+
+class TestOveruseDetectorProperties:
+    @given(grads=st.lists(st.floats(-5.0, 5.0), min_size=1,
+                          max_size=80))
+    @settings(max_examples=200, deadline=None)
+    def test_threshold_stays_in_band(self, grads):
+        det = OveruseDetector(gamma_min=0.01, gamma_max=0.6)
+        for g in grads:
+            signal = det.update(g)
+            assert signal in BandwidthSignal
+            assert 0.01 <= det.gamma <= 0.6
+
+    @given(windows=st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_overuse_requires_consecutive_windows(self, windows):
+        det = OveruseDetector(overuse_windows=windows, gamma_init=0.05,
+                              gamma_max=0.6)
+        seen = []
+        for _ in range(windows):
+            seen.append(det.update(5.0))  # far above any gamma
+        assert all(s is not BandwidthSignal.OVERUSE
+                   for s in seen[:windows - 1])
+        assert seen[-1] is BandwidthSignal.OVERUSE
+
+    def test_a_normal_window_resets_the_overuse_run(self):
+        det = OveruseDetector(overuse_windows=2, gamma_init=0.05)
+        assert det.update(5.0) is BandwidthSignal.NORMAL
+        assert det.update(0.0) is BandwidthSignal.NORMAL
+        assert det.update(5.0) is BandwidthSignal.NORMAL  # run restarted
+        assert det.update(5.0) is BandwidthSignal.OVERUSE
+
+    def test_underuse_below_negative_threshold(self):
+        det = OveruseDetector(gamma_init=0.05)
+        assert det.update(-1.0) is BandwidthSignal.UNDERUSE
+
+
+class TestDelayGradientFilter:
+    def test_converges_to_constant_gradient(self):
+        filt = DelayGradientFilter()
+        for _ in range(300):
+            filt.update(0.4)
+        assert filt.m_hat == pytest.approx(0.4, abs=0.05)
+
+    def test_single_outlier_is_soft_clamped(self):
+        filt = DelayGradientFilter()
+        for _ in range(50):
+            filt.update(0.0)
+        filt.update(100.0)  # one wild window
+        assert abs(filt.m_hat) < 1.0
+
+    def test_reset_clears_state(self):
+        filt = DelayGradientFilter()
+        filt.update(3.0)
+        filt.reset()
+        assert filt.m_hat == 0.0
+
+
+# ---------------------------------------------------------------------
+class TestControllersInTheLoop:
+    """The controllers driving real simulations."""
+
+    def _sim(self, config, controller, seed=7):
+        from repro.traffic import PatternTraffic, make_pattern
+        traffic = PatternTraffic(make_pattern("uniform",
+                                              config.make_mesh()), 0.15)
+        return Simulation(config, traffic, controller=controller,
+                          seed=seed, control_period_node_cycles=1000)
+
+    def test_gcc_keeps_frequency_in_dvfs_range(self, tiny_config):
+        sim = self._sim(tiny_config, "gcc")
+        result = sim.run(2000, 8000, 2000)
+        assert result.freq_trace
+        assert all(tiny_config.f_min_hz <= f <= tiny_config.f_max_hz
+                   for _, f in result.freq_trace)
+
+    def test_utility_keeps_frequency_in_dvfs_range(self, tiny_config):
+        sim = self._sim(tiny_config,
+                        Ref.of("utility", delay_budget_ns=60.0))
+        result = sim.run(2000, 8000, 2000)
+        assert result.freq_trace
+        assert all(tiny_config.f_min_hz <= f <= tiny_config.f_max_hz
+                   for _, f in result.freq_trace)
+
+    def test_gcc_reset_returns_f_max(self, tiny_config):
+        ctl = GccController()
+        assert ctl.reset(tiny_config) == tiny_config.f_max_hz
+
+    def test_utility_reset_returns_f_max(self, tiny_config):
+        ctl = UtilityController(delay_budget_ns=50.0)
+        assert ctl.reset(tiny_config) == tiny_config.f_max_hz
+
+    def test_utility_price_rises_on_violation(self, tiny_config):
+        """Delay above budget must push the clock up, not down."""
+        from repro.noc.stats import MeasurementSample
+        ctl = UtilityController(delay_budget_ns=50.0, price_step=0.5)
+        ctl.reset(tiny_config)
+
+        def sample(delay):
+            return MeasurementSample(
+                window_cycles=1000, window_node_cycles=1000,
+                window_ns=1000.0, generated_flits=100,
+                delivered_packets=30, mean_delay_ns=delay,
+                mean_latency_cycles=10.0,
+                freq_hz=tiny_config.f_max_hz, time_ns=1000.0,
+                num_nodes=tiny_config.num_nodes)
+
+        over = ctl.update(sample(100.0))
+        # keep violating: frequency must not decrease
+        assert ctl.update(sample(100.0)) >= over
+        # now far under budget for a while: frequency must fall
+        relaxed = over
+        for _ in range(50):
+            relaxed = ctl.update(sample(5.0))
+        assert relaxed < over
+
+    def test_empty_window_holds_the_clock(self, tiny_config):
+        from repro.noc.stats import MeasurementSample
+        for ctl in (GccController(),
+                    UtilityController(delay_budget_ns=50.0)):
+            freq0 = ctl.reset(tiny_config)
+            empty = MeasurementSample(
+                window_cycles=1000, window_node_cycles=1000,
+                window_ns=1000.0, generated_flits=0,
+                delivered_packets=0, mean_delay_ns=None,
+                mean_latency_cycles=None, freq_hz=freq0,
+                time_ns=1000.0, num_nodes=tiny_config.num_nodes)
+            assert ctl.update(empty) == freq0
+
+    def test_utility_requires_a_budget(self):
+        with pytest.raises(ValueError, match="delay_budget_ns"):
+            UtilityController(delay_budget_ns=0.0)
+
+    def test_gcc_validates_u_init(self):
+        with pytest.raises(ValueError, match="u_init"):
+            GccController(u_init=1.5)
+
+
+# ---------------------------------------------------------------------
+class TestRegistryReach:
+    def test_policies_are_registered_but_not_default(self):
+        assert "gcc" in POLICY_REGISTRY.names()
+        assert "utility" in POLICY_REGISTRY.names()
+        assert "gcc" in POLICY_REGISTRY.sweepable()
+        assert "utility" in POLICY_REGISTRY.sweepable()
+        # The paper figures keep their three-policy comparison.
+        assert default_policies() == ("no-dvfs", "rmsd", "dmsd")
+
+    def test_strategies_resolve_by_ref(self):
+        gcc = strategy_from_ref(Ref.of("gcc", lambda_max=0.5))
+        assert isinstance(gcc, GccSteadyState)
+        util = strategy_from_ref(Ref.of("utility", delay_budget_ns=50.0))
+        assert isinstance(util, UtilitySteadyState)
+
+    def test_gcc_steady_state_backs_off_rmsd_by_alpha(self, tiny_config):
+        from repro.analysis.sweep import RmsdSteadyState
+        from repro.traffic import PatternTraffic, make_pattern
+        traffic = PatternTraffic(
+            make_pattern("uniform", tiny_config.make_mesh()), 0.15)
+        gcc = GccSteadyState(lambda_max=0.5, alpha=0.85)
+        rmsd = RmsdSteadyState(lambda_max=0.5 * 0.85)
+        assert gcc.frequency_for(tiny_config, traffic, TINY_BUDGET, 1) \
+            == rmsd.frequency_for(tiny_config, traffic, TINY_BUDGET, 1)
+
+    def test_sweep_params_validate(self):
+        with pytest.raises(ValueError, match="bogus"):
+            POLICY_REGISTRY.validate_sweep_ref("gcc:bogus=1")
+        POLICY_REGISTRY.validate_sweep_ref("gcc:k_up=0.04,lambda_max=0.6")
+        POLICY_REGISTRY.validate_sweep_ref(
+            "utility:delay_budget_ns=50,price_step=0.3")
+
+    def test_spec_keys_are_distinct_from_paper_policies(self):
+        from repro.analysis.sweep import DmsdSteadyState
+        util = UtilitySteadyState(40.0, iterations=6)
+        dmsd = DmsdSteadyState(40.0, iterations=6)
+        assert util.spec_key() != dmsd.spec_key()
+        gcc = GccSteadyState(lambda_max=0.5)
+        assert gcc.spec_key()[0] == "gcc"
+
+    def test_workbench_comparison_includes_opt_in_policies(
+            self, tiny_config):
+        from repro.experiments import Profile, Workbench
+        bench = Workbench(
+            profile=Profile("t", TINY_BUDGET, sweep_points=2,
+                            dmsd_iterations=2, saturation_iterations=2),
+            seed=5,
+            policies=("no-dvfs", "rmsd", "dmsd", "gcc", "utility"))
+        series = bench.policy_comparison(tiny_config, "uniform",
+                                         (0.05, 0.15))
+        assert set(series) == {"no-dvfs", "rmsd", "dmsd", "gcc",
+                               "utility"}
+        # The adaptive curves are real data, not copies of a paper
+        # policy's.
+        fp = lambda s: [(p.freq_hz, p.delay_ns) for p in s.points]
+        assert fp(series["gcc"]) != fp(series["rmsd"])
+        assert fp(series["utility"]) != fp(series["dmsd"])
+
+
+# ---------------------------------------------------------------------
+def fingerprint(series):
+    return [(p.policy, p.x, p.freq_hz, p.delay_ns, p.accepted_rate,
+             p.power_mw) for p in series.points]
+
+
+class TestAdaptiveDigestGoldens:
+    @pytest.mark.parametrize("policy", sorted(ADAPTIVE_GOLDEN_DIGESTS))
+    def test_unit_digests_pinned(self, policy):
+        spec = golden_spec(ADAPTIVE_GOLDEN_REFS[policy])
+        units = spec.units(GOLDEN_RATES, budget=TINY_BUDGET,
+                           seed=GOLDEN_SEED)
+        assert tuple(u.digest() for u in units) \
+            == ADAPTIVE_GOLDEN_DIGESTS[policy]
+
+
+class TestAdaptiveThroughEveryBackend:
+    """Acceptance: gcc and utility are bit-identical across the whole
+    execution stack, exactly like the PR-5 plugin."""
+
+    def _run(self, policy, backend, **kwargs):
+        spec = golden_spec(ADAPTIVE_GOLDEN_REFS[policy])
+        context = ExecutionContext(backend=backend, engine="fast",
+                                   **kwargs)
+        return run_scenario_sweep(spec, GOLDEN_RATES,
+                                  budget=TINY_BUDGET, seed=GOLDEN_SEED,
+                                  context=context)
+
+    @pytest.mark.parametrize("policy", ["gcc", "utility"])
+    def test_batched_bit_identical_to_serial(self, policy):
+        serial = self._run(policy, "serial")
+        batched = self._run(policy, "batched")
+        assert fingerprint(batched) == fingerprint(serial)
+        # the policy really modulated the clock across rates
+        assert len({p.freq_hz for p in serial.points}) > 1
+
+    @pytest.mark.parametrize("policy", ["gcc", "utility"])
+    def test_distributed_bit_identical_to_serial(self, policy,
+                                                 tmp_path):
+        serial = self._run(policy, "serial")
+        queue = WorkQueue(tmp_path / "q").ensure()
+        stop = threading.Event()
+
+        def external_worker():
+            worker = Worker(queue)
+            while not stop.is_set():
+                if not worker.run_once():
+                    time.sleep(0.02)
+
+        thread = threading.Thread(target=external_worker, daemon=True)
+        thread.start()
+        try:
+            distributed = self._run(policy, "distributed",
+                                    queue=str(tmp_path / "q"),
+                                    workers=0)
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert fingerprint(distributed) == fingerprint(serial)

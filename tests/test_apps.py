@@ -68,6 +68,16 @@ class TestTrafficDerivation:
         with pytest.raises(ValueError, match="4x4"):
             app.traffic_matrix(NocConfig(width=5, height=5), 10.0)
 
+    def test_matrix_rejects_same_node_count_different_shape(self):
+        # Regression: a 2x8 mesh has 16 nodes like the 4x4 the app is
+        # mapped on, but flat node indices mean different coordinates
+        # there — it must be rejected, not silently remapped.
+        app = h264_encoder()
+        with pytest.raises(ValueError, match="4x4"):
+            app.traffic_matrix(NocConfig(width=2, height=8), 10.0)
+        with pytest.raises(ValueError, match="4x4"):
+            app.traffic_matrix(NocConfig(width=8, height=2), 10.0)
+
     def test_speed1_hits_peak_node_rate(self):
         app = vce_encoder()
         cfg = NocConfig(width=5, height=5)

@@ -12,6 +12,7 @@ hangs, never drops or corrupts a unit.
 """
 
 import contextlib
+import os
 import threading
 import time
 
@@ -622,6 +623,67 @@ class TestFaultInjection:
         assert reclaim.task_id == abandoned and reclaim.attempts == 1
         Worker(queue).execute_claim(reclaim)
         assert queue.has_result(abandoned)
+
+
+# ---------------------------------------------------------------------
+class TestStaleTmpSweep:
+    """A crash between a staging write and its atomic rename must not
+    leak ``tmp/`` entries forever (they are reclaimed on the
+    collector's sweep cadence, never while possibly in-flight)."""
+
+    @staticmethod
+    def _orphan(queue, name, age_s):
+        """Plant a staging file as a crashed ``_write_atomic`` would
+        leave it, backdated ``age_s`` seconds."""
+        path = queue.root / "tmp" / name
+        path.write_bytes(b"half-written payload")
+        stamp = time.time() - age_s
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def test_stale_entries_are_swept(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=FAST_TTL).ensure()
+        stale = self._orphan(queue, "unit.pkl.4242.7", age_s=10.0)
+        assert queue.sweep_stale_tmp() == ("unit.pkl.4242.7",)
+        assert not stale.exists()
+
+    def test_fresh_entries_survive(self, tmp_path):
+        """An entry younger than the TTL may be an in-flight write of
+        a live worker — it must be left alone."""
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=FAST_TTL).ensure()
+        fresh = self._orphan(queue, "unit.pkl.4242.8", age_s=0.0)
+        assert queue.sweep_stale_tmp() == ()
+        assert fresh.exists()
+
+    def test_sweep_on_missing_tmp_dir_is_harmless(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")  # never ensure()d
+        assert queue.sweep_stale_tmp() == ()
+
+    def test_collector_reclaims_crash_orphans_bit_identically(
+            self, tmp_path, tiny_config, factory):
+        """Fault injection: a worker dies mid-atomic-write (staging
+        file written, rename never happened).  The collection must
+        finish bit-identically AND leave tmp/ clean."""
+        units = three_policy_units(tiny_config, factory)
+        serial = serial_fingerprints(units)
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=FAST_TTL).ensure()
+        plan = ExecutionPlan(list(units), None)
+        plan.group_batches(jobs=4, max_shard=2, min_shard=1)
+        tasks, _ = publish_plan(queue, plan)
+        # The crash artifact: a payload staged before the sweep starts,
+        # older than any plausible in-flight write.
+        self._orphan(queue, "result.pkl.999.0", age_s=10.0)
+        healthy = Worker(queue)
+
+        def finish(result):
+            for i in plan.pending[result.digest]:
+                plan.results[i] = result
+
+        Collector(queue, [t.task_id for t in tasks], poll_s=0.02,
+                  timeout_s=60).collect(
+            finish, on_poll=lambda outstanding: healthy.run_once())
+        assert [fingerprint(r) for r in plan.results] == serial
+        assert os.listdir(queue.root / "tmp") == []
 
 
 # ---------------------------------------------------------------------

@@ -36,7 +36,7 @@ from repro.core.rmsd import RmsdController
 from repro.noc import (NocConfig, SimBudget, Simulation, engine_names,
                        make_engine, run_fixed_point)
 from repro.noc.fastsim import BatchPoint, run_fixed_batch
-from repro.runner import SweepRunner
+from repro.runner import ExecutionContext
 from repro.traffic import PatternTraffic, make_pattern
 
 #: Engines under differential comparison.
@@ -253,9 +253,11 @@ class TestSweepPipelineEquivalence:
     RATES = (0.06, 0.18, 0.30)
 
     def sweep(self, strategy, pattern, engine):
+        context = ExecutionContext(backend="serial", jobs=1, cache=None,
+                                   engine=engine)
         return run_sweep(CONFIG, lambda r: traffic_for(pattern, r),
                          list(self.RATES), strategy, BUDGET, seed=11,
-                         runner=SweepRunner(jobs=1), engine=engine)
+                         context=context)
 
     @pytest.mark.parametrize("pattern", PATTERNS)
     def test_rmsd_series(self, pattern):

@@ -202,6 +202,26 @@ class TestRegistrationLifecycle:
         assert isinstance(make_strategy("probe-policy"),
                           NoDvfsSteadyState)
 
+    def test_opt_in_strategy_is_sweepable_but_not_default(
+            self, probe_policy):
+        """``default=False`` keeps a policy out of the default figure
+        comparison while every by-name path still works — how the
+        adaptive gcc/utility built-ins ride along without widening the
+        paper's three-policy figures."""
+        register_strategy("probe-policy",
+                          lambda resources=None: NoDvfsSteadyState(),
+                          default=False)
+        assert "probe-policy" in POLICY_REGISTRY.sweepable()
+        assert "probe-policy" not in default_policies()
+        assert not POLICY_REGISTRY.is_default("probe-policy")
+        assert isinstance(make_strategy("probe-policy"),
+                          NoDvfsSteadyState)
+        # flipping to default=True (replace) joins the default set
+        register_strategy("probe-policy",
+                          lambda resources=None: NoDvfsSteadyState(),
+                          replace=True)
+        assert default_policies()[-1] == "probe-policy"
+
     def test_duplicate_registration_rejected(self, probe_policy):
         with pytest.raises(ValueError, match="already registered"):
             register_policy(_ProbePolicy)

@@ -11,8 +11,8 @@ import pytest
 from repro.analysis import (DmsdSteadyState, NoDvfsSteadyState,
                             RmsdSteadyState, run_sweep, sweep_units)
 from repro.noc import GHZ, SimBudget
-from repro.runner import (SweepRunner, UnitCache, WorkUnit,
-                          derive_unit_seed, unit_generator)
+from repro.runner import (ExecutionContext, SweepRunner, UnitCache,
+                          WorkUnit, derive_unit_seed, unit_generator)
 from repro.runner import executor as executor_mod
 from repro.traffic import PatternTraffic, make_pattern
 
@@ -115,9 +115,11 @@ class TestSerialParallelEquivalence:
                                 search_budget=TINY_BUDGET)
         xs = [0.05, 0.15]
         serial = run_sweep(tiny_config, factory, xs, strat, TINY_BUDGET,
-                           seed=9, runner=SweepRunner(jobs=1))
+                           seed=9, context=ExecutionContext(
+                               backend="serial", jobs=1, cache=None))
         parallel = run_sweep(tiny_config, factory, xs, strat, TINY_BUDGET,
-                             seed=9, runner=SweepRunner(jobs=2))
+                             seed=9, context=ExecutionContext(
+                                 backend="pool", jobs=2, cache=None))
         assert ([(p.freq_hz, p.delay_ns, p.latency_cycles)
                  for p in serial.points]
                 == [(p.freq_hz, p.delay_ns, p.latency_cycles)

@@ -18,7 +18,7 @@ from repro.analysis import (DmsdSteadyState, NoDvfsSteadyState,
                             RmsdSteadyState, run_fixed_point, run_sweep)
 from repro.core import rmsd_frequency
 from repro.noc import GHZ, NocConfig, PAPER_BASELINE, SimBudget
-from repro.runner import SweepRunner
+from repro.runner import ExecutionContext
 from repro.traffic import (MatrixTraffic, PatternTraffic, h264_encoder,
                            make_pattern)
 
@@ -79,9 +79,12 @@ class TestDmsdFixedPoint:
                                iterations=6, search_budget=TINY_BUDGET)
 
     def _sweep(self, tiny_config, factory, jobs=1):
+        context = ExecutionContext(
+            backend="pool" if jobs > 1 else "serial", jobs=jobs,
+            cache=None)
         return run_sweep(tiny_config, factory, list(GOLDEN_RATES),
                          self._strategy(), TINY_BUDGET, seed=GOLDEN_SEED,
-                         runner=SweepRunner(jobs=jobs))
+                         context=context)
 
     def test_steady_state_frequencies_pinned(self, tiny_config, factory):
         series = self._sweep(tiny_config, factory)
