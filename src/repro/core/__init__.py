@@ -1,24 +1,21 @@
 """The paper's contribution: global DVFS policies for the NoC."""
 
+# Policies register themselves (@register_policy at class definition,
+# which repro-lint rule D006 enforces), so *import order here is
+# registration order*: policy (no-dvfs, fixed), then rmsd, then dmsd
+# keeps the paper's evaluation order — every figure sweeps no-dvfs,
+# rmsd, dmsd unless told otherwise (``fixed`` has no steady-state
+# strategy and never enters a default sweep).  Sweep-strategy
+# factories for the paper triple are attached by
+# ``repro.analysis.sweep`` at import time.
+from .policy import DvfsPolicy, FixedFrequency, NoDvfs
+from .rmsd import RmsdController, lambda_min_for, rmsd_frequency
 from .dmsd import DmsdController, PAPER_KI, PAPER_KP, dmsd_target_from_rmsd
 from .pi import PiController
-from .policy import DvfsPolicy, FixedFrequency, NoDvfs
 from .quantize import QuantizedPolicy, uniform_levels
 from .registry import (POLICY_REGISTRY, Ref, as_policy_ref,
                        default_policies, make_policy, make_strategy,
                        policy_names, register_policy, register_strategy)
-from .rmsd import RmsdController, lambda_min_for, rmsd_frequency
-
-# The paper's evaluation order is the registry's default ordering:
-# every figure sweeps no-dvfs, rmsd, dmsd (in that order) unless told
-# otherwise.  ``fixed`` pins one frequency for debugging/sweep
-# scaffolding and has no steady-state strategy, so it never enters a
-# default sweep.  Sweep-strategy factories for the first three are
-# attached by ``repro.analysis.sweep`` at import time.
-register_policy(NoDvfs)
-register_policy(RmsdController)
-register_policy(DmsdController)
-register_policy(FixedFrequency)
 
 __all__ = [
     "DmsdController",

@@ -19,6 +19,7 @@ from ..noc.config import NocConfig
 from ..noc.stats import MeasurementSample
 from .pi import PiController
 from .policy import DvfsPolicy
+from .registry import register_policy
 
 #: The paper's PI gains ("a good compromise between stability and
 #: reactivity", Sec. IV).
@@ -26,6 +27,7 @@ PAPER_KI = 0.025
 PAPER_KP = 0.0125
 
 
+@register_policy
 class DmsdController(DvfsPolicy):
     """Closed-loop delay-tracking DVFS controller."""
 

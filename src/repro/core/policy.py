@@ -13,6 +13,7 @@ from abc import ABC, abstractmethod
 
 from ..noc.config import NocConfig
 from ..noc.stats import MeasurementSample
+from .registry import register_policy
 
 
 class DvfsPolicy(ABC):
@@ -44,6 +45,7 @@ class DvfsPolicy(ABC):
         return self.config
 
 
+@register_policy
 class NoDvfs(DvfsPolicy):
     """The paper's baseline: the NoC always runs at ``Fmax``."""
 
@@ -53,6 +55,7 @@ class NoDvfs(DvfsPolicy):
         return self._require_config().f_max_hz
 
 
+@register_policy
 class FixedFrequency(DvfsPolicy):
     """Pin the network clock to one frequency (sweeps, debugging)."""
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from ..noc.config import NocConfig
 from ..noc.stats import MeasurementSample
 from .policy import DvfsPolicy
+from .registry import register_policy
 
 
 def rmsd_frequency(config: NocConfig, node_lambda: float,
@@ -48,6 +49,7 @@ def lambda_min_for(config: NocConfig, lambda_max: float) -> float:
     return lambda_max * config.f_min_hz / config.f_node_hz
 
 
+@register_policy
 class RmsdController(DvfsPolicy):
     """Measurement-driven RMSD (the architecture of paper Fig. 1).
 

@@ -1,0 +1,37 @@
+"""repro-lint — the repo's determinism-contract static analyzer.
+
+The dynamic side of the determinism guarantee (differential tests,
+fault injection, the randomized-``PYTHONHASHSEED`` CI run) catches
+violations after they execute; this package rejects them at review
+time with an AST pass purpose-built for this codebase's failure modes
+(see :mod:`repro.lint.rules` for the rule table and README "Static
+analysis" for the workflow).
+
+Three ways in:
+
+* library — ``check_paths(["src"])`` returns a
+  :class:`~repro.lint.engine.LintReport`;
+* CLI — ``python -m repro.lint [paths] --format {text,json}``; exit 0
+  clean, 1 on error-severity findings, 2 on usage errors;
+* tier-1 — ``tests/test_lint_tree.py`` lints the installed ``repro``
+  package and fails on any non-baselined finding.
+"""
+
+from .baseline import Baseline, DEFAULT_BASELINE_NAME
+from .engine import (Finding, LintReport, Module, RULE_REGISTRY, Rule,
+                     check_paths, check_source, iter_rules,
+                     register_rule)
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintReport",
+    "Module",
+    "RULE_REGISTRY",
+    "Rule",
+    "check_paths",
+    "check_source",
+    "iter_rules",
+    "register_rule",
+]

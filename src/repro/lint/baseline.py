@@ -1,0 +1,115 @@
+"""Committed baselines: grandfathered findings, paid down over time.
+
+A baseline lets a new rule land *enforcing* — the tree lints clean
+from day one — without forcing every historical finding to be fixed in
+the same PR.  Baselined findings are invisible to the exit code but
+still counted, and deleting the entry (or fixing the code) retires
+them for good.
+
+Entries key on ``(rule, path, stripped source line)`` rather than line
+numbers, so unrelated edits above a grandfathered finding do not
+invalidate the baseline; ``count`` absorbs several identical findings
+on identical lines.  Paths compare by segment suffix, so a baseline
+written from the repo root still matches a lint run handed an
+absolute path.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .engine import Finding
+
+BASELINE_VERSION = 1
+
+#: the default committed baseline, looked up from the working directory
+DEFAULT_BASELINE_NAME = "repro-lint-baseline.json"
+
+
+def _same_file(a: str, b: str) -> bool:
+    """Segment-suffix path equality (absolute vs relative spellings)."""
+    pa = [p for p in a.replace("\\", "/").split("/") if p and p != "."]
+    pb = [p for p in b.replace("\\", "/").split("/") if p and p != "."]
+    if not pa or not pb:
+        return False
+    n = min(len(pa), len(pb))
+    return pa[-n:] == pb[-n:]
+
+
+class Baseline:
+    """A set of grandfathered findings loaded from (or bound for) disk."""
+
+    def __init__(self, entries: list[dict] | None = None) -> None:
+        self.entries: list[dict] = list(entries or [])
+
+    # --- construction ---------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(expected {BASELINE_VERSION})")
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            raise ValueError(f"malformed baseline in {path}: "
+                             f"'entries' must be a list")
+        for entry in entries:
+            if not {"rule", "path", "snippet"} <= set(entry):
+                raise ValueError(f"malformed baseline entry {entry!r} "
+                                 f"(need rule/path/snippet)")
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """A baseline grandfathering exactly ``findings``."""
+        counts: Counter[tuple[str, str, str]] = Counter(
+            (f.rule, f.path, f.snippet) for f in findings)
+        entries = [
+            {"rule": rule, "path": path, "snippet": snippet,
+             "count": count}
+            for (rule, path, snippet), count in sorted(counts.items())]
+        return cls(entries)
+
+    # --- persistence ----------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        payload = {"version": BASELINE_VERSION, "entries": self.entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    # --- filtering ------------------------------------------------------
+    def filter(self, findings: list[Finding]
+               ) -> tuple[list[Finding], int]:
+        """Split findings into (kept, number grandfathered).
+
+        Each entry absorbs up to ``count`` (default 1) findings whose
+        rule matches, whose path names the same file, and whose
+        stripped source line is unchanged.
+        """
+        budgets = [
+            [entry["rule"], entry["path"], entry["snippet"],
+             int(entry.get("count", 1))]
+            for entry in self.entries]
+        kept: list[Finding] = []
+        absorbed = 0
+        for finding in findings:
+            matched = False
+            for budget in budgets:
+                rule, path, snippet, left = budget
+                if (left > 0 and rule == finding.rule
+                        and snippet == finding.snippet
+                        and _same_file(path, finding.path)):
+                    budget[3] -= 1
+                    absorbed += 1
+                    matched = True
+                    break
+            if not matched:
+                kept.append(finding)
+        return kept, absorbed
+
+    def __len__(self) -> int:
+        return sum(int(e.get("count", 1)) for e in self.entries)

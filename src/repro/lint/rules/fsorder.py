@@ -1,0 +1,82 @@
+"""D003 — unsorted filesystem iteration.
+
+``os.listdir`` / ``Path.iterdir`` / ``glob`` return entries in
+whatever order the filesystem hands back — ext4, tmpfs and NFS all
+disagree, and so do two runs on one machine after a rename.  Any scan
+whose order feeds iteration (queue draining, result collection,
+digesting a directory) must pin it with ``sorted(...)`` *at the call
+site*, where the reviewer can see it.
+
+The check is deliberately syntactic: the scan call must sit directly
+inside an order-insensitive consumer (``sorted``, ``len``, ``set``,
+``frozenset``, or a membership test).  Stashing the listing in a
+variable and sorting later may be correct, but it is unverifiable file
+-locally — restructure, or suppress with an inline comment explaining
+why order cannot escape.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Module, Rule, register_rule
+
+#: method names that enumerate a directory on any receiver
+_SCAN_METHODS = frozenset({"iterdir", "rglob", "iglob", "scandir",
+                           "listdir"})
+
+#: ``<module>.glob(...)`` / ``<path>.glob(...)`` both enumerate; bare
+#: ``glob(...)`` from ``from glob import glob`` too
+_GLOB_NAMES = frozenset({"glob", "iglob"})
+
+#: wrapping calls that make enumeration order irrelevant
+_ORDER_FREE_WRAPPERS = frozenset({"sorted", "len", "set", "frozenset"})
+
+
+def _is_scan_call(node: ast.Call) -> str | None:
+    """The scanning function's display name, or None."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr in _SCAN_METHODS or func.attr in _GLOB_NAMES:
+            return func.attr
+    elif isinstance(func, ast.Name):
+        if func.id in ("listdir", "scandir") or func.id in _GLOB_NAMES:
+            return func.id
+    return None
+
+
+@register_rule
+class FsOrderRule(Rule):
+    id = "D003"
+    title = "unsorted filesystem iteration"
+    severity = "error"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _is_scan_call(node)
+            if name is None:
+                continue
+            if self._order_free_context(module, node):
+                continue
+            yield self.finding(
+                module, node,
+                f"{name}() result order is filesystem-dependent; wrap "
+                f"the call in sorted(...) so scans are order-stable "
+                f"across hosts and runs")
+
+    def _order_free_context(self, module: Module,
+                            node: ast.Call) -> bool:
+        parent = module.parent(node)
+        if isinstance(parent, ast.Call):
+            func = parent.func
+            if (isinstance(func, ast.Name)
+                    and func.id in _ORDER_FREE_WRAPPERS
+                    and parent.args and parent.args[0] is node):
+                return True
+        # `x in os.listdir(d)` — membership only, order-free
+        if isinstance(parent, ast.Compare) and node in parent.comparators:
+            return True
+        return False

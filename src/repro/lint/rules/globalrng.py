@@ -1,0 +1,130 @@
+"""D002 — global-RNG use outside the seeding module.
+
+Every random stream in a unit's execution derives from its spec-hash
+seed (``repro.runner.seeding``): ``np.random.default_rng(seed)`` and
+friends.  Touching the *module-level* generators — ``random.random()``,
+``np.random.rand()``, ``np.random.seed()`` — couples results to
+process-global state: import order, library internals, or another
+sweep running in the same interpreter.  The shared-PI-state bug class
+(PR 5) taught us how quietly that breaks bit-identity.
+
+Constructing *instance* RNGs stays legal everywhere — the point is
+that state must be owned, not shared: ``random.Random()`` for jitter
+that never touches results, ``np.random.default_rng(seed)`` /
+``SeedSequence`` for seeded streams.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .. import config
+from ..engine import Finding, Module, Rule, register_rule
+
+#: ``random.<attr>`` calls that construct owned state (allowed)
+_ALLOWED_RANDOM = frozenset({"Random", "SystemRandom"})
+
+#: ``numpy.random.<attr>`` constructors/types (allowed); everything
+#: else on that module is the legacy global generator
+_ALLOWED_NP_RANDOM = frozenset({
+    "default_rng", "Generator", "BitGenerator", "SeedSequence",
+    "RandomState", "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+
+def _module_aliases(tree: ast.Module
+                    ) -> tuple[set[str], set[str], set[str]]:
+    """Local names bound to ``random``, ``numpy``, ``numpy.random``."""
+    random_names: set[str] = set()
+    numpy_names: set[str] = set()
+    np_random_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                if alias.name == "random":
+                    random_names.add(local)
+                elif alias.name == "numpy":
+                    numpy_names.add(local)
+                elif alias.name == "numpy.random":
+                    if alias.asname:
+                        np_random_names.add(alias.asname)
+                    else:
+                        numpy_names.add("numpy")
+        elif isinstance(node, ast.ImportFrom) and node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    np_random_names.add(alias.asname or alias.name)
+    return random_names, numpy_names, np_random_names
+
+
+@register_rule
+class GlobalRngRule(Rule):
+    id = "D002"
+    title = "global-RNG use outside the seeding module"
+    severity = "error"
+    exclude = config.GLOBAL_RNG_ALLOWLIST
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        aliases = _module_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import(module, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node, *aliases)
+
+    def _check_import(self, module: Module,
+                      node: ast.ImportFrom) -> Iterator[Finding]:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in _ALLOWED_RANDOM:
+                    yield self.finding(
+                        module, node,
+                        f"'from random import {alias.name}' binds the "
+                        f"process-global RNG; unit streams must derive "
+                        f"from spec-hash seeds (repro.runner.seeding), "
+                        f"non-result jitter from an owned "
+                        f"random.Random() instance")
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in _ALLOWED_NP_RANDOM:
+                    yield self.finding(
+                        module, node,
+                        f"'from numpy.random import {alias.name}' "
+                        f"binds numpy's global generator; use "
+                        f"default_rng(seed) with a spec-hash seed "
+                        f"(repro.runner.seeding)")
+
+    def _check_call(self, module: Module, node: ast.Call,
+                    random_names: set[str], numpy_names: set[str],
+                    np_random_names: set[str]) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        # random.<fn>(...)
+        if (isinstance(func.value, ast.Name)
+                and func.value.id in random_names
+                and func.attr not in _ALLOWED_RANDOM):
+            yield self.finding(
+                module, node,
+                f"call to the module-level random.{func.attr}(); "
+                f"global RNG state is shared across the process — "
+                f"derive streams from spec-hash seeds "
+                f"(repro.runner.seeding) or own a random.Random() "
+                f"instance")
+            return
+        # np.random.<fn>(...) or <np-random-alias>.<fn>(...)
+        value = func.value
+        is_np_random = (
+            (isinstance(value, ast.Attribute) and value.attr == "random"
+             and isinstance(value.value, ast.Name)
+             and value.value.id in numpy_names)
+            or (isinstance(value, ast.Name)
+                and value.id in np_random_names))
+        if is_np_random and func.attr not in _ALLOWED_NP_RANDOM:
+            yield self.finding(
+                module, node,
+                f"call to numpy's module-level random.{func.attr}(); "
+                f"use np.random.default_rng(seed) with a spec-hash "
+                f"seed (repro.runner.seeding)")

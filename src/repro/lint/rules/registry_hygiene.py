@@ -1,0 +1,181 @@
+"""D006 — registry hygiene for policies and traffic patterns.
+
+Two checks over ``DvfsPolicy``/``TrafficPattern`` subclasses:
+
+* **mutable class-level defaults** — a ``list``/``dict``/``set``
+  literal (or constructor call) assigned at class level is shared by
+  every instance.  For controllers that is exactly the PR-5 bug: one
+  PI state leaking across sweep units, breaking bit-identity between
+  execution orders.  Mutable state belongs in ``__init__``.
+* **unregistered concrete classes** — a subclass that declares a
+  concrete registry ``name`` (anything but ``"abstract"``) must be
+  registered *in its own module*: decorated with
+  ``@register_policy``/``@register_pattern`` (or ``.registering``), or
+  passed to a module-level registration call.  Registration at a
+  distance means the class silently misses every name-driven consumer
+  (CLI ``--policy``, scenarios, default figure sweeps) until someone
+  remembers the side table.
+
+Subclassing is resolved module-locally (a class whose base chain
+reaches a name ending in ``DvfsPolicy`` or ``TrafficPattern``), so
+the rule works file-by-file without imports.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Module, Rule, dotted_name, register_rule
+
+_ROOT_BASES = ("DvfsPolicy", "TrafficPattern")
+
+#: calls producing a fresh mutable container per evaluation — shared
+#: forever when evaluated once at class level
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict",
+                            "OrderedDict", "Counter", "deque"})
+
+_REGISTER_MARKERS = ("register_policy", "register_pattern",
+                     "registering")
+
+
+def _base_names(node: ast.ClassDef) -> list[str]:
+    names = []
+    for base in node.bases:
+        name = dotted_name(base)
+        if name:
+            names.append(name.split(".")[-1])
+    return names
+
+
+def _registry_classes(tree: ast.Module) -> dict[str, ast.ClassDef]:
+    """Module classes descending (module-locally) from a root base."""
+    classes = {node.name: node for node in tree.body
+               if isinstance(node, ast.ClassDef)}
+    resolved: dict[str, bool] = {}
+
+    def descends(name: str, seen: frozenset[str]) -> bool:
+        if name in _ROOT_BASES:
+            return True
+        if name in resolved:
+            return resolved[name]
+        node = classes.get(name)
+        if node is None or name in seen:
+            return False
+        result = any(descends(base, seen | {name})
+                     for base in _base_names(node))
+        resolved[name] = result
+        return result
+
+    return {name: node for name, node in classes.items()
+            if descends(name, frozenset())}
+
+
+def _is_mutable_default(value: ast.AST) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    return (isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _MUTABLE_CALLS)
+
+
+def _concrete_name(node: ast.ClassDef) -> str | None:
+    """The class's registry ``name`` literal, if concretely declared."""
+    for stmt in node.body:
+        targets: list[ast.AST] = []
+        value: ast.AST | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if (isinstance(target, ast.Name) and target.id == "name"
+                    and isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                    and value.value != "abstract"):
+                return value.value
+    return None
+
+
+def _is_registered(node: ast.ClassDef, tree: ast.Module) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = dotted_name(target) or ""
+        if any(marker in name for marker in _REGISTER_MARKERS):
+            return True
+    # module-level `register_policy(ClassName)` / `REG.add(..., Cls)`
+    for stmt in tree.body:
+        if not (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)):
+            continue
+        call = stmt.value
+        name = dotted_name(call.func) or ""
+        if not (any(marker in name for marker in _REGISTER_MARKERS)
+                or name.endswith(".add")):
+            continue
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if isinstance(arg, ast.Name) and arg.id == node.name:
+                return True
+    return False
+
+
+@register_rule
+class RegistryHygieneRule(Rule):
+    id = "D006"
+    title = "policy/pattern registry hygiene"
+    severity = "error"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in _registry_classes(module.tree).values():
+            yield from self._check_mutable_defaults(module, node)
+            yield from self._check_registered(module, node)
+
+    def _check_mutable_defaults(self, module: Module,
+                                node: ast.ClassDef) -> Iterator[Finding]:
+        for stmt in node.body:
+            value = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if value is not None and _is_mutable_default(value):
+                yield self.finding(
+                    module, stmt,
+                    f"mutable class-level default on {node.name}; one "
+                    f"container is shared by every instance (the "
+                    f"shared-PI-state bug class) — initialize it in "
+                    f"__init__")
+
+    def _check_registered(self, module: Module,
+                          node: ast.ClassDef) -> Iterator[Finding]:
+        concrete = _concrete_name(node)
+        if concrete is None:
+            return
+        if not _is_registered(node, module.tree):
+            kind = ("@register_pattern"
+                    if "TrafficPattern" in _base_names(node)
+                    or self._pattern_ancestry(module, node)
+                    else "@register_policy")
+            yield self.finding(
+                module, node,
+                f"{node.name} declares registry name {concrete!r} but "
+                f"is not registered in this module; decorate it with "
+                f"{kind} so name-driven consumers (CLI, scenarios, "
+                f"sweeps) can find it")
+
+    def _pattern_ancestry(self, module: Module,
+                          node: ast.ClassDef) -> bool:
+        classes = {c.name: c for c in module.tree.body
+                   if isinstance(c, ast.ClassDef)}
+        stack = list(_base_names(node))
+        seen: set[str] = set()
+        while stack:
+            base = stack.pop()
+            if base == "TrafficPattern":
+                return True
+            if base in seen or base not in classes:
+                continue
+            seen.add(base)
+            stack.extend(_base_names(classes[base]))
+        return False

@@ -1,0 +1,156 @@
+"""D004 — set iteration order in digest/plan/spec-key code.
+
+``set`` and ``frozenset`` iterate in hash order, and string hashing is
+salted per process (``PYTHONHASHSEED``): two workers iterating one set
+see two orders.  Where that order reaches a digest, a cache key, a
+spec tuple or a float accumulation (float addition does not commute
+bit-for-bit), the result silently stops being a function of the spec.
+CI runs tier-1 under a randomized ``PYTHONHASHSEED`` to surface these
+dynamically; this rule rejects them at review time.
+
+Flagged, within the scoped digest/plan modules
+(:data:`repro.lint.config.SET_ORDER_SCOPE`):
+
+* ``for``-loops, comprehensions and ``yield from`` iterating a set
+  literal, set comprehension, or ``set(...)``/``frozenset(...)`` call;
+* the same via a local name assigned from one of those (straight-line
+  tracking per scope);
+* order-sensitive consumers (``tuple``, ``list``, ``"".join``,
+  ``sum``, ``enumerate``, ``reversed``) applied to one.
+
+``sorted(<set>)`` is the fix, and membership tests stay legal — sets
+are still the right container, they just may not *leak order*.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .. import config
+from ..engine import Finding, Module, Rule, register_rule
+
+#: order-sensitive consumers: the set's order becomes data
+_ORDER_SINKS = frozenset({"tuple", "list", "sum", "enumerate",
+                          "reversed"})
+
+_SET_CALLS = frozenset({"set", "frozenset"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _SET_CALLS)
+
+
+class _ScopeVisitor(ast.NodeVisitor):
+    """Walks one scope in statement order, tracking set-valued names."""
+
+    def __init__(self, rule: "SetIterRule", module: Module) -> None:
+        self.rule = rule
+        self.module = module
+        self.tainted: set[str] = set()
+        self.findings: list[Finding] = []
+
+    # --- taint bookkeeping ---------------------------------------------
+    def _note_assign(self, target: ast.AST, value: ast.AST) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        if _is_set_expr(value):
+            self.tainted.add(target.id)
+        else:
+            self.tainted.discard(target.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._note_assign(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._note_assign(node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # `s |= {...}` keeps a set a set; anything else we forget.
+        self.generic_visit(node)
+
+    # --- nested scopes get their own visitor ---------------------------
+    def _nested(self, node: ast.AST) -> None:
+        nested = _ScopeVisitor(self.rule, self.module)
+        for child in ast.iter_child_nodes(node):
+            nested.visit(child)
+        self.findings.extend(nested.findings)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._nested(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._nested(node)
+
+    # --- order escapes -------------------------------------------------
+    def _ordered(self, node: ast.AST, context: str) -> None:
+        if _is_set_expr(node):
+            self.findings.append(self.rule.finding(
+                self.module, node,
+                f"iteration order of a set {context}; wrap it in "
+                f"sorted(...) — set order is hash-salted and varies "
+                f"per process (PYTHONHASHSEED)"))
+        elif (isinstance(node, ast.Name)
+                and node.id in self.tainted):
+            self.findings.append(self.rule.finding(
+                self.module, node,
+                f"iteration order of set {node.id!r} {context}; wrap "
+                f"it in sorted(...) — set order is hash-salted and "
+                f"varies per process (PYTHONHASHSEED)"))
+
+    def visit_For(self, node: ast.For) -> None:
+        self._ordered(node.iter, "drives this loop")
+        self.generic_visit(node)
+
+    def _comp(self, node) -> None:
+        for gen in node.generators:
+            self._ordered(gen.iter, "drives this comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _comp
+    visit_GeneratorExp = _comp
+    visit_DictComp = _comp
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # building another *set* from a set keeps order irrelevant
+        self.generic_visit(node)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self._ordered(node.value, "is yielded")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        sink = None
+        if isinstance(func, ast.Name) and func.id in _ORDER_SINKS:
+            sink = func.id
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            sink = "join"
+        if sink is not None and node.args:
+            self._ordered(node.args[0], f"reaches {sink}(...)")
+        self.generic_visit(node)
+
+
+@register_rule
+class SetIterRule(Rule):
+    id = "D004"
+    title = "set iteration order reaches digest/plan code"
+    severity = "error"
+    include = config.SET_ORDER_SCOPE
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        visitor = _ScopeVisitor(self, module)
+        for child in ast.iter_child_nodes(module.tree):
+            visitor.visit(child)
+        yield from visitor.findings

@@ -1,0 +1,63 @@
+"""D005 — deprecated shim spellings inside ``src/``.
+
+The pre-context keyword forms — ``run_sweep(runner=..., engine=...)``
+and ``Workbench(jobs=..., unit_cache=..., engine=...)`` — live on as
+``DeprecationWarning`` shims for downstream users, but internal code
+migrated to ``ExecutionContext`` in PR 7 and pytest promotes the
+warnings to errors.  This rule closes the remaining gap: a deprecated
+spelling on a path no test exercises would otherwise survive until a
+user hits it.  Library code must build a context once and pass it
+down whole.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Module, Rule, register_rule
+
+#: callable name -> (deprecated keywords, replacement hint)
+_SHIMS = {
+    "run_sweep": (
+        frozenset({"runner", "engine"}),
+        "build an ExecutionContext and pass context=...",
+    ),
+    "Workbench": (
+        frozenset({"jobs", "unit_cache", "engine"}),
+        "pass Workbench(context=ExecutionContext(...))",
+    ),
+}
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@register_rule
+class DeprecatedShimRule(Rule):
+    id = "D005"
+    title = "deprecated shim spelling in library code"
+    severity = "error"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name not in _SHIMS:
+                continue
+            deprecated, hint = _SHIMS[name]
+            used = sorted(
+                kw.arg for kw in node.keywords
+                if kw.arg is not None and kw.arg in deprecated)
+            if used:
+                spelled = ", ".join(f"{kw}=" for kw in used)
+                yield self.finding(
+                    module, node,
+                    f"deprecated {name}({spelled}...) spelling; {hint}")

@@ -1,0 +1,67 @@
+"""D001 — wall-clock reads in simulation/digest paths.
+
+A unit's result must be a pure function of its spec digest.  A
+``time.time()`` (or ``datetime.now()``, ``time.monotonic()``) read
+anywhere between "unit submitted" and "result digested" makes the
+outcome depend on *when* it ran — exactly the class of bug the
+serial/distributed differentials exist to catch, caught here at
+review time instead.
+
+``time.perf_counter()`` stays legal: the runner stamps ``elapsed_s``
+bookkeeping with it, which never enters a digest.  The distributed
+lease/heartbeat modules are allowlisted wholesale in
+:mod:`repro.lint.config` — wall-clock expiry is their contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .. import config
+from ..engine import Finding, Module, Rule, dotted_name, register_rule
+
+#: dotted call targets that read the wall clock
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "date.today",
+})
+
+#: names whose bare import from ``time`` is itself the violation
+_TIME_IMPORTS = frozenset({"time", "time_ns", "monotonic",
+                           "monotonic_ns"})
+
+
+@register_rule
+class WallClockRule(Rule):
+    id = "D001"
+    title = "wall-clock read in a simulation/digest path"
+    severity = "error"
+    include = config.WALL_CLOCK_SCOPE
+    exclude = config.WALL_CLOCK_ALLOWLIST
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in WALL_CLOCK_CALLS:
+                    yield self.finding(
+                        module, node,
+                        f"wall-clock read {name}() in a simulation/"
+                        f"digest path; results must be a function of "
+                        f"the unit spec digest only (time.perf_counter"
+                        f" is fine for elapsed bookkeeping)")
+            elif (isinstance(node, ast.ImportFrom)
+                    and node.module == "time"):
+                for alias in node.names:
+                    if alias.name in _TIME_IMPORTS:
+                        yield self.finding(
+                            module, node,
+                            f"'from time import {alias.name}' pulls a "
+                            f"wall-clock reader into a simulation/"
+                            f"digest path; import the module and use "
+                            f"time.perf_counter for bookkeeping")

@@ -472,9 +472,11 @@ class WorkQueue:
 
     def result_ids(self) -> set[str]:
         """Every task id with a recorded result (one directory scan —
-        the collector's per-poll primitive)."""
+        the collector's per-poll primitive).  The scan is sorted so
+        traversal order is host-independent even though the result is
+        a set."""
         return {name[:-len(".pkl")]
-                for name in os.listdir(self._dir("results"))
+                for name in sorted(os.listdir(self._dir("results")))
                 if name.endswith(".pkl")}
 
     def load_results(self, task_id: str) -> list:
@@ -512,7 +514,7 @@ class WorkQueue:
         return out
 
     def _ids(self, directory: str) -> tuple[str, ...]:
-        return tuple(sorted(
+        return tuple(
             name[:-len(".json")]
-            for name in os.listdir(self._dir(directory))
-            if name.endswith(".json")))
+            for name in sorted(os.listdir(self._dir(directory)))
+            if name.endswith(".json"))

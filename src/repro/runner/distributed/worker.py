@@ -63,6 +63,10 @@ class Worker:
         self.claim_batch = claim_batch
         self.executed = 0
         self.failed = 0
+        # Owned jitter source for idle-poll backoff: OS-entropy
+        # seeded, so a fleet's polls decorrelate without touching the
+        # process-global RNG (whose state user code may have seeded).
+        self._jitter = random.Random()
 
     # ------------------------------------------------------------------
     def run_once(self) -> bool:
@@ -180,6 +184,6 @@ class Worker:
                 break
             if self.queue.shutdown_requested(since=started):
                 break
-            time.sleep(delay * random.uniform(0.5, 1.5))
+            time.sleep(delay * self._jitter.uniform(0.5, 1.5))
             delay = min(delay * 2.0, cap)
         return handled

@@ -12,6 +12,7 @@ hangs, never drops or corrupts a unit.
 """
 
 import contextlib
+import json
 import os
 import threading
 import time
@@ -216,6 +217,32 @@ class TestQueuePrimitives:
             queue.publish(tid, tid)
         order = [queue.claim("w").task_id for _ in range(3)]
         assert order == ["a-1", "b-2", "c-3"]
+
+    def test_directory_scans_are_sorted(self, tmp_path, monkeypatch):
+        """Traversal order must not depend on the filesystem.
+
+        ``os.listdir`` order is an implementation detail of the
+        backing filesystem (inode order on ext4, creation order on
+        tmpfs, ...).  Every queue scan sorts it away; simulate a
+        hostile host by reversing whatever the real listing returns.
+        """
+        queue = WorkQueue(tmp_path / "q").ensure()
+        for tid in ("c-3", "a-1", "b-2"):
+            queue.publish(tid, tid)
+        for tid in ("beta", "alpha"):
+            (queue._dir("failed") / f"{tid}.json").write_text(
+                json.dumps({"errors": ["boom"]}))
+            (queue._dir("results") / f"{tid}.pkl").write_bytes(b"")
+
+        real_listdir = os.listdir
+
+        def reversed_listdir(path):
+            return list(reversed(real_listdir(path)))
+
+        monkeypatch.setattr(os, "listdir", reversed_listdir)
+        assert queue.todo_ids() == ("a-1", "b-2", "c-3")
+        assert list(queue.failed_tickets()) == ["alpha", "beta"]
+        assert queue.result_ids() == {"alpha", "beta"}
 
     def test_lease_renewal_keeps_task_alive(self, tmp_path):
         queue = WorkQueue(tmp_path / "q", lease_ttl_s=0.2).ensure()

@@ -71,8 +71,14 @@ class TestRef:
 
 class TestPolicyRegistry:
     def test_builtins_registered_in_paper_order(self):
+        # Policies self-register at class definition (lint rule D006),
+        # so registration order follows repro.core's import order:
+        # the paper triple keeps its relative order, with the
+        # strategy-less 'fixed' debugging policy interleaved.
         names = policy_names()
-        assert names[:3] == ("no-dvfs", "rmsd", "dmsd")
+        paper = tuple(n for n in names
+                      if n in ("no-dvfs", "rmsd", "dmsd"))
+        assert paper == ("no-dvfs", "rmsd", "dmsd")
         assert "fixed" in names
 
     def test_default_policies_is_the_paper_triple(self):
