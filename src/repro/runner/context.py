@@ -173,15 +173,32 @@ class ExecutionContext:
         return self.runner.run(units)
 
 
+def _env_int(name: str, default: str) -> int:
+    """An integer environment variable, with a readable failure.
+
+    A raw ``int()`` here would surface as ``invalid literal for
+    int() with base 10: 'x'`` — technically true, but naming neither
+    the variable nor where to fix it.  Match the CLI's argument-error
+    quality instead.
+    """
+    value = os.environ.get(name, default)
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name}={value!r} is not an "
+            f"integer") from None
+
+
 def context_from_env() -> ExecutionContext:
     """Build a context from ``REPRO_BACKEND``/``REPRO_JOBS``/
     ``REPRO_ENGINE``/``REPRO_QUEUE``/``REPRO_WORKERS``/``REPRO_POOL``/
     ``REPRO_CLAIM_BATCH`` (the benchmark harness entry point)."""
     backend = os.environ.get("REPRO_BACKEND", "auto")
     queue = os.environ.get("REPRO_QUEUE") or None
-    workers = int(os.environ.get("REPRO_WORKERS", "0"))
+    workers = _env_int("REPRO_WORKERS", "0")
     pool = os.environ.get("REPRO_POOL", "") not in ("", "0")
-    claim_batch = int(os.environ.get("REPRO_CLAIM_BATCH", "1"))
+    claim_batch = _env_int("REPRO_CLAIM_BATCH", "1")
     if backend != "distributed" and (queue or workers or pool
                                      or claim_batch != 1):
         # Same guard as the CLI: a queue that would be silently
@@ -191,7 +208,7 @@ def context_from_env() -> ExecutionContext:
                          "REPRO_BACKEND=distributed")
     return ExecutionContext(
         backend=backend,
-        jobs=int(os.environ.get("REPRO_JOBS", "1")),
+        jobs=_env_int("REPRO_JOBS", "1"),
         engine=os.environ.get("REPRO_ENGINE", DEFAULT_ENGINE),
         queue=queue, workers=workers, pool=pool,
         claim_batch=claim_batch)

@@ -27,7 +27,8 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from ..backends import FinishFn
-from .queue import DEFAULT_MAX_ATTEMPTS, QueueError, WorkQueue
+from .queue import (DEFAULT_MAX_ATTEMPTS, QueueError, RequeueReport,
+                    WorkQueue)
 
 
 class FailedUnitError(QueueError):
@@ -62,6 +63,43 @@ class CollectStats:
 PollHook = Callable[[set], None]
 
 
+class QueueTender:
+    """Owns the queue's maintenance cadence: expiry + staging sweeps.
+
+    One tender serves any number of concurrently collected plans — the
+    expiry sweep walks ``claimed/`` wholesale, so running it once per
+    queue (the sweep-service daemon's case) instead of once per
+    collector keeps the filesystem cost independent of how many
+    submissions are in flight.  ``tick`` is cheap to call every poll;
+    the sweep itself only runs every ``interval_s``.
+    """
+
+    def __init__(self, queue: WorkQueue,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 interval_s: float | None = None) -> None:
+        self.queue = queue
+        self.max_attempts = max_attempts
+        # A few sweeps per lease TTL is enough to keep worst-case
+        # crash-recovery latency a fraction of the TTL, which matters
+        # on the network filesystems multi-host queues live on.
+        self.interval_s = (queue.lease_ttl_s / 4.0
+                           if interval_s is None else interval_s)
+        self._last = 0.0
+
+    def tick(self, now: float | None = None) -> RequeueReport | None:
+        """Run the sweeps if the cadence is due; ``None`` otherwise."""
+        now = time.time() if now is None else now
+        if now - self._last < self.interval_s:
+            return None
+        self._last = now
+        report = self.queue.requeue_expired(self.max_attempts, now=now)
+        # Same cadence: reclaim staging files orphaned by workers that
+        # crashed mid-atomic-write (they would otherwise accumulate in
+        # tmp/ forever).
+        self.queue.sweep_stale_tmp(now)
+        return report
+
+
 class Collector:
     """Waits on one published plan's tasks in one queue."""
 
@@ -85,12 +123,11 @@ class Collector:
         deadline = (None if self.timeout_s is None
                     else time.time() + self.timeout_s)
         # The per-poll cost is one results/ listing (plus one failed/
-        # listing); the claimed-directory expiry sweep only needs to
-        # run a few times per lease TTL, which matters on the network
-        # filesystems multi-host queues live on.
-        sweep_interval = max(self.poll_s,
-                             self.queue.lease_ttl_s / 4.0)
-        last_sweep = 0.0
+        # listing); the tender runs the claimed-directory expiry sweep
+        # on its own, coarser cadence.
+        tender = QueueTender(
+            self.queue, self.max_attempts,
+            interval_s=max(self.poll_s, self.queue.lease_ttl_s / 4.0))
         requeues = polls = 0
         while outstanding:
             for task_id in sorted(self.queue.result_ids()
@@ -103,23 +140,25 @@ class Collector:
             failures = self.queue.failed_tickets(outstanding)
             if failures:
                 raise FailedUnitError(failures)
-            now = time.time()
-            if now - last_sweep >= sweep_interval:
-                last_sweep = now
-                report = self.queue.requeue_expired(self.max_attempts)
+            report = tender.tick()
+            if report is not None:
                 requeues += len(report.requeued)
-                # Same cadence: reclaim staging files orphaned by
-                # workers that crashed mid-atomic-write (they would
-                # otherwise accumulate in tmp/ forever).
-                self.queue.sweep_stale_tmp(now)
             if on_poll is not None:
                 on_poll(outstanding)
-            if deadline is not None and time.time() > deadline:
+            now = time.time()
+            if deadline is not None and now >= deadline:
                 raise CollectTimeout(
                     f"{len(outstanding)} task(s) still outstanding "
                     f"after {self.timeout_s:.1f}s: "
                     f"{', '.join(sorted(outstanding))}")
             polls += 1
-            time.sleep(self.poll_s)
+            # Clamp the final sleep to the remaining deadline: with a
+            # poll interval coarser than the timeout, sleeping a full
+            # poll would fire CollectTimeout up to one whole poll_s
+            # late (the deadline is only checked between sleeps).
+            sleep_s = self.poll_s
+            if deadline is not None:
+                sleep_s = min(sleep_s, max(deadline - now, 0.0))
+            time.sleep(sleep_s)
         return CollectStats(tasks=len(self.task_ids),
                             requeues=requeues, polls=polls)

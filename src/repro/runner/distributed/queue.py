@@ -98,6 +98,20 @@ class RequeueReport:
     failed: tuple[str, ...] = ()
 
 
+@dataclass(frozen=True)
+class EvictionReport:
+    """What one eviction pass removed from the result store."""
+
+    results: tuple[str, ...] = ()
+    failed: tuple[str, ...] = ()
+    payloads: tuple[str, ...] = ()
+
+    @property
+    def total(self) -> int:
+        return (len(self.results) + len(self.failed)
+                + len(self.payloads))
+
+
 class WorkQueue:
     """A shared-directory work queue rooted at ``root``."""
 
@@ -151,6 +165,11 @@ class WorkQueue:
             json.dumps(ticket).encode())
 
     # --- publishing ---------------------------------------------------
+    def pending_ticket(self, task_id: str) -> bool:
+        """Is a claim ticket for this task live (todo or claimed)?"""
+        return any((self._dir(where) / f"{task_id}.json").exists()
+                   for where in ("todo", "claimed"))
+
     def publish(self, task_id: str, payload: Any) -> bool:
         """Publish one task; returns False when its result already
         exists (nothing to run — the collector serves it directly).
@@ -159,9 +178,19 @@ class WorkQueue:
         ticket from an earlier run (whose cause the operator has since
         fixed) is cleared, so the fresh attempt budget actually
         applies instead of the old failure poisoning the new plan.
+
+        A task whose ticket is already *live* — queued in ``todo/`` or
+        claimed by a worker right now — is not re-ticketed: a second
+        publisher (another client submitting an overlapping sweep to a
+        shared queue) must neither reset the in-flight ticket's
+        attempt count nor race a duplicate ticket past the claim
+        dedupe.  The call still returns True, because the task is
+        outstanding work the caller has to wait on.
         """
         if self.has_result(task_id):
             return False
+        if self.pending_ticket(task_id):
+            return True
         try:
             (self._dir("failed") / f"{task_id}.json").unlink()
         except OSError:
@@ -212,8 +241,21 @@ class WorkQueue:
             try:
                 ticket = json.loads(dst.read_text())
             except (OSError, ValueError):
-                ticket = {"task": name[:-len(".json")], "attempts": 0,
-                          "errors": []}
+                # The ticket is unreadable (a torn write), so the true
+                # attempt count is lost.  Fabricate a replacement, but
+                # *charge the fabrication as one attempt* — resetting
+                # to zero would hand a crash-looping task a fresh
+                # retry budget every time its ticket tears, letting it
+                # retry forever.  The fabricated ticket is also
+                # written back to ``claimed/`` so the rest of the
+                # protocol (release_error's ownership check, the
+                # expiry sweep's requeue) can read it; leaving the
+                # torn bytes in place would strand the task in
+                # ``claimed/`` unretirable.
+                ticket = {"task": name[:-len(".json")], "attempts": 1,
+                          "errors": ["ticket unreadable at claim; "
+                                     "attempt count fabricated"]}
+                self._write_ticket("claimed", ticket)
             if self.has_result(ticket["task"]):
                 # A leftover ticket for an already-completed task (a
                 # zombie's late requeue racing the real completion):
@@ -425,6 +467,77 @@ class WorkQueue:
                 continue
             removed.append(name)
         return tuple(removed)
+
+    # --- eviction (operator side) -------------------------------------
+    def evict(self, max_age_s: float, now: float | None = None,
+              keep: set[str] | frozenset[str] = frozenset(),
+              dry_run: bool = False) -> EvictionReport:
+        """Remove stored results older than ``max_age_s`` seconds.
+
+        ``results/`` doubles as the queue's digest-keyed cache, so a
+        long-lived service queue grows without bound unless somebody
+        evicts.  Age is the result file's mtime — completion rewrites
+        it, so a result re-served by an overlapping sweep stays
+        "recently written" only if it was actually recomputed; pure
+        cache hits do not refresh it (eviction is by *write* age, the
+        provenance embedded per unit records what the result was).
+
+        Evicting a result also drops the task's now-orphaned payload,
+        and ``failed/`` tickets older than the cutoff are cleared the
+        same way (their error history has been surfaceable for the
+        whole retention window).  Tasks in ``keep`` — e.g. those a
+        live submission still references — and tasks with a live
+        claim ticket are spared regardless of age.  With ``dry_run``
+        nothing is deleted; the report lists what would be.
+        """
+        if max_age_s < 0:
+            raise ValueError("max_age_s must be >= 0")
+        now = time.time() if now is None else now
+        results: list[str] = []
+        failed: list[str] = []
+        payloads: list[str] = []
+
+        def too_old(path: Path) -> bool:
+            try:
+                return now - path.stat().st_mtime > max_age_s
+            except OSError:
+                return False    # vanished under us: nothing to evict
+
+        def remove(path: Path) -> bool:
+            if dry_run:
+                return True
+            try:
+                path.unlink()
+            except OSError:
+                return False    # lost a race with another evictor
+            return True
+
+        for name in sorted(os.listdir(self._dir("results"))):
+            if not name.endswith(".pkl"):
+                continue
+            task_id = name[:-len(".pkl")]
+            path = self._dir("results") / name
+            if (task_id in keep or self.pending_ticket(task_id)
+                    or not too_old(path)):
+                continue
+            if not remove(path):
+                continue
+            results.append(task_id)
+            if self.payload_path(task_id).exists() and \
+                    remove(self.payload_path(task_id)):
+                payloads.append(task_id)
+        for name in sorted(os.listdir(self._dir("failed"))):
+            if not name.endswith(".json"):
+                continue
+            task_id = name[:-len(".json")]
+            path = self._dir("failed") / name
+            if task_id in keep or not too_old(path):
+                continue
+            if remove(path):
+                failed.append(task_id)
+        return EvictionReport(results=tuple(results),
+                              failed=tuple(failed),
+                              payloads=tuple(payloads))
 
     # --- shutdown sentinel (driver side) ------------------------------
     def shutdown_path(self) -> Path:

@@ -1,0 +1,842 @@
+"""Sweep-as-a-service: a long-running daemon over one work queue.
+
+The distributed queue's ``results/`` directory is already a
+digest-keyed, machine-independent result store; this module promotes
+it to a *service*: one daemon process owns a queue directory (and,
+optionally, a warm fleet of local worker subprocesses), and any number
+of clients hand it scenario sweeps to run.  Everything rides the
+existing file protocol — submissions are JSON files atomically renamed
+into an inbox, exactly the idiom ``todo/`` tickets use — so there is
+no new transport and no new trust model beyond the queue directory
+itself.
+
+Layout (inside the queue root)::
+
+    submissions/
+      inbox/    client-submitted sweeps (``<id>.json``), atomically
+                renamed in; the daemon renames them out to accept
+      active/   submissions the daemon has accepted and planned
+                (crash recovery: a restarted daemon re-plans these —
+                publishing is idempotent, results are reused)
+      status/   per-submission status files the daemon atomically
+                rewrites (state, planned/cached/running/done counts,
+                failures with error history) — poll these, or
+                ``python -m repro.experiments status --follow``
+      done/     terminal submissions (provenance; ``gc`` prunes)
+
+Sharing comes free from content-addressed tasks: two clients
+submitting overlapping sweeps map the overlap to the same task ids, so
+it executes **once** — deduped against ``results/`` (earlier runs) and
+against each other's in-flight tickets (``WorkQueue.publish`` skips
+live tickets).  Each scenario of a submission is planned as its own
+:class:`~repro.runner.plan.ExecutionPlan` with a fixed fan-out, so the
+task ids of a scenario sweep depend only on the scenario, the rates,
+the budget, the seed, the engine and the daemon's fan-out — never on
+what else happened to share the submission.
+
+Clients (see ``python -m repro.experiments submit/status/gc``):
+
+* :func:`submit_sweep` — drop a :class:`SweepSubmission` in the inbox;
+* :func:`read_status` / :func:`list_submissions` — poll status files;
+* :func:`submission_results` — fetch a finished submission's
+  :class:`~repro.runner.units.UnitResult`\\ s in submission order
+  (bit-identical to a serial run of the same units);
+* :func:`gc_queue` — evict results/provenance older than a retention
+  window (the scenario metadata embedded per unit is the provenance).
+
+The daemon (:class:`ServiceDaemon`) accepts, plans and publishes
+submissions, babysits its worker fleet (or executes in-process when
+``workers=0`` — the daemon *is* then the worker), serves as the
+collector for every in-flight submission at once (one ``results/``
+scan per tick, one shared :class:`~.collector.QueueTender` expiry
+cadence), and tears down gracefully: a stop request drains in-flight
+submissions, then sentinel-retires the pool so no worker subprocess
+outlives it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from ...noc.budget import DEFAULT, SimBudget
+from ...noc.engines import DEFAULT_ENGINE, engine_names
+from ...scenario import ScenarioSpec
+from ..plan import ExecutionPlan
+from ..units import UnitResult
+from .broker import publish_plan
+from .collector import QueueTender
+from .lease import DEFAULT_LEASE_TTL_S
+from .pool import WorkerPool
+from .queue import (DEFAULT_MAX_ATTEMPTS, EvictionReport, QueueError,
+                    WorkQueue, default_worker_id)
+from .worker import Worker
+
+#: Sharding fan-out assumed when the daemon has no self-spawned fleet
+#: (external or in-process workers); mirrors the backend's constant.
+SERVICE_SHARD_FANOUT = 8
+
+#: Submission subdirectories (under the queue root).
+_SUBMISSION_DIRS = ("submissions/inbox", "submissions/active",
+                    "submissions/status", "submissions/done")
+
+_submission_counter = itertools.count()
+
+
+# ---------------------------------------------------------------------
+# The submission wire format
+# ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepSubmission:
+    """One client's sweep request: scenarios x rates, plus run knobs.
+
+    Frozen and JSON-serializable (:meth:`to_payload` /
+    :meth:`from_payload`): a submission crosses the queue directory as
+    human-readable JSON, never as a pickle — clients only need to
+    write a file, and a daemon never unpickles client input.
+    """
+
+    submission_id: str
+    scenarios: tuple[ScenarioSpec, ...]
+    rates: tuple[float, ...]
+    seed: int = 1
+    engine: str = DEFAULT_ENGINE
+    budget: SimBudget = DEFAULT
+
+    def __post_init__(self) -> None:
+        if not self.submission_id or "/" in self.submission_id:
+            raise ValueError(
+                f"invalid submission id {self.submission_id!r}")
+        if not self.scenarios:
+            raise ValueError("a submission needs at least one scenario")
+        if not self.rates:
+            raise ValueError("a submission needs at least one rate")
+        if any(r <= 0 for r in self.rates):
+            raise ValueError("rates must be positive")
+        if self.engine not in engine_names():
+            raise ValueError(f"unknown engine {self.engine!r}; known: "
+                             f"{', '.join(engine_names())}")
+
+    @classmethod
+    def build(cls, scenarios: Iterable[ScenarioSpec],
+              rates: Iterable[float], seed: int = 1,
+              engine: str = DEFAULT_ENGINE,
+              budget: SimBudget = DEFAULT,
+              submission_id: str | None = None) -> "SweepSubmission":
+        """The ergonomic constructor; mints an id when none is given.
+
+        Ids are content-prefixed for log readability but made unique
+        by submitter identity and a counter — two clients submitting
+        the *same* sweep still get their own status files (the shared
+        work dedupes at the task layer, not here).
+        """
+        scenarios = tuple(scenarios)
+        rates = tuple(float(r) for r in rates)
+        budget = budget if budget is not None else DEFAULT
+        if submission_id is None:
+            content = json.dumps(
+                [[s.digest() for s in scenarios], list(rates), seed,
+                 engine, [budget.warmup_cycles, budget.measure_cycles,
+                          budget.drain_cycles]],
+                sort_keys=True)
+            prefix = hashlib.sha256(content.encode()).hexdigest()[:10]
+            submission_id = (f"sub-{prefix}-{default_worker_id()}-"
+                             f"{next(_submission_counter)}")
+        return cls(submission_id, scenarios, rates, seed=seed,
+                   engine=engine, budget=budget)
+
+    def to_payload(self) -> dict:
+        return {
+            "id": self.submission_id,
+            "scenarios": [s.to_payload() for s in self.scenarios],
+            "rates": list(self.rates),
+            "seed": self.seed,
+            "engine": self.engine,
+            "budget": [self.budget.warmup_cycles,
+                       self.budget.measure_cycles,
+                       self.budget.drain_cycles],
+        }
+
+    @classmethod
+    def from_payload(cls, data: dict) -> "SweepSubmission":
+        try:
+            scenarios = tuple(ScenarioSpec.from_payload(s)
+                              for s in data["scenarios"])
+            rates = tuple(float(r) for r in data["rates"])
+            budget = (SimBudget(*data["budget"]) if "budget" in data
+                      else DEFAULT)
+            return cls(data["id"], scenarios, rates,
+                       seed=int(data.get("seed", 1)),
+                       engine=data.get("engine", DEFAULT_ENGINE),
+                       budget=budget)
+        except (TypeError, KeyError, ValueError) as exc:
+            raise ValueError(f"malformed submission payload: {exc}") \
+                from exc
+
+    @property
+    def label(self) -> str:
+        inner = ", ".join(s.label for s in self.scenarios[:3])
+        if len(self.scenarios) > 3:
+            inner += f", +{len(self.scenarios) - 3} more"
+        return f"{inner} x {len(self.rates)} rates"
+
+
+# ---------------------------------------------------------------------
+# The submission store (file primitives; client and daemon side)
+# ---------------------------------------------------------------------
+class SubmissionStore:
+    """Submission/status file primitives on one queue directory.
+
+    Every write is staged under the queue's ``tmp/`` and atomically
+    renamed into place — the same idiom (and the same crash-recovery
+    guarantees) as claim tickets, so a reader never observes a torn
+    submission or status file.
+    """
+
+    def __init__(self, queue: WorkQueue) -> None:
+        self.queue = queue
+
+    def ensure(self) -> "SubmissionStore":
+        self.queue.ensure()
+        try:
+            for name in _SUBMISSION_DIRS:
+                (self.queue.root / name).mkdir(parents=True,
+                                               exist_ok=True)
+        except OSError as exc:
+            raise QueueError(
+                f"cannot initialise submission store at "
+                f"{str(self.queue.root)!r}: {exc}") from exc
+        return self
+
+    def _dir(self, name: str) -> Path:
+        return self.queue.root / "submissions" / name
+
+    def _ids(self, name: str) -> tuple[str, ...]:
+        return tuple(n[:-len(".json")]
+                     for n in sorted(os.listdir(self._dir(name)))
+                     if n.endswith(".json"))
+
+    # --- client side --------------------------------------------------
+    def submit(self, submission: SweepSubmission) -> str:
+        """Drop a submission in the inbox; returns its id."""
+        payload = json.dumps(submission.to_payload(), sort_keys=True)
+        self.queue._write_atomic(
+            self._dir("inbox") / f"{submission.submission_id}.json",
+            payload.encode())
+        return submission.submission_id
+
+    def read_status(self, submission_id: str) -> dict | None:
+        """The submission's status payload, or None before planning.
+
+        A submission still waiting in the inbox reports a synthetic
+        ``queued`` state, so clients polling right after submit see
+        progress, not absence.
+        """
+        try:
+            return json.loads(
+                (self._dir("status") / f"{submission_id}.json")
+                .read_text())
+        except (OSError, ValueError):
+            pass
+        if (self._dir("inbox") / f"{submission_id}.json").exists():
+            return {"id": submission_id, "state": "queued"}
+        return None
+
+    def status_ids(self) -> tuple[str, ...]:
+        return self._ids("status")
+
+    # --- daemon side --------------------------------------------------
+    def pending_ids(self) -> tuple[str, ...]:
+        return self._ids("inbox")
+
+    def active_ids(self) -> tuple[str, ...]:
+        return self._ids("active")
+
+    def accept(self, submission_id: str
+               ) -> tuple[SweepSubmission | None, str | None]:
+        """Move an inbox submission to ``active/`` and parse it.
+
+        Returns ``(submission, None)`` or ``(None, error)``; exactly
+        one daemon wins the rename, so two daemons pointed at one
+        queue never double-accept.  A malformed submission is *kept*
+        in ``active/`` (for post-mortem) and reported via its status
+        file, not silently dropped.
+        """
+        src = self._dir("inbox") / f"{submission_id}.json"
+        dst = self._dir("active") / f"{submission_id}.json"
+        try:
+            os.rename(src, dst)
+        except OSError:
+            return None, None       # another daemon won, or withdrawn
+        return self._load(dst, submission_id)
+
+    def reload_active(self, submission_id: str
+                      ) -> tuple[SweepSubmission | None, str | None]:
+        """Re-read an ``active/`` submission (daemon crash recovery)."""
+        return self._load(self._dir("active") / f"{submission_id}.json",
+                          submission_id)
+
+    def _load(self, path: Path, submission_id: str
+              ) -> tuple[SweepSubmission | None, str | None]:
+        try:
+            submission = SweepSubmission.from_payload(
+                json.loads(path.read_text()))
+        except (OSError, ValueError) as exc:
+            return None, f"unreadable submission: {exc}"
+        if submission.submission_id != submission_id:
+            return None, (f"submission file {submission_id}.json "
+                          f"names id {submission.submission_id!r}")
+        return submission, None
+
+    def write_status(self, payload: dict) -> None:
+        """Atomically rewrite one submission's status file."""
+        self.queue._write_atomic(
+            self._dir("status") / f"{payload['id']}.json",
+            json.dumps(payload, sort_keys=True).encode())
+
+    def finish(self, submission_id: str) -> None:
+        """Move a terminal submission ``active/`` -> ``done/``."""
+        try:
+            os.rename(self._dir("active") / f"{submission_id}.json",
+                      self._dir("done") / f"{submission_id}.json")
+        except OSError:
+            pass                    # already moved, or never accepted
+
+    def prune(self, max_age_s: float, now: float | None = None,
+              dry_run: bool = False) -> tuple[str, ...]:
+        """Drop terminal submissions' files older than ``max_age_s``.
+
+        Only ``done``/``failed`` submissions are pruned — a status
+        file for live work is never touched, whatever its age.
+        """
+        now = time.time() if now is None else now
+        pruned: list[str] = []
+        for submission_id in self.status_ids():
+            status_path = self._dir("status") / f"{submission_id}.json"
+            try:
+                payload = json.loads(status_path.read_text())
+                age = now - status_path.stat().st_mtime
+            except (OSError, ValueError):
+                continue
+            if payload.get("state") not in ("done", "failed") \
+                    or age <= max_age_s:
+                continue
+            pruned.append(submission_id)
+            if dry_run:
+                continue
+            for path in (status_path,
+                         self._dir("done") / f"{submission_id}.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return tuple(pruned)
+
+
+# ---------------------------------------------------------------------
+# The daemon
+# ---------------------------------------------------------------------
+@dataclass
+class ServiceStats:
+    """Accounting across one daemon run."""
+
+    accepted: int = 0
+    completed: int = 0
+    failed: int = 0
+    ticks: int = 0
+
+    @property
+    def terminal(self) -> int:
+        return self.completed + self.failed
+
+
+@dataclass
+class _ActiveSubmission:
+    """Daemon-side state of one accepted submission."""
+
+    submission: SweepSubmission | None
+    submission_id: str
+    state: str = "planned"
+    task_ids: tuple[str, ...] = ()
+    unit_digests: tuple[str, ...] = ()
+    outstanding: set[str] = field(default_factory=set)
+    cached: int = 0
+    failures: dict[str, dict] = field(default_factory=dict)
+    error: str | None = None
+    accepted_at: float = 0.0
+    finished_at: float | None = None
+    _last_written: dict | None = None
+
+    def status_payload(self, running: int) -> dict:
+        total = len(self.task_ids)
+        done = total - len(self.outstanding) - len(self.failures)
+        payload = {
+            "id": self.submission_id,
+            "state": self.state,
+            "label": (self.submission.label
+                      if self.submission is not None else None),
+            "units": len(self.unit_digests),
+            "tasks": total,
+            "cached": self.cached,
+            "done": done,
+            "running": running,
+            "todo": len(self.outstanding) - running,
+            "failed": len(self.failures),
+            "failures": self.failures,
+            "error": self.error,
+            "task_ids": list(self.task_ids),
+            "unit_digests": list(self.unit_digests),
+            "accepted_at": self.accepted_at,
+            "finished_at": self.finished_at,
+        }
+        return payload
+
+
+class ServiceDaemon:
+    """Accept, plan, execute and report sweep submissions forever.
+
+    One daemon owns one queue directory.  ``workers >= 1`` self-spawns
+    a **warm** :class:`WorkerPool` that serves every submission the
+    daemon ever accepts (a daemon's fleet is always pooled — that is
+    the point of a daemon); ``workers=0`` makes the daemon execute
+    tasks in-process between polls, so a single process is a complete,
+    if unparallel, service.  External workers pointed at the queue
+    directory add capacity either way.
+    """
+
+    def __init__(self, queue_dir: str | Path, workers: int = 0,
+                 claim_batch: int = 1,
+                 lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+                 poll_s: float = 0.05,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 jobs: int | None = None,
+                 log: Callable[[str], None] | None = None) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if claim_batch < 1:
+            raise ValueError("claim_batch must be >= 1")
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.queue = WorkQueue(queue_dir,
+                               lease_ttl_s=lease_ttl_s).ensure()
+        self.store = SubmissionStore(self.queue).ensure()
+        self.workers = workers
+        self.claim_batch = claim_batch
+        self.poll_s = poll_s
+        self.max_attempts = max_attempts
+        #: planner fan-out — fixed for the daemon's lifetime so a
+        #: scenario sweep maps to the same task ids whenever it is
+        #: submitted (the cross-submission dedupe contract)
+        self.fanout = (jobs if jobs is not None
+                       else (workers if workers >= 1
+                             else SERVICE_SHARD_FANOUT))
+        self.log = log or (lambda message: None)
+        self.stats = ServiceStats()
+        self.tender = QueueTender(self.queue, max_attempts)
+        self._fallback = Worker(self.queue, max_attempts=max_attempts,
+                                claim_batch=claim_batch)
+        self._pool: WorkerPool | None = None
+        self._active: dict[str, _ActiveSubmission] = {}
+        self._draining = False
+        self._started_at = time.time()
+        self._state_written_at = 0.0
+        self._jitter = random.Random()
+
+    @classmethod
+    def from_context(cls, context, **overrides) -> "ServiceDaemon":
+        """A daemon configured like an ``ExecutionContext``.
+
+        The context must resolve to the distributed backend (it names
+        the queue directory); its ``workers``/``claim_batch`` knobs
+        carry over, so code already deploying ``--backend distributed``
+        can promote the same configuration to a daemon.
+        """
+        if context.resolved_backend() != "distributed":
+            raise ValueError(
+                "ServiceDaemon.from_context needs a context whose "
+                "backend resolves to 'distributed' (it names the "
+                "queue directory)")
+        options = {"workers": context.workers,
+                   "claim_batch": context.claim_batch}
+        options.update(overrides)
+        return cls(context.queue, **options)
+
+    # --- planning -----------------------------------------------------
+    def _plan(self, submission: SweepSubmission,
+              active: _ActiveSubmission) -> None:
+        """Expand, plan and publish one submission's scenarios.
+
+        Each scenario is planned as its **own** execution plan with
+        the daemon's fixed fan-out, so a scenario sweep's task ids are
+        a function of the scenario alone — two submissions sharing a
+        scenario share its tasks exactly, whatever else they carry.
+        Planning errors (an unknown policy parameter, a strategy
+        missing a required resource) mark the submission failed in its
+        status file; they never take the daemon down.
+        """
+        task_ids: dict[str, None] = {}      # ordered set
+        unit_digests: list[str] = []
+        cached = 0
+        outstanding: set[str] = set()
+        try:
+            for spec in submission.scenarios:
+                units = spec.units(list(submission.rates),
+                                   budget=submission.budget,
+                                   seed=submission.seed,
+                                   engine=submission.engine)
+                plan = ExecutionPlan(list(units), None)
+                plan.group_batches(jobs=self.fanout)
+                tasks, _ = publish_plan(self.queue, plan)
+                unit_digests.extend(u.digest() for u in units)
+                for task in tasks:
+                    if task.task_id in task_ids:
+                        continue
+                    task_ids[task.task_id] = None
+                    if self.queue.has_result(task.task_id):
+                        cached += 1
+                    else:
+                        outstanding.add(task.task_id)
+        except Exception as exc:  # noqa: BLE001 — a client's bad
+            # submission must not kill the shared daemon; the error
+            # is theirs and goes in their status file.
+            active.state = "failed"
+            active.error = f"planning failed: {type(exc).__name__}: {exc}"
+            return
+        active.task_ids = tuple(task_ids)
+        active.unit_digests = tuple(unit_digests)
+        active.outstanding = outstanding
+        active.cached = cached
+        active.state = "running" if outstanding else "done"
+
+    def _accept(self, submission_id: str, reload: bool = False) -> bool:
+        loader = (self.store.reload_active if reload
+                  else self.store.accept)
+        submission, error = loader(submission_id)
+        if submission is None and error is None:
+            return False            # lost the accept race
+        active = _ActiveSubmission(submission=submission,
+                                   submission_id=submission_id,
+                                   accepted_at=time.time())
+        if error is not None:
+            active.state = "failed"
+            active.error = error
+        else:
+            self._plan(submission, active)
+        self.stats.accepted += 1
+        self._active[submission_id] = active
+        if self._pool is not None:
+            self._pool.reset_budget()
+        self.log(f"accepted {submission_id} "
+                 f"({active.state}, {len(active.task_ids)} task(s), "
+                 f"{active.cached} cached)")
+        return True
+
+    # --- fleet --------------------------------------------------------
+    def _outstanding(self) -> bool:
+        return any(a.outstanding for a in self._active.values())
+
+    def _tend_fleet(self) -> bool:
+        """Keep executors available; True when work ran in-process."""
+        if self.workers:
+            if self._pool is None or self._pool.closed:
+                self._pool = WorkerPool(
+                    self.queue.root, self.workers,
+                    lease_ttl_s=self.queue.lease_ttl_s,
+                    poll_s=self.poll_s,
+                    max_attempts=self.max_attempts,
+                    claim_batch=self.claim_batch)
+            if self._pool.ensure():
+                return False
+            # No subprocess can run (restricted host or spent respawn
+            # budget): degrade to in-process execution, same results.
+        if not self._outstanding():
+            return False
+        return self._fallback.run_once()
+
+    # --- collection ---------------------------------------------------
+    def _collect(self, now: float) -> bool:
+        """Serve results/failures into every active submission.
+
+        One ``results/`` listing and one ``claimed/`` listing serve
+        *all* submissions — the per-tick filesystem cost does not grow
+        with the number of clients, only with the directory sizes.
+        """
+        if not self._active:
+            return False
+        progressed = False
+        results = self.queue.result_ids()
+        claimed = frozenset(self.queue.claimed_ids())
+        for submission_id in sorted(self._active):
+            active = self._active[submission_id]
+            done_now = active.outstanding & results
+            if done_now:
+                active.outstanding -= done_now
+                progressed = True
+            if active.outstanding:
+                failures = self.queue.failed_tickets(active.outstanding)
+                if failures:
+                    active.failures.update(failures)
+                    active.outstanding -= set(failures)
+                    active.state = "failed"
+                    progressed = True
+            if not active.outstanding and active.state == "running":
+                active.state = "done"
+            terminal = active.state in ("done", "failed")
+            if terminal and active.finished_at is None:
+                active.finished_at = now
+            running = len(claimed & active.outstanding)
+            payload = active.status_payload(running)
+            stamped = dict(payload)
+            if stamped != active._last_written:
+                payload["updated_at"] = now
+                self.store.write_status(payload)
+                active._last_written = stamped
+            if terminal:
+                self.store.finish(submission_id)
+                del self._active[submission_id]
+                if active.state == "done":
+                    self.stats.completed += 1
+                else:
+                    self.stats.failed += 1
+                self.log(f"{submission_id} {active.state} "
+                         f"({len(active.task_ids)} task(s), "
+                         f"{active.cached} cached, "
+                         f"{len(active.failures)} failed)")
+        return progressed
+
+    # --- daemon state file --------------------------------------------
+    def _write_state(self, state: str, now: float | None = None,
+                     min_interval_s: float = 1.0) -> None:
+        now = time.time() if now is None else now
+        if (state == "serving"
+                and now - self._state_written_at < min_interval_s):
+            return
+        self._state_written_at = now
+        self.queue._write_atomic(
+            self.queue._dir("control") / "service.json",
+            json.dumps({
+                "state": state,
+                "pid": os.getpid(),
+                "worker_id": default_worker_id(),
+                "workers": self.workers,
+                "claim_batch": self.claim_batch,
+                "fanout": self.fanout,
+                "started_at": self._started_at,
+                "updated_at": now,
+                "active": len(self._active),
+                "accepted": self.stats.accepted,
+                "completed": self.stats.completed,
+                "failed": self.stats.failed,
+            }, sort_keys=True).encode())
+
+    # --- lifecycle ----------------------------------------------------
+    def tick(self) -> bool:
+        """One service iteration; True when anything progressed."""
+        self.stats.ticks += 1
+        busy = False
+        if not self._draining:
+            for submission_id in self.store.pending_ids():
+                busy |= self._accept(submission_id)
+        busy |= self._tend_fleet()
+        now = time.time()
+        busy |= self._collect(now)
+        self.tender.tick(now)
+        self._write_state("draining" if self._draining else "serving",
+                          now)
+        return busy
+
+    def run(self, stop=None, max_idle_s: float | None = None
+            ) -> ServiceStats:
+        """Serve until stopped; returns the run's accounting.
+
+        ``stop`` is an optional ``threading.Event``: once set, the
+        daemon stops accepting new submissions, *drains* the in-flight
+        ones to a terminal state, then tears down.  ``max_idle_s``
+        bounds how long the daemon lingers with nothing active and an
+        empty inbox (``None`` = forever) — the CI/one-shot spelling.
+        """
+        # A stale sentinel from a previous teardown must not retire
+        # the fleet this daemon is about to spawn.
+        self.queue.clear_shutdown()
+        # Crash recovery: re-plan submissions a previous daemon died
+        # holding.  Publishing is idempotent and results are reused,
+        # so this costs only the planning pass.
+        for submission_id in self.store.active_ids():
+            if submission_id not in self._active:
+                self._accept(submission_id, reload=True)
+        idle_since: float | None = None
+        delay = self.poll_s
+        cap = max(self.poll_s, 1.0)
+        try:
+            while True:
+                if stop is not None and stop.is_set():
+                    if not self._draining:
+                        self.log("stop requested; draining "
+                                 f"{len(self._active)} in-flight "
+                                 f"submission(s)")
+                    self._draining = True
+                busy = self.tick()
+                if busy:
+                    idle_since = None
+                    delay = self.poll_s
+                    continue
+                if self._draining:
+                    # Draining means: finish what was accepted, never
+                    # touch the inbox.  Queued submissions stay on
+                    # disk for the next daemon.
+                    if not self._active:
+                        break
+                    time.sleep(self.poll_s)
+                    continue
+                if self._active or self.store.pending_ids():
+                    # Work in flight but nothing progressed this tick
+                    # (external workers are executing): keep polling
+                    # at full rate — never a hot spin, never backed
+                    # off behind fresh results.
+                    idle_since = None
+                    time.sleep(self.poll_s)
+                    continue
+                now = time.time()
+                idle_since = now if idle_since is None else idle_since
+                if (max_idle_s is not None
+                        and now - idle_since >= max_idle_s):
+                    self.log(f"idle for {max_idle_s:g}s; exiting")
+                    break
+                # Idle: back off (with jitter, so many daemons/clients
+                # on one filesystem decorrelate) up to a bounded cap —
+                # a fresh submission is still noticed within ~1s.
+                time.sleep(delay * self._jitter.uniform(0.5, 1.5))
+                delay = min(delay * 2.0, cap)
+        finally:
+            self.close()
+        return self.stats
+
+    def close(self) -> None:
+        """Tear down: retire the fleet, mark the daemon stopped."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._write_state("stopped", min_interval_s=0.0)
+
+
+# ---------------------------------------------------------------------
+# Client-side helpers (the submit/status/gc subcommands build on these)
+# ---------------------------------------------------------------------
+def open_store(queue_dir: str | Path) -> SubmissionStore:
+    """The submission store on a queue directory (layout ensured)."""
+    return SubmissionStore(WorkQueue(queue_dir)).ensure()
+
+
+def submit_sweep(queue_dir: str | Path,
+                 submission: SweepSubmission) -> str:
+    """Submit one sweep to a (possibly not yet running) daemon."""
+    return open_store(queue_dir).submit(submission)
+
+
+def read_status(queue_dir: str | Path,
+                submission_id: str) -> dict | None:
+    """One submission's current status payload (None = unknown id)."""
+    return open_store(queue_dir).read_status(submission_id)
+
+
+def list_submissions(queue_dir: str | Path) -> list[dict]:
+    """Status payloads of every known submission, queued ones last."""
+    store = open_store(queue_dir)
+    known: dict[str, dict] = {}
+    for submission_id in store.status_ids():
+        status = store.read_status(submission_id)
+        if status is not None:
+            known[submission_id] = status
+    for submission_id in store.pending_ids():
+        known.setdefault(submission_id,
+                         {"id": submission_id, "state": "queued"})
+    return [known[submission_id] for submission_id in sorted(known)]
+
+
+def service_state(queue_dir: str | Path) -> dict | None:
+    """The daemon's ``control/service.json`` introspection payload."""
+    try:
+        return json.loads(
+            (Path(queue_dir) / "control" / "service.json").read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def submission_results(queue_dir: str | Path, submission_id: str
+                       ) -> list[UnitResult]:
+    """A finished submission's unit results, in submission order.
+
+    Bit-identical to running the submission's units serially — the
+    determinism guarantee extends through the service unchanged, and
+    the service smoke/CI diffs enforce it.  Raises
+    :class:`~.queue.QueueError` when the submission is not done or a
+    result has been evicted from under it.
+    """
+    queue = WorkQueue(queue_dir)
+    status = open_store(queue_dir).read_status(submission_id)
+    if status is None:
+        raise QueueError(f"unknown submission {submission_id!r}")
+    if status.get("state") != "done":
+        raise QueueError(
+            f"submission {submission_id!r} is "
+            f"{status.get('state', 'unknown')!r}, not done")
+    by_digest: dict[str, UnitResult] = {}
+    for task_id in status.get("task_ids", ()):
+        for result in queue.load_results(task_id):
+            by_digest[result.digest] = result
+    try:
+        return [by_digest[digest]
+                for digest in status.get("unit_digests", ())]
+    except KeyError as exc:
+        raise QueueError(
+            f"submission {submission_id!r} result for unit {exc} is "
+            f"missing (evicted by gc?)") from None
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What one :func:`gc_queue` pass removed (or would remove)."""
+
+    eviction: EvictionReport
+    submissions: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        return (f"{len(self.eviction.results)} result(s), "
+                f"{len(self.eviction.payloads)} payload(s), "
+                f"{len(self.eviction.failed)} failed ticket(s), "
+                f"{len(self.submissions)} submission record(s)")
+
+
+def gc_queue(queue_dir: str | Path, keep_days: float,
+             now: float | None = None, dry_run: bool = False
+             ) -> GcReport:
+    """Evict results and provenance older than ``keep_days`` days.
+
+    Results a *live* (non-terminal) submission still references are
+    spared regardless of age, as are tasks with live claim tickets —
+    gc against a serving daemon is safe.  Terminal submission records
+    older than the window are pruned with their results.
+    """
+    if keep_days < 0:
+        raise ValueError("keep_days must be >= 0")
+    now = time.time() if now is None else now
+    max_age_s = keep_days * 86400.0
+    store = open_store(queue_dir)
+    queue = store.queue
+    keep: set[str] = set()
+    for submission_id in store.status_ids():
+        status = store.read_status(submission_id) or {}
+        if status.get("state") in ("done", "failed"):
+            continue
+        keep.update(status.get("task_ids", ()))
+    eviction = queue.evict(max_age_s, now=now, keep=keep,
+                           dry_run=dry_run)
+    pruned = store.prune(max_age_s, now=now, dry_run=dry_run)
+    return GcReport(eviction=eviction, submissions=pruned)

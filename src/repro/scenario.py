@@ -101,6 +101,35 @@ class ScenarioSpec:
             Ref.coerce(pattern) if pattern is not None else self.pattern,
             cfg)
 
+    # --- wire format ----------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-ready form; inverse of :meth:`from_payload`.
+
+        Refs serialize as their ``name:key=value`` surface labels
+        (``Ref.parse`` is the documented inverse for literal-valued
+        parameters) and the config as its field dict, so a submission
+        file is human-readable and carries no pickles — the sweep
+        service accepts these from any client that can write JSON.
+        """
+        return {"policy": self.policy.label,
+                "pattern": self.pattern.label,
+                "config": self.config.to_dict()}
+
+    @classmethod
+    def from_payload(cls, data: dict) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_payload` output (validated)."""
+        try:
+            policy = data["policy"]
+            pattern = data["pattern"]
+            config = data.get("config")
+        except (TypeError, KeyError) as exc:
+            raise ValueError(
+                f"scenario payload needs 'policy' and 'pattern' keys, "
+                f"got {data!r}") from exc
+        return cls.build(policy, pattern,
+                         config=(NocConfig.from_dict(config)
+                                 if config is not None else None))
+
     # --- identity -------------------------------------------------------
     def spec_key(self) -> tuple:
         """Canonical identity tuple of the scenario."""

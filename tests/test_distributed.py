@@ -405,6 +405,138 @@ class TestQueuePrimitives:
         assert queue.todo_ids() == ("t1",)
         assert queue.claim("w2").attempts == 0
 
+    def test_publish_skips_live_todo_ticket(self, tmp_path):
+        """Republishing a task whose ticket is queued must not reset
+        its attempt budget (two clients submitting overlapping sweeps
+        to a shared queue would otherwise grant crash-looping tasks
+        unlimited retries)."""
+        queue = WorkQueue(tmp_path / "q").ensure()
+        queue.publish("t1", 1)
+        claim = queue.claim("w1")
+        assert queue.release_error(claim, "boom") == "requeued"
+        assert queue.publish("t1", 1)   # still outstanding work...
+        ticket = json.loads(
+            (queue._dir("todo") / "t1.json").read_text())
+        assert ticket["attempts"] == 1  # ...but the budget survives
+        assert ticket["errors"] == ["boom"]
+
+    def test_publish_skips_claimed_ticket(self, tmp_path):
+        """Publishing over an in-flight claim races no duplicate
+        ticket into todo/ — the running execution is the dedupe."""
+        queue = WorkQueue(tmp_path / "q").ensure()
+        queue.publish("t1", 1)
+        claim = queue.claim("w1")
+        assert queue.publish("t1", 1)
+        assert queue.todo_ids() == ()
+        assert queue.claimed_ids() == ("t1",)
+        queue.complete(claim, ["r"])
+        assert not queue.publish("t1", 1)
+
+
+class TestUnreadableTickets:
+    """A torn todo/ ticket must cost an attempt, not grant a reset."""
+
+    def _corrupt_todo_ticket(self, queue, task_id):
+        # Truncated JSON, as a writer crashing mid-write (on a
+        # filesystem without atomic rename) or a partial NFS page
+        # would leave it.
+        (queue._dir("todo") / f"{task_id}.json").write_text(
+            '{"task": "t1", "atte')
+
+    def test_fabricated_ticket_charges_an_attempt(self, tmp_path):
+        """Regression: claim_batch used to fabricate attempts=0 for
+        unreadable tickets, silently handing the task a fresh retry
+        budget every time its ticket tore."""
+        queue = WorkQueue(tmp_path / "q").ensure()
+        queue.publish("t1", 1)
+        self._corrupt_todo_ticket(queue, "t1")
+        claim = queue.claim("w1")
+        assert claim is not None and claim.task_id == "t1"
+        assert claim.attempts == 1
+        assert "unreadable" in claim.ticket["errors"][0]
+        # The fabricated ticket is rewritten to claimed/ readable, so
+        # the rest of the protocol can route it.
+        on_disk = json.loads(
+            (queue._dir("claimed") / "t1.json").read_text())
+        assert on_disk["attempts"] == 1
+
+    def test_fabricated_ticket_release_protocol_still_works(
+            self, tmp_path):
+        """Regression: the torn bytes used to be *left* in claimed/,
+        so release_error could not parse them and silently no-opped —
+        the task was stranded in claimed/ until lease expiry."""
+        queue = WorkQueue(tmp_path / "q").ensure()
+        queue.publish("t1", 1)
+        self._corrupt_todo_ticket(queue, "t1")
+        claim = queue.claim("w1")
+        assert queue.release_error(claim, "boom",
+                                   max_attempts=3) == "requeued"
+        assert queue.todo_ids() == ("t1",)
+        again = queue.claim("w1")
+        assert again.attempts == 2      # 1 fabricated + 1 failed run
+        assert queue.release_error(again, "boom again",
+                                   max_attempts=3) == "failed"
+        errors = queue.failed_tickets()["t1"]["errors"]
+        assert "unreadable" in errors[0]
+        assert errors[1:] == ["boom", "boom again"]
+
+    def test_fabricated_ticket_recovered_by_expiry(self, tmp_path):
+        """A worker dying right after claiming a torn ticket leaves a
+        *readable* fabricated ticket behind, so the expiry sweep can
+        requeue it (with both the fabrication and the expiry charged)."""
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=0.02).ensure()
+        queue.publish("t1", 1)
+        self._corrupt_todo_ticket(queue, "t1")
+        assert queue.claim("w1").attempts == 1   # then the worker dies
+        time.sleep(0.05)
+        assert queue.requeue_expired(max_attempts=3).requeued == ("t1",)
+        assert queue.claim("w2").attempts == 2
+
+
+class FlakyTask:
+    """Fails until its file-based run counter passes ``succeed_after``
+    (picklable fault-injection fuel that survives republishes)."""
+
+    def __init__(self, counter_path, succeed_after):
+        self.counter_path = str(counter_path)
+        self.succeed_after = succeed_after
+
+    def iter_results(self):
+        from pathlib import Path
+
+        path = Path(self.counter_path)
+        runs = int(path.read_text()) if path.exists() else 0
+        path.write_text(str(runs + 1))
+        if runs < self.succeed_after:
+            raise RuntimeError(f"flaky failure #{runs + 1}")
+        yield "flaky-result"
+
+
+class TestRepublishAfterFailure:
+    """The failed-ticket-reset path end-to-end through the collector."""
+
+    def test_republish_grants_fresh_budget_and_completes(
+            self, tmp_path):
+        """A task that exhausts its budget surfaces as FailedUnitError;
+        republishing it (the operator fixed the cause) clears the stale
+        failed/ ticket, and the fresh attempt budget lets the collector
+        complete the plan instead of re-surfacing the old verdict."""
+        queue = WorkQueue(tmp_path / "q").ensure()
+        flaky = FlakyTask(tmp_path / "runs", succeed_after=2)
+        queue.publish("t-flaky", flaky)
+        worker = Worker(queue, max_attempts=2)
+        worker.drain()                  # burns both attempts
+        with pytest.raises(FailedUnitError, match="flaky failure #2"):
+            Collector(queue, ["t-flaky"], poll_s=0.01,
+                      timeout_s=10).collect(lambda r: None)
+        assert queue.publish("t-flaky", flaky)
+        assert queue.failed_tickets() == {}
+        got = []
+        Collector(queue, ["t-flaky"], poll_s=0.01, timeout_s=30).collect(
+            got.append, on_poll=lambda outstanding: worker.run_once())
+        assert got == ["flaky-result"]
+        assert queue.todo_ids() == () and queue.claimed_ids() == ()
+
 
 class TestLease:
     def test_expiry_math(self):
@@ -570,6 +702,22 @@ class TestWorkerLoop:
         with pytest.raises(CollectTimeout, match="t-orphan"):
             Collector(queue, ["t-orphan"], poll_s=0.01,
                       timeout_s=0.05).collect(lambda r: None)
+
+    def test_collector_timeout_not_late_by_a_full_poll(self, tmp_path):
+        """Regression: with a poll interval coarser than the timeout,
+        the final sleep used to run a full poll_s past the deadline
+        before CollectTimeout fired (the deadline was only checked
+        between whole sleeps)."""
+        queue = WorkQueue(tmp_path / "q").ensure()
+        queue.publish("t-orphan", 1)
+        start = time.monotonic()
+        with pytest.raises(CollectTimeout):
+            Collector(queue, ["t-orphan"], poll_s=5.0,
+                      timeout_s=0.2).collect(lambda r: None)
+        elapsed = time.monotonic() - start
+        # Pre-fix this took ~poll_s (5s); the clamped sleep fires the
+        # timeout at ~timeout_s.  Generous bound for slow CI hosts.
+        assert 0.2 <= elapsed < 2.0
 
 
 # ---------------------------------------------------------------------
@@ -787,6 +935,30 @@ class TestDistributedBackend:
         ctx = context_from_env()
         assert ctx.resolved_backend() == "distributed"
         assert ctx.queue == str(tmp_path / "q")
+
+    def test_env_integer_knobs_fail_readably(self, monkeypatch,
+                                             tmp_path):
+        """Regression: a malformed REPRO_WORKERS surfaced as a bare
+        ``invalid literal for int()`` naming neither the variable nor
+        the value; the error must say exactly what to fix."""
+        from repro.runner import context_from_env
+
+        monkeypatch.setenv("REPRO_BACKEND", "distributed")
+        monkeypatch.setenv("REPRO_QUEUE", str(tmp_path / "q"))
+        monkeypatch.setenv("REPRO_WORKERS", "two")
+        with pytest.raises(ValueError, match="REPRO_WORKERS='two'"):
+            context_from_env()
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_CLAIM_BATCH", "1.5")
+        with pytest.raises(ValueError, match="REPRO_CLAIM_BATCH='1.5'"):
+            context_from_env()
+        monkeypatch.setenv("REPRO_CLAIM_BATCH", "2")
+        monkeypatch.setenv("REPRO_JOBS", "")
+        with pytest.raises(ValueError, match="REPRO_JOBS=''"):
+            context_from_env()
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        ctx = context_from_env()
+        assert (ctx.workers, ctx.claim_batch, ctx.jobs) == (2, 2, 3)
 
     def test_backend_options_only_for_distributed(self, tmp_path):
         ctx = ExecutionContext(backend="distributed",

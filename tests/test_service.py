@@ -1,0 +1,431 @@
+"""Tests for the sweep service (daemon, submissions, status, gc).
+
+The contract under test is the ISSUE-9 acceptance gate: two clients
+submitting *overlapping* scenario sweeps to one daemon both get
+results bit-identical to a serial run of their own submission, while
+the overlapping work executes exactly once — deduplicated against the
+shared result store and against each other's in-flight tasks.  Plus
+the service plumbing around it: the JSON wire format, the
+atomic-rename inbox, per-submission status files, crash recovery,
+graceful drain, and result-store gc.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.noc.budget import SimBudget
+from repro.noc.config import NocConfig
+from repro.runner.distributed import (QueueError, ServiceDaemon,
+                                      SubmissionStore, SweepSubmission,
+                                      WorkQueue, gc_queue,
+                                      list_submissions, read_status,
+                                      service_state, submission_results,
+                                      submit_sweep)
+from repro.runner.distributed.service import SERVICE_SHARD_FANOUT
+from repro.scenario import ScenarioSpec
+from test_backends import fingerprint  # noqa: F401
+
+#: Small but real simulation work: every daemon test runs the actual
+#: fast engine end to end.
+TINY = NocConfig(width=3, height=3, num_vcs=2, vc_buf_depth=2,
+                 packet_length=3)
+BUDGET = SimBudget(100, 200, 500)
+RATES = (0.02, 0.05)
+
+NO_DVFS = ScenarioSpec.build("no-dvfs", "uniform", config=TINY)
+RMSD = ScenarioSpec.build("rmsd:lambda_max=0.4", "uniform", config=TINY)
+DMSD = ScenarioSpec.build("dmsd:target_delay_ns=40.0,iterations=2",
+                          "uniform", config=TINY)
+
+
+def submission(scenarios, rates=RATES, seed=7, **kwargs):
+    return SweepSubmission.build(scenarios, rates, seed=seed,
+                                 engine="fast", budget=BUDGET, **kwargs)
+
+
+def serial_digests(sub):
+    """The unit digests of one submission, in submission order."""
+    digests = []
+    for spec in sub.scenarios:
+        digests.extend(u.digest() for u in
+                       spec.units(list(sub.rates), budget=sub.budget,
+                                  seed=sub.seed, engine=sub.engine))
+    return digests
+
+
+#: Serial reference results, memoized on unit digests — the service
+#: tests compare several submissions against the same tiny sweeps.
+_serial_memo: dict = {}
+
+
+def serial_results(sub):
+    out = []
+    for spec in sub.scenarios:
+        for unit in spec.units(list(sub.rates), budget=sub.budget,
+                               seed=sub.seed, engine=sub.engine):
+            digest = unit.digest()
+            if digest not in _serial_memo:
+                _serial_memo[digest] = unit.execute()
+            out.append(_serial_memo[digest])
+    return out
+
+
+def run_daemon_until_terminal(queue_dir, submission_ids, workers=0,
+                              timeout_s=90.0, **daemon_kwargs):
+    """Serve ``queue_dir`` on a thread until every listed submission
+    is terminal (or the timeout trips); returns the stopped daemon."""
+    daemon = ServiceDaemon(queue_dir, workers=workers, poll_s=0.01,
+                           **daemon_kwargs)
+    stop = threading.Event()
+    thread = threading.Thread(target=daemon.run,
+                              kwargs=dict(stop=stop, max_idle_s=30.0))
+    thread.start()
+    try:
+        deadline = time.time() + timeout_s
+        while time.time() < deadline:
+            statuses = [read_status(queue_dir, submission_id)
+                        for submission_id in submission_ids]
+            if all(s is not None
+                   and s.get("state") in ("done", "failed")
+                   for s in statuses):
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail(f"submissions not terminal after {timeout_s}s: "
+                        f"{statuses}")
+    finally:
+        stop.set()
+        thread.join(timeout=30)
+    assert not thread.is_alive()
+    return daemon
+
+
+# ---------------------------------------------------------------------
+class TestSubmissionWireFormat:
+    def test_payload_roundtrip(self):
+        sub = submission([NO_DVFS, RMSD], submission_id="sub-x")
+        back = SweepSubmission.from_payload(
+            json.loads(json.dumps(sub.to_payload())))
+        assert back == sub
+        assert [s.digest() for s in back.scenarios] \
+            == [s.digest() for s in sub.scenarios]
+
+    def test_payload_is_json_not_pickle(self):
+        payload = submission([DMSD], submission_id="sub-x").to_payload()
+        text = json.dumps(payload, sort_keys=True)
+        assert "dmsd" in text and "target_delay_ns" in text
+
+    def test_malformed_payloads_fail_readably(self):
+        with pytest.raises(ValueError, match="malformed submission"):
+            SweepSubmission.from_payload({"id": "x"})
+        with pytest.raises(ValueError, match="malformed submission"):
+            SweepSubmission.from_payload(
+                {"id": "x", "scenarios": [{"policy": "no-such"}],
+                 "rates": [0.1]})
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one scenario"):
+            SweepSubmission.build([], RATES)
+        with pytest.raises(ValueError, match="at least one rate"):
+            SweepSubmission.build([NO_DVFS], [])
+        with pytest.raises(ValueError, match="positive"):
+            SweepSubmission.build([NO_DVFS], [-0.1])
+        with pytest.raises(ValueError, match="unknown engine"):
+            SweepSubmission.build([NO_DVFS], RATES, engine="warp")
+        with pytest.raises(ValueError, match="invalid submission id"):
+            SweepSubmission("../escape", (NO_DVFS,), RATES)
+        with pytest.raises(ValueError, match="invalid submission id"):
+            SweepSubmission("", (NO_DVFS,), RATES)
+
+    def test_minted_ids_are_unique_and_content_prefixed(self):
+        a = submission([NO_DVFS])
+        b = submission([NO_DVFS])
+        assert a.submission_id != b.submission_id
+        # Same content -> same digest prefix (log readability).
+        assert a.submission_id.split("-")[1] \
+            == b.submission_id.split("-")[1]
+
+
+class TestSubmissionStore:
+    def test_submit_lands_in_inbox_and_reads_as_queued(self, tmp_path):
+        sub = submission([NO_DVFS], submission_id="sub-a")
+        assert submit_sweep(tmp_path / "q", sub) == "sub-a"
+        store = SubmissionStore(WorkQueue(tmp_path / "q"))
+        assert store.pending_ids() == ("sub-a",)
+        assert read_status(tmp_path / "q", "sub-a") \
+            == {"id": "sub-a", "state": "queued"}
+        assert read_status(tmp_path / "q", "nope") is None
+
+    def test_accept_moves_exactly_once(self, tmp_path):
+        sub = submission([NO_DVFS], submission_id="sub-a")
+        submit_sweep(tmp_path / "q", sub)
+        store = SubmissionStore(WorkQueue(tmp_path / "q")).ensure()
+        accepted, error = store.accept("sub-a")
+        assert error is None and accepted == sub
+        assert store.pending_ids() == ()
+        assert store.active_ids() == ("sub-a",)
+        # A second daemon loses the rename race cleanly.
+        assert store.accept("sub-a") == (None, None)
+
+    def test_malformed_submission_reports_not_crashes(self, tmp_path):
+        store = SubmissionStore(WorkQueue(tmp_path / "q")).ensure()
+        inbox = tmp_path / "q" / "submissions" / "inbox"
+        (inbox / "sub-bad.json").write_text('{"id": "sub-bad", trunc')
+        daemon = ServiceDaemon(tmp_path / "q", poll_s=0.01)
+        daemon.tick()
+        daemon.close()
+        status = read_status(tmp_path / "q", "sub-bad")
+        assert status["state"] == "failed"
+        assert "unreadable submission" in status["error"]
+
+    def test_submission_file_must_name_its_own_id(self, tmp_path):
+        store = SubmissionStore(WorkQueue(tmp_path / "q")).ensure()
+        payload = submission([NO_DVFS],
+                             submission_id="sub-real").to_payload()
+        inbox = tmp_path / "q" / "submissions" / "inbox"
+        (inbox / "sub-liar.json").write_text(json.dumps(payload))
+        accepted, error = store.accept("sub-liar")
+        assert accepted is None and "names id" in error
+
+
+# ---------------------------------------------------------------------
+class TestDaemonEndToEnd:
+    def test_overlapping_submissions_dedupe_and_match_serial(
+            self, tmp_path):
+        """The acceptance gate: two clients with overlapping sweeps
+        each get bit-identical-to-serial results, and the overlap
+        (the rmsd scenario) executes exactly once."""
+        queue_dir = tmp_path / "q"
+        sub_a = submission([NO_DVFS, RMSD])
+        sub_b = submission([RMSD, DMSD])
+        id_a = submit_sweep(queue_dir, sub_a)
+        id_b = submit_sweep(queue_dir, sub_b)
+        daemon = run_daemon_until_terminal(queue_dir, [id_a, id_b])
+
+        status_a = read_status(queue_dir, id_a)
+        status_b = read_status(queue_dir, id_b)
+        assert status_a["state"] == "done"
+        assert status_b["state"] == "done"
+        # Per-scenario planning makes the shared scenario share task
+        # ids exactly; nothing executed twice.
+        shared = set(status_a["task_ids"]) & set(status_b["task_ids"])
+        assert shared, "overlapping scenario must share task ids"
+        every_task = set(status_a["task_ids"]) | set(status_b["task_ids"])
+        assert daemon._fallback.executed == len(every_task)
+        assert daemon._fallback.failed == 0
+        # Bit-identical to a serial run of each client's own sweep.
+        for sub, submission_id in ((sub_a, id_a), (sub_b, id_b)):
+            got = submission_results(queue_dir, submission_id)
+            assert [fingerprint(r) for r in got] \
+                == [fingerprint(r) for r in serial_results(sub)]
+        assert status_a["units"] == len(serial_digests(sub_a))
+        assert status_a["unit_digests"] == serial_digests(sub_a)
+
+    def test_later_submission_is_served_from_cache(self, tmp_path):
+        """Resubmitting finished work costs zero executions: every
+        task is a cache hit against results/."""
+        queue_dir = tmp_path / "q"
+        first = submit_sweep(queue_dir, submission([RMSD]))
+        daemon = run_daemon_until_terminal(queue_dir, [first])
+        executed_before = daemon._fallback.executed
+        again = submit_sweep(queue_dir, submission([RMSD]))
+        assert again != first           # its own id, its own status
+        daemon2 = run_daemon_until_terminal(queue_dir, [again])
+        status = read_status(queue_dir, again)
+        assert status["state"] == "done"
+        assert status["cached"] == status["tasks"] > 0
+        assert daemon2._fallback.executed == 0
+        assert executed_before > 0
+
+    def test_planning_error_fails_the_submission_not_the_daemon(
+            self, tmp_path):
+        """A submission naming a strategy without its required
+        resource (rmsd needs lambda_max) fails in its own status file;
+        the daemon keeps serving the next client."""
+        queue_dir = tmp_path / "q"
+        bad_spec = ScenarioSpec.build("rmsd", "uniform", config=TINY)
+        bad = submit_sweep(queue_dir, submission([bad_spec]))
+        good = submit_sweep(queue_dir, submission([NO_DVFS]))
+        run_daemon_until_terminal(queue_dir, [bad, good])
+        bad_status = read_status(queue_dir, bad)
+        assert bad_status["state"] == "failed"
+        assert "planning failed" in bad_status["error"]
+        assert "lambda_max" in bad_status["error"]
+        assert read_status(queue_dir, good)["state"] == "done"
+
+    def test_crash_recovery_replans_active_submissions(self, tmp_path):
+        """A submission a dead daemon was holding in active/ is
+        re-planned (and completed) by the next daemon — publishing is
+        idempotent and results are reused."""
+        queue_dir = tmp_path / "q"
+        sub = submission([NO_DVFS], submission_id="sub-orphan")
+        store = SubmissionStore(WorkQueue(queue_dir)).ensure()
+        active = queue_dir / "submissions" / "active"
+        (active / "sub-orphan.json").write_text(
+            json.dumps(sub.to_payload()))
+        run_daemon_until_terminal(queue_dir, ["sub-orphan"])
+        assert read_status(queue_dir, "sub-orphan")["state"] == "done"
+        assert store.active_ids() == ()
+        assert len(submission_results(queue_dir, "sub-orphan")) \
+            == len(serial_digests(sub))
+
+    def test_drain_finishes_inflight_before_exit(self, tmp_path):
+        """A stop request drains the accepted submission to a
+        terminal state instead of abandoning it mid-flight, and
+        leaves still-queued submissions in the inbox untouched."""
+        queue_dir = tmp_path / "q"
+        accepted_id = submit_sweep(queue_dir, submission([NO_DVFS]))
+        daemon = ServiceDaemon(queue_dir, poll_s=0.01)
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=daemon.run, kwargs={"stop": stop}, daemon=True)
+        thread.start()
+        try:
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                status = read_status(queue_dir, accepted_id)
+                if status is not None and status["state"] != "queued":
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("daemon never accepted the submission")
+            stop.set()
+            while thread.is_alive() and not daemon._draining:
+                time.sleep(0.005)
+            # A submission arriving once the drain has begun must
+            # stay queued for the next daemon, not block the drain.
+            queued_id = submit_sweep(
+                queue_dir, submission([NO_DVFS, RMSD]))
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+        finally:
+            stop.set()
+        assert read_status(queue_dir, accepted_id)["state"] == "done"
+        assert read_status(queue_dir, queued_id)["state"] == "queued"
+
+    def test_service_state_lifecycle(self, tmp_path):
+        queue_dir = tmp_path / "q"
+        assert service_state(queue_dir) is None
+        submission_id = submit_sweep(queue_dir, submission([NO_DVFS]))
+        run_daemon_until_terminal(queue_dir, [submission_id])
+        state = service_state(queue_dir)
+        assert state["state"] == "stopped"
+        assert state["accepted"] == state["completed"] == 1
+        assert state["failed"] == 0
+
+    def test_fanout_defaults(self, tmp_path):
+        assert ServiceDaemon(tmp_path / "a").fanout \
+            == SERVICE_SHARD_FANOUT
+        assert ServiceDaemon(tmp_path / "b", workers=3).fanout == 3
+        assert ServiceDaemon(tmp_path / "c", workers=3,
+                             jobs=5).fanout == 5
+
+    def test_daemon_validates_knobs(self, tmp_path):
+        with pytest.raises(ValueError, match="workers"):
+            ServiceDaemon(tmp_path / "q", workers=-1)
+        with pytest.raises(ValueError, match="claim_batch"):
+            ServiceDaemon(tmp_path / "q", claim_batch=0)
+        with pytest.raises(ValueError, match="jobs"):
+            ServiceDaemon(tmp_path / "q", jobs=0)
+
+    def test_from_context_requires_distributed(self, tmp_path):
+        from repro.runner import ExecutionContext
+
+        with pytest.raises(ValueError, match="distributed"):
+            ServiceDaemon.from_context(ExecutionContext())
+        context = ExecutionContext(backend="distributed",
+                                   queue=str(tmp_path / "q"),
+                                   workers=2, pool=True, claim_batch=3)
+        daemon = ServiceDaemon.from_context(context)
+        assert daemon.workers == 2 and daemon.claim_batch == 3
+        daemon.close()
+
+
+# ---------------------------------------------------------------------
+class TestSubmissionResults:
+    def test_unknown_and_unfinished_submissions_raise(self, tmp_path):
+        queue_dir = tmp_path / "q"
+        with pytest.raises(QueueError, match="unknown submission"):
+            submission_results(queue_dir, "sub-nope")
+        submission_id = submit_sweep(queue_dir, submission([NO_DVFS]))
+        with pytest.raises(QueueError, match="queued.*not done"):
+            submission_results(queue_dir, submission_id)
+
+    def test_evicted_results_raise_instead_of_truncating(
+            self, tmp_path):
+        queue_dir = tmp_path / "q"
+        submission_id = submit_sweep(queue_dir, submission([NO_DVFS]))
+        run_daemon_until_terminal(queue_dir, [submission_id])
+        status = read_status(queue_dir, submission_id)
+        queue = WorkQueue(queue_dir)
+        queue.result_path(status["task_ids"][0]).unlink()
+        with pytest.raises(QueueError, match="no result recorded"):
+            submission_results(queue_dir, submission_id)
+
+    def test_list_submissions_orders_and_includes_queued(
+            self, tmp_path):
+        queue_dir = tmp_path / "q"
+        done_id = submit_sweep(queue_dir, submission([NO_DVFS]))
+        run_daemon_until_terminal(queue_dir, [done_id])
+        queued_id = submit_sweep(
+            queue_dir, submission([RMSD], submission_id="sub-waiting"))
+        listed = {s["id"]: s["state"]
+                  for s in list_submissions(queue_dir)}
+        assert listed[done_id] == "done"
+        assert listed[queued_id] == "queued"
+
+
+# ---------------------------------------------------------------------
+class TestGc:
+    def run_one(self, queue_dir):
+        submission_id = submit_sweep(queue_dir, submission([NO_DVFS]))
+        run_daemon_until_terminal(queue_dir, [submission_id])
+        return submission_id, read_status(queue_dir, submission_id)
+
+    def test_keep_days_spares_recent_results(self, tmp_path):
+        queue_dir = tmp_path / "q"
+        submission_id, status = self.run_one(queue_dir)
+        report = gc_queue(queue_dir, keep_days=7)
+        assert report.eviction.total == 0
+        assert report.submissions == ()
+        assert read_status(queue_dir, submission_id)["state"] == "done"
+
+    def test_zero_retention_evicts_terminal_everything(self, tmp_path):
+        queue_dir = tmp_path / "q"
+        submission_id, status = self.run_one(queue_dir)
+        dry = gc_queue(queue_dir, keep_days=0, dry_run=True)
+        assert set(dry.eviction.results) == set(status["task_ids"])
+        assert dry.submissions == (submission_id,)
+        # Dry run deleted nothing.
+        assert read_status(queue_dir, submission_id) is not None
+        report = gc_queue(queue_dir, keep_days=0)
+        assert set(report.eviction.results) == set(status["task_ids"])
+        assert set(report.eviction.payloads) == set(status["task_ids"])
+        assert report.submissions == (submission_id,)
+        assert read_status(queue_dir, submission_id) is None
+        assert WorkQueue(queue_dir).result_ids() == set()
+
+    def test_live_submissions_results_are_spared(self, tmp_path):
+        """Results a non-terminal submission references survive gc
+        regardless of age — gc against a serving daemon is safe."""
+        queue_dir = tmp_path / "q"
+        submission_id, status = self.run_one(queue_dir)
+        # Rewind the submission to "running", as if the daemon were
+        # mid-collection when the gc cron fired.
+        status_path = (queue_dir / "submissions" / "status" /
+                       f"{submission_id}.json")
+        live = dict(status)
+        live["state"] = "running"
+        status_path.write_text(json.dumps(live))
+        report = gc_queue(queue_dir, keep_days=0)
+        assert report.eviction.results == ()
+        assert report.submissions == ()
+        assert WorkQueue(queue_dir).result_ids() \
+            == set(status["task_ids"])
+
+    def test_keep_days_validates(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_days"):
+            gc_queue(tmp_path / "q", keep_days=-1)
