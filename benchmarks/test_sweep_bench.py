@@ -243,6 +243,52 @@ def test_distributed_backend_bit_identical_for_any_worker_count():
             f"distributed backend is inverse-scaling again")
 
 
+def test_matrix_workload_benchmark():
+    """The PR-10 scenario-matrix runner at paper scale: two policies
+    crossed with plain + bursty + app workloads on the 8x8 mesh,
+    submitted as ONE planned run through the batched backend (with a
+    deliberately duplicated cell and a repeated rate).  Records wall
+    time and the dedupe proof — executed units == distinct digests —
+    in BENCH_sweep.json's "matrix" section."""
+    from repro.runner import UnitCache
+    from repro.scenario import ScenarioSpec
+
+    scenarios = [ScenarioSpec.build(policy, "uniform", config=CONFIG,
+                                    workload=workload)
+                 for policy in ("no-dvfs",
+                                f"rmsd:lambda_max={LAMBDA_MAX}")
+                 for workload in (None, "mmoo", "filexfer")]
+    rates = RATES[:6] + RATES[:1]            # repeated rate point
+    units = []
+    for spec in scenarios + scenarios[:1]:   # duplicated cell
+        units.extend(spec.units(rates, BUDGET, SEED, "fast"))
+    distinct = len({u.digest() for u in units})
+    assert distinct < len(units)             # the dedupe has work
+    context = ExecutionContext(backend="batched", cache=UnitCache(),
+                               engine="fast")
+    start = time.perf_counter()
+    try:
+        results = context.run(units)
+    finally:
+        context.close()
+    elapsed = time.perf_counter() - start
+    report = context.runner.last_report
+    assert len(results) == len(units)
+    assert report.executed == distinct, (
+        f"matrix dedupe broken: {report.executed} executed for "
+        f"{distinct} distinct units")
+    _results["matrix"] = {
+        "mesh": f"{CONFIG.width}x{CONFIG.height}",
+        "scenario": {"pattern": "uniform",
+                     "policies": ["no-dvfs", "rmsd"],
+                     "workloads": ["none", "mmoo", "filexfer"]},
+        "submitted_units": len(units),
+        "distinct_units": distinct,
+        "executed_units": report.executed,
+        "batched_s": round(elapsed, 3),
+    }
+
+
 # --- the 16x16 warm-pool scaling gate (its own CI step) ---------------
 
 CONFIG_16 = PAPER_BASELINE.with_(width=16, height=16)

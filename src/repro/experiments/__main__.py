@@ -59,7 +59,22 @@ through any backend::
 
     python -m repro.experiments list-scenarios
 
-prints every registered policy and pattern with its parameters.
+prints every registered policy, pattern and workload with its
+parameters.
+
+The scenario-matrix runner sweeps a whole cross product of policies,
+patterns and workloads (README "Workloads") as one planned
+submission — shared units execute exactly once::
+
+    python -m repro.experiments matrix --policy rmsd --policy dmsd \\
+        --pattern uniform --workload none --workload mmoo \\
+        --rates 0.05,0.1
+
+``record`` captures one scenario's injection stream to a versioned
+trace file and ``replay`` re-drives a mesh from it, bit-exactly::
+
+    python -m repro.experiments record --out u.trace --rate 0.1 --tiny
+    python -m repro.experiments replay --trace u.trace --tiny
 """
 
 from __future__ import annotations
@@ -159,16 +174,36 @@ def _parse_refs(values: list[str] | None, validate, flag: str,
     return tuple(refs)
 
 
+def _parse_workloads(values: list[str] | None,
+                     error) -> tuple[Ref | None, ...]:
+    """``--workload`` values as refs; ``"none"`` = plain traffic."""
+    from ..workload import as_workload_ref
+
+    if not values:
+        return (None,)
+    out: list[Ref | None] = []
+    for value in values:
+        if value == "none":
+            out.append(None)
+            continue
+        try:
+            out.append(as_workload_ref(value))
+        except ValueError as exc:
+            error(f"--workload {value!r}: {exc}")
+    return tuple(out)
+
+
 def list_scenarios_main(argv: list[str]) -> int:
     """``python -m repro.experiments list-scenarios``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments list-scenarios",
-        description="List registered DVFS policies and traffic "
-                    "patterns (the scenario building blocks; see "
-                    "README 'Scenarios').")
+        description="List registered DVFS policies, traffic patterns "
+                    "and workloads (the scenario building blocks; see "
+                    "README 'Scenarios' and 'Workloads').")
     parser.add_argument("--register", action="append", metavar="MODULE",
                         help="import MODULE first (a plugin that "
-                             "registers policies/patterns); repeatable")
+                             "registers policies/patterns/workloads); "
+                             "repeatable")
     args = parser.parse_args(argv)
     register_modules(args.register, parser.error)
 
@@ -199,7 +234,23 @@ def list_scenarios_main(argv: list[str]) -> int:
         cls = PATTERN_REGISTRY.factory(name)
         params = PATTERN_REGISTRY.accepted_params(name,
                                                   skip_positional=1)
-        print(f"  {name:12s} {cls.__name__:20s} "
+        line = (f"  {name:12s} {cls.__name__:20s} "
+                f"params: {fmt_params(params)}")
+        # Shape-constrained patterns (satisfied or not, the note is
+        # static): building an incompatible ScenarioSpec raises at
+        # validation with the scenario named.
+        if getattr(cls, "requires", None):
+            line += f"; requires {cls.requires}"
+        print(line)
+    print()
+    print("Workloads (repro.workload; shape offered load over time, "
+          "--workload NAME[:k=v,...]):")
+    from ..workload import WORKLOAD_REGISTRY
+    for name in WORKLOAD_REGISTRY.names():
+        cls = WORKLOAD_REGISTRY.factory(name)
+        params = WORKLOAD_REGISTRY.accepted_params(name,
+                                                   skip_positional=1)
+        print(f"  {name:12s} {cls.__name__:24s} "
               f"params: {fmt_params(params)}")
     return 0
 
@@ -462,6 +513,12 @@ def submit_main(argv: list[str]) -> int:
                         metavar="NAME[:k=v,...]",
                         help="traffic pattern(s) to cross with the "
                              "policies (repeatable; default: uniform)")
+    parser.add_argument("--workload", action="append",
+                        metavar="NAME[:k=v,...]",
+                        help="workload(s) to cross in as a third "
+                             "dimension (repeatable; 'none' = plain "
+                             "constant-rate traffic, the default — "
+                             "see README 'Workloads')")
     parser.add_argument("--rates", required=True, metavar="R1,R2,...",
                         help="comma-separated injection rates "
                              "(flits/node-cycle), the sweep axis")
@@ -500,12 +557,18 @@ def submit_main(argv: list[str]) -> int:
     pattern_refs = _parse_refs(args.pattern or ["uniform"],
                                as_pattern_ref, "--pattern",
                                parser.error)
+    workloads = _parse_workloads(args.workload, parser.error)
     rates = _parse_rates(args.rates, parser.error)
     budget = _parse_budget(args.budget, parser.error)
     config = TINY_CONFIG if args.tiny else PAPER_BASELINE
-    scenarios = [ScenarioSpec.build(policy, pattern, config=config)
-                 for policy in policy_refs
-                 for pattern in pattern_refs]
+    try:
+        scenarios = [ScenarioSpec.build(policy, pattern, config=config,
+                                        workload=workload)
+                     for policy in policy_refs
+                     for pattern in pattern_refs
+                     for workload in workloads]
+    except ValueError as exc:
+        parser.error(str(exc))
     try:
         submission = SweepSubmission.build(
             scenarios, rates, seed=args.seed, engine=args.engine,
@@ -656,9 +719,274 @@ def gc_main(argv: list[str]) -> int:
     return 0
 
 
+def matrix_main(argv: list[str]) -> int:
+    """``python -m repro.experiments matrix``: scenario cross product."""
+    import json
+
+    from ..scenario import ScenarioSpec
+    from ..traffic.patterns import as_pattern_ref
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments matrix",
+        description="Sweep the cross product of policies x patterns x "
+                    "workloads over one rate grid as a SINGLE planned "
+                    "submission: units shared between cells (or "
+                    "repeated rates) execute exactly once, any "
+                    "execution backend sees the whole matrix at once, "
+                    "and the result is a per-cell delay table (plus an "
+                    "optional JSON artifact).  See README 'Workloads'.")
+    parser.add_argument("--policy", action="append", required=True,
+                        metavar="NAME[:k=v,...]",
+                        help="policy row(s) of the matrix (repeatable)")
+    parser.add_argument("--pattern", action="append",
+                        metavar="NAME[:k=v,...]",
+                        help="traffic pattern(s) to cross in "
+                             "(repeatable; default: uniform)")
+    parser.add_argument("--workload", action="append",
+                        metavar="NAME[:k=v,...]",
+                        help="workload(s) to cross in (repeatable; "
+                             "'none' = plain constant-rate traffic, "
+                             "the default)")
+    parser.add_argument("--rates", required=True, metavar="R1,R2,...",
+                        help="comma-separated injection rates "
+                             "(flits/node-cycle), the sweep axis of "
+                             "every cell")
+    parser.add_argument("--profile", choices=("quick", "full"),
+                        default="quick",
+                        help="simulation effort (default: quick)")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--engine", choices=engine_names(),
+                        default=DEFAULT_ENGINE,
+                        help=f"simulation engine (default: "
+                             f"{DEFAULT_ENGINE})")
+    parser.add_argument("--backend", choices=backend_names() + ("auto",),
+                        default="auto",
+                        help="execution backend (default: auto)")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes (default 1; 0 = all "
+                             "cores); results are identical for any "
+                             "value")
+    parser.add_argument("--queue", metavar="DIR", default=None,
+                        help="work-queue directory for --backend "
+                             "distributed")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="self-spawned workers for --backend "
+                             "distributed (default 0)")
+    parser.add_argument("--pool", action="store_true",
+                        help="keep self-spawned workers warm across "
+                             "the whole matrix (needs --workers >= 1)")
+    parser.add_argument("--claim-batch", type=int, default=1,
+                        metavar="N",
+                        help="tasks per worker claim round-trip "
+                             "(default 1)")
+    parser.add_argument("--register", action="append", metavar="MODULE",
+                        help="import MODULE first (plugin policies/"
+                             "patterns/workloads); repeatable")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the unit cache (cells then run "
+                             "as independent sweeps; no cross-cell "
+                             "dedupe proof)")
+    parser.add_argument("--tiny", action="store_true",
+                        help="run on the tiny 3x3 smoke mesh")
+    parser.add_argument("--progress", action="store_true",
+                        help="print per-unit progress to stderr")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="also write the matrix artifact (per-cell "
+                             "points + run report) as JSON to FILE")
+    args = parser.parse_args(argv)
+    register_modules(args.register, parser.error)
+    policy_refs = _parse_refs(args.policy,
+                              POLICY_REGISTRY.validate_sweep_ref,
+                              "--policy", parser.error)
+    pattern_refs = _parse_refs(args.pattern or ["uniform"],
+                               as_pattern_ref, "--pattern",
+                               parser.error)
+    workloads = _parse_workloads(args.workload, parser.error)
+    rates = _parse_rates(args.rates, parser.error)
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    if args.workers < 0:
+        parser.error("--workers must be >= 0")
+    if args.claim_batch < 1:
+        parser.error("--claim-batch must be >= 1")
+    if args.backend == "distributed":
+        if not args.queue:
+            parser.error("--backend distributed requires --queue DIR")
+        if args.pool and args.workers < 1:
+            parser.error("--pool needs self-spawned workers "
+                         "(--workers >= 1)")
+    elif args.queue or args.workers or args.pool or args.claim_batch != 1:
+        parser.error("--queue/--workers/--pool/--claim-batch are only "
+                     "meaningful with --backend distributed")
+    config = TINY_CONFIG if args.tiny else PAPER_BASELINE
+    try:
+        scenarios = [ScenarioSpec.build(policy, pattern, config=config,
+                                        workload=workload)
+                     for policy in policy_refs
+                     for pattern in pattern_refs
+                     for workload in workloads]
+    except ValueError as exc:
+        parser.error(str(exc))
+    context = ExecutionContext(
+        backend=args.backend, jobs=jobs,
+        cache=None if args.no_cache else UnitCache(),
+        engine=args.engine,
+        progress=print_progress if args.progress else None,
+        queue=args.queue, workers=args.workers,
+        pool=args.pool, claim_batch=args.claim_batch)
+    bench = Workbench(profile=FULL if args.profile == "full" else QUICK,
+                      seed=args.seed, context=context,
+                      policies=policy_refs)
+    try:
+        result = bench.scenario_matrix(scenarios, rates)
+    finally:
+        context.close()
+    print(result.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result.to_payload(), handle, indent=2)
+            handle.write("\n")
+        print(f"[matrix artifact written to {args.out}]")
+    return 0
+
+
+def record_main(argv: list[str]) -> int:
+    """``python -m repro.experiments record``: capture a trace."""
+    from ..scenario import ScenarioSpec
+    from ..workload import InjectionTrace
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments record",
+        description="Record one scenario's injection stream (every "
+                    "(cycle, src, dst) packet arrival) to a versioned "
+                    "trace file that 'replay' — or any scenario with "
+                    "--workload trace:path=FILE — re-drives "
+                    "bit-exactly.  See README 'Workloads'.")
+    parser.add_argument("--out", required=True, metavar="FILE",
+                        help="trace file to write (conventionally "
+                             "*.trace)")
+    parser.add_argument("--pattern", default="uniform",
+                        metavar="NAME[:k=v,...]",
+                        help="spatial traffic pattern (default: "
+                             "uniform)")
+    parser.add_argument("--workload", default=None,
+                        metavar="NAME[:k=v,...]",
+                        help="shape the recorded stream with a "
+                             "workload first (e.g. mmoo); default: "
+                             "plain constant-rate traffic")
+    parser.add_argument("--rate", type=float, required=True,
+                        metavar="R",
+                        help="mean injection rate in flits/node-cycle")
+    parser.add_argument("--cycles", type=int, default=20_000,
+                        metavar="N",
+                        help="node cycles to record (default 20000); "
+                             "replay offers nothing beyond them")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="arrival RNG seed (default 1)")
+    parser.add_argument("--tiny", action="store_true",
+                        help="record on the tiny 3x3 smoke mesh "
+                             "instead of the paper baseline")
+    parser.add_argument("--register", action="append", metavar="MODULE",
+                        help="import MODULE first (plugin patterns/"
+                             "workloads); repeatable")
+    args = parser.parse_args(argv)
+    register_modules(args.register, parser.error)
+    if args.rate <= 0:
+        parser.error("--rate must be a positive injection rate")
+    if args.cycles < 1:
+        parser.error("--cycles must be >= 1")
+    config = TINY_CONFIG if args.tiny else PAPER_BASELINE
+    workload = (None if args.workload in (None, "none")
+                else args.workload)
+    try:
+        spec = ScenarioSpec.build("no-dvfs", args.pattern,
+                                  config=config, workload=workload)
+        traffic = spec.traffic_factory()(args.rate)
+    except ValueError as exc:
+        parser.error(str(exc))
+    trace = InjectionTrace.record(
+        traffic, config.packet_length, args.cycles, args.seed,
+        source=f"{spec.label} rate={args.rate:g} seed={args.seed}")
+    path = trace.save(args.out)
+    print(f"[recorded {len(trace.events)} arrivals over "
+          f"{args.cycles} node cycles -> {path}]")
+    print(f"[empirical mean rate "
+          f"{trace.mean_node_rate():.4f} flits/node-cycle]")
+    print(f"[digest {trace.digest()}]")
+    return 0
+
+
+def replay_main(argv: list[str]) -> int:
+    """``python -m repro.experiments replay``: re-drive from a trace."""
+    from ..noc.budget import run_fixed_point
+    from ..workload import InjectionTrace, TraceError, TraceTraffic
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments replay",
+        description="Replay a recorded trace through one pinned-"
+                    "frequency simulation and print the measured "
+                    "delay/throughput.  The injected stream is the "
+                    "recorded one, bit for bit, on every engine and "
+                    "backend.")
+    parser.add_argument("--trace", required=True, metavar="FILE",
+                        help="trace file written by the record "
+                             "subcommand")
+    parser.add_argument("--freq-rel", type=float, default=1.0,
+                        metavar="F",
+                        help="network frequency as a fraction of Fmax "
+                             "(default 1.0)")
+    parser.add_argument("--budget", default="default",
+                        metavar="NAME|W:M:D",
+                        help="simulation budget: fast, default, "
+                             "thorough, or WARMUP:MEASURE:DRAIN "
+                             "(default: default)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--engine", choices=engine_names(),
+                        default=DEFAULT_ENGINE,
+                        help=f"simulation engine (default: "
+                             f"{DEFAULT_ENGINE})")
+    parser.add_argument("--tiny", action="store_true",
+                        help="replay on the tiny 3x3 smoke mesh "
+                             "(the trace must match its shape)")
+    args = parser.parse_args(argv)
+    if args.freq_rel <= 0:
+        parser.error("--freq-rel must be > 0")
+    budget = _parse_budget(args.budget, parser.error)
+    config = TINY_CONFIG if args.tiny else PAPER_BASELINE
+    try:
+        trace = InjectionTrace.load(args.trace)
+    except TraceError as exc:
+        parser.error(str(exc))
+    if trace.num_nodes != config.num_nodes:
+        parser.error(f"trace records {trace.num_nodes} nodes but the "
+                     f"selected config has {config.num_nodes} "
+                     f"({config.width}x{config.height}); re-record or "
+                     f"drop/add --tiny")
+    if trace.packet_length != config.packet_length:
+        parser.error(f"trace records packet length "
+                     f"{trace.packet_length} but the selected config "
+                     f"uses {config.packet_length}")
+    result = run_fixed_point(config, TraceTraffic(trace),
+                             args.freq_rel * config.f_max_hz, budget,
+                             args.seed, engine=args.engine)
+    delay = ("n/a" if result.mean_delay_ns is None
+             else f"{result.mean_delay_ns:.2f} ns")
+    print(f"[replayed {len(trace.events)} arrivals "
+          f"(source: {trace.source or 'unknown'})]")
+    print(f"[delivered {result.measured_delivered}/"
+          f"{result.measured_created} measured packets; mean delay "
+          f"{delay}; accepted rate {result.accepted_node_rate:.4f} "
+          f"flits/node-cycle; saturated={result.saturated}]")
+    return 0
+
+
 _SUBCOMMANDS = {
     "worker": worker_main,
     "list-scenarios": list_scenarios_main,
+    "matrix": matrix_main,
+    "record": record_main,
+    "replay": replay_main,
     "serve": serve_main,
     "submit": submit_main,
     "status": status_main,

@@ -29,7 +29,7 @@ from ..noc.engines import DEFAULT_ENGINE
 from ..power.model import PowerModel
 from ..runner import (ExecutionContext, SweepRunner, UnitCache,
                       context_from_env)
-from ..scenario import ScenarioSpec
+from ..scenario import ScenarioSpec, run_scenario_sweep
 from ..traffic.injection import PatternTraffic, TrafficSpec
 from ..traffic.patterns import as_pattern_ref, make_pattern
 
@@ -287,11 +287,75 @@ class Workbench:
     def scenario_sweep(self, spec: ScenarioSpec,
                        rates: tuple[float, ...] | None = None
                        ) -> SweepSeries:
-        """Sweep one :class:`ScenarioSpec` (rates default to its grid)."""
+        """Sweep one :class:`ScenarioSpec` (rates default to its grid).
+
+        Workload-bearing scenarios are memoized under the full spec —
+        the (config, pattern, policy) key of :meth:`pattern_sweep`
+        would alias a workload sweep with its plain-traffic sibling.
+        """
         if rates is None:
             rates = self.rate_grid(spec.config, spec.pattern)
-        return self.pattern_sweep(spec.config, spec.pattern, spec.policy,
-                                  tuple(rates))
+        rates = tuple(rates)
+        if spec.workload is None:
+            return self.pattern_sweep(spec.config, spec.pattern,
+                                      spec.policy, rates)
+        key = self.scenario_sweep_key(spec, rates)
+        if key not in self._sweeps:
+            self._sweeps[key] = run_scenario_sweep(
+                spec, list(rates), budget=self.budget_for(spec.config),
+                seed=self.seed,
+                power_model=self.power_model(spec.config),
+                context=self.context,
+                resources=self.resources_for(spec.config, spec.pattern))
+        return self._sweeps[key]
+
+    def scenario_matrix(self, scenarios: Sequence[ScenarioSpec],
+                        rates: tuple[float, ...]):
+        """Run a scenario cross product as ONE planned submission.
+
+        Every sweep unit of every scenario goes to the runner in a
+        single :meth:`~repro.runner.SweepRunner.run` call: the planner
+        deduplicates units shared between cells (and duplicate rate
+        points), the backend sees the whole matrix at once, and the
+        returned :class:`~repro.experiments.matrix.MatrixResult`
+        carries the run report whose ``executed`` count proves each
+        distinct unit ran exactly once.  Per-cell series are then
+        assembled entirely from the unit cache.
+
+        Strategy resources (saturation searches, DMSD targets) are
+        derived per (config, pattern) from the *plain* pattern traffic
+        — the workload dimension normalizes to the same mean rate, so
+        cells sharing a pattern share one saturation search.
+        """
+        from .matrix import MatrixResult
+        scenarios = tuple(scenarios)
+        rates = tuple(rates)
+        report = None
+        if self.context.cache is not None:
+            units = []
+            for spec in scenarios:
+                if self.scenario_sweep_key(spec, rates) in self._sweeps:
+                    continue
+                units.extend(spec.units(
+                    rates, self.budget_for(spec.config), self.seed,
+                    self.engine,
+                    resources=self.resources_for(spec.config,
+                                                 spec.pattern)))
+            if units:
+                self.runner.run(units)
+                report = self.runner.last_report
+        series = {spec.label: self.scenario_sweep(spec, rates)
+                  for spec in scenarios}
+        return MatrixResult(scenarios=scenarios, rates=rates,
+                            series=series, report=report)
+
+    def scenario_sweep_key(self, spec: ScenarioSpec,
+                           rates: tuple[float, ...]) -> tuple:
+        """The memo key :meth:`scenario_sweep` files ``spec`` under."""
+        if spec.workload is None:
+            return self._sweep_key(spec.config, spec.pattern,
+                                   spec.policy, tuple(rates))
+        return ("scenario", spec, tuple(rates))
 
     def policy_refs(self, policies: Sequence[Ref | str] | None = None
                     ) -> tuple[Ref, ...]:

@@ -30,6 +30,7 @@ WALL_CLOCK_SCOPE = (
     "repro/core/",
     "repro/runner/",
     "repro/scenario.py",
+    "repro/workload/",
 )
 
 #: D001 allowlist: the distributed lease/heartbeat machinery.  Lease
@@ -60,4 +61,5 @@ SET_ORDER_SCOPE = (
     "repro/scenario.py",
     "repro/core/registry.py",
     "repro/noc/stats.py",
+    "repro/workload/",
 )

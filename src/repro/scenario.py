@@ -46,8 +46,13 @@ from .runner.units import WorkUnit
 from .traffic.injection import PatternTraffic, TrafficSpec
 from .traffic.patterns import (PATTERN_REGISTRY, TrafficPattern,
                                as_pattern_ref)
+from .workload import Workload, as_workload_ref, make_workload
 
 __all__ = ["ScenarioSpec", "run_scenario_sweep"]
+
+#: Sentinel for :meth:`ScenarioSpec.with_`: distinguishes "keep the
+#: current workload" (the default) from "clear it" (``workload=None``).
+_KEEP = object()
 
 
 @dataclass(frozen=True)
@@ -64,6 +69,7 @@ class ScenarioSpec:
     policy: Ref
     pattern: Ref
     config: NocConfig = PAPER_BASELINE
+    workload: Ref | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policy", as_policy_ref(self.policy))
@@ -71,35 +77,62 @@ class ScenarioSpec:
         if not isinstance(self.config, NocConfig):
             raise ValueError(
                 f"config must be a NocConfig, got {self.config!r}")
+        if self.workload is not None:
+            object.__setattr__(self, "workload",
+                               as_workload_ref(self.workload))
+        # Shape-constrained patterns (transpose, bit-reverse, shuffle)
+        # reject incompatible meshes — surface that here, naming the
+        # scenario, instead of deep inside a sweep worker.
+        try:
+            PATTERN_REGISTRY.create(self.pattern, self.config.make_mesh())
+        except ValueError as exc:
+            raise ValueError(
+                f"scenario {self.label!r}: pattern "
+                f"{self.pattern.label!r} is incompatible with this "
+                f"config ({self.config.width}x{self.config.height} "
+                f"mesh): {exc}") from exc
 
     @classmethod
     def build(cls, policy: Ref | str = "no-dvfs",
               pattern: Ref | str = "uniform",
               config: NocConfig | None = None,
+              workload: Ref | str | None = None,
               **overrides) -> "ScenarioSpec":
         """The ergonomic constructor.
 
         ``ScenarioSpec.build("dmsd:target_delay_ns=40", "hotspot",
         width=3, height=3)`` — overrides apply on top of ``config``
-        (default: the paper's 5x5 baseline).
+        (default: the paper's 5x5 baseline).  ``workload`` optionally
+        names a registered workload (``"mmoo:gain=2.0"``) shaping
+        offered load over time.
         """
         base = PAPER_BASELINE if config is None else config
         if overrides:
             base = base.with_(**overrides)
-        return cls(Ref.coerce(policy), Ref.coerce(pattern), base)
+        return cls(Ref.coerce(policy), Ref.coerce(pattern), base,
+                   Ref.coerce(workload) if workload is not None else None)
 
     def with_(self, policy: Ref | str | None = None,
               pattern: Ref | str | None = None,
               config: NocConfig | None = None,
+              workload: "Ref | str | None" = _KEEP,
               **overrides) -> "ScenarioSpec":
-        """A copy with some dimensions swapped out."""
+        """A copy with some dimensions swapped out.
+
+        Pass ``workload=None`` explicitly to drop the workload; by
+        default the current one is kept.
+        """
         cfg = self.config if config is None else config
         if overrides:
             cfg = cfg.with_(**overrides)
+        if workload is _KEEP:
+            wl = self.workload
+        else:
+            wl = Ref.coerce(workload) if workload is not None else None
         return ScenarioSpec(
             Ref.coerce(policy) if policy is not None else self.policy,
             Ref.coerce(pattern) if pattern is not None else self.pattern,
-            cfg)
+            cfg, wl)
 
     # --- wire format ----------------------------------------------------
     def to_payload(self) -> dict:
@@ -111,9 +144,12 @@ class ScenarioSpec:
         file is human-readable and carries no pickles — the sweep
         service accepts these from any client that can write JSON.
         """
-        return {"policy": self.policy.label,
-                "pattern": self.pattern.label,
-                "config": self.config.to_dict()}
+        payload = {"policy": self.policy.label,
+                   "pattern": self.pattern.label,
+                   "config": self.config.to_dict()}
+        if self.workload is not None:
+            payload["workload"] = self.workload.label
+        return payload
 
     @classmethod
     def from_payload(cls, data: dict) -> "ScenarioSpec":
@@ -128,12 +164,18 @@ class ScenarioSpec:
                 f"got {data!r}") from exc
         return cls.build(policy, pattern,
                          config=(NocConfig.from_dict(config)
-                                 if config is not None else None))
+                                 if config is not None else None),
+                         workload=data.get("workload"))
 
     # --- identity -------------------------------------------------------
     def spec_key(self) -> tuple:
-        """Canonical identity tuple of the scenario."""
-        return (
+        """Canonical identity tuple of the scenario.
+
+        The workload entry is appended only when one is set, so every
+        workload-free scenario keeps its pre-workload digest byte for
+        byte.
+        """
+        key = (
             "scenario-v1",
             ("policy",) + self.policy.spec_key(),
             ("pattern",) + self.pattern.spec_key(),
@@ -141,6 +183,9 @@ class ScenarioSpec:
                 (f, repr(getattr(self.config, f)))
                 for f in self.config.__dataclass_fields__),
         )
+        if self.workload is not None:
+            key += (("workload",) + self.workload.spec_key(),)
+        return key
 
     def digest(self) -> str:
         """Stable hash of the scenario's identity."""
@@ -148,9 +193,12 @@ class ScenarioSpec:
 
     @property
     def label(self) -> str:
-        """Short display label, e.g. ``dmsd/uniform@5x5``."""
+        """Short display label, e.g. ``dmsd/uniform@5x5`` (plus
+        ``+mmoo`` when a workload shapes the load)."""
+        suffix = (f"+{self.workload.label}"
+                  if self.workload is not None else "")
         return (f"{self.policy.label}/{self.pattern.label}"
-                f"@{self.config.width}x{self.config.height}")
+                f"@{self.config.width}x{self.config.height}{suffix}")
 
     # --- derived objects (always fresh instances) -----------------------
     def make_controller(self) -> DvfsPolicy:
@@ -162,10 +210,25 @@ class ScenarioSpec:
         return PATTERN_REGISTRY.create(self.pattern,
                                        self.config.make_mesh())
 
+    def make_workload(self) -> Workload | None:
+        """A **new** workload instance, or None for plain traffic."""
+        if self.workload is None:
+            return None
+        return make_workload(self.workload, self.config)
+
     def traffic_factory(self) -> Callable[[float], TrafficSpec]:
-        """Sweep-axis coordinate (node rate) -> ``TrafficSpec``."""
+        """Sweep-axis coordinate (node rate) -> ``TrafficSpec``.
+
+        With a workload set, the spatial base spec is routed through
+        :meth:`Workload.traffic`, which shapes offered load over time
+        (or, for trace replay, substitutes the recorded stream).
+        """
         pattern = self.make_pattern()
-        return lambda rate: PatternTraffic(pattern, rate)
+        base = lambda rate: PatternTraffic(pattern, rate)
+        workload = self.make_workload()
+        if workload is None:
+            return base
+        return lambda rate: workload.traffic(base, rate)
 
     def strategy(self, resources: StrategyResources | None = None
                  ) -> SteadyStateStrategy:

@@ -50,6 +50,54 @@ class TrafficSpec(ABC):
         """Average offered rate across nodes (the sweep x-axis)."""
         return float(self.node_rates().mean())
 
+    # --- time-varying contract ------------------------------------------
+    # ``node_rates`` reports the *nominal* (factor-1) rates; a spec may
+    # additionally modulate them over node-cycle time.  The injection
+    # process queries the modulation through these hooks, so any spec —
+    # built-in or user-defined — participates in the peak-rate
+    # saturation check and the per-cycle threshold path without
+    # ``isinstance`` special cases.
+
+    @property
+    def is_time_varying(self) -> bool:
+        """Whether offered load depends on node-cycle time."""
+        return False
+
+    def max_factor(self) -> float:
+        """Peak rate multiplier over all node cycles (1.0 = constant).
+
+        Part of the base contract so the injection process can validate
+        ``peak rate <= one packet per node cycle`` for *any* spec: a
+        time-varying subclass that forgets to override this inherits a
+        conservative constant-rate answer only if it also leaves
+        :meth:`rate_factors` at the default — overriding one without
+        the other is caught by the injection process's validation.
+        """
+        return 1.0
+
+    def rate_factors(self, start_cycle: int,
+                     count: int) -> np.ndarray | None:
+        """Per-cycle rate multipliers for ``count`` cycles from start.
+
+        ``None`` (the default) means the spec is constant-rate and the
+        injection process uses its packet probabilities directly.
+        Time-varying subclasses return an array of ``count`` factors.
+        """
+        return None
+
+    def replay_events(self, start_cycle: int, count: int
+                      ) -> list[tuple[int, int, int]] | None:
+        """Recorded arrivals for ``[start_cycle, start_cycle+count)``.
+
+        ``None`` (the default) means arrivals are drawn from the
+        Bernoulli process.  A replayed spec (see
+        :class:`repro.workload.TraceTraffic`) returns its recorded
+        ``(cycle_offset, src, dst)`` events instead — the injection
+        process then consumes no randomness at all, so replay is
+        bit-identical on every backend by construction.
+        """
+        return None
+
 
 class PiecewiseRateTraffic(TrafficSpec):
     """A base traffic spec whose rate steps over node-cycle time.
@@ -78,9 +126,19 @@ class PiecewiseRateTraffic(TrafficSpec):
             raise ValueError("rate factors must be non-negative")
         self.base = base
         self.steps = list(steps)
+        # Vectorized lookup tables for rate_factors: workload sources
+        # (repro.workload) emit hundreds of segments, so the per-cycle
+        # factor query must not scan the step list per cycle.
+        self._step_cycles = np.array([c for c, _ in self.steps],
+                                     dtype=np.int64)
+        self._step_factors = np.array([f for _, f in self.steps])
 
     def node_rates(self) -> np.ndarray:
         return self.base.node_rates()
+
+    @property
+    def is_time_varying(self) -> bool:
+        return True
 
     def max_factor(self) -> float:
         return max(f for _, f in self.steps)
@@ -94,11 +152,17 @@ class PiecewiseRateTraffic(TrafficSpec):
         return current
 
     def rate_factors(self, start_cycle: int, count: int) -> np.ndarray:
-        """Per-cycle rate multipliers for ``count`` cycles from start."""
-        out = np.empty(count)
-        for i in range(count):
-            out[i] = self.factor_at(start_cycle + i)
-        return out
+        """Per-cycle rate multipliers for ``count`` cycles from start.
+
+        One ``searchsorted`` over the step table — the values are the
+        exact step factors, bit-identical to the scalar
+        :meth:`factor_at` per cycle.
+        """
+        cycles = np.arange(start_cycle, start_cycle + count,
+                           dtype=np.int64)
+        idx = np.searchsorted(self._step_cycles, cycles,
+                              side="right") - 1
+        return self._step_factors[idx]
 
     def draw_dest(self, src: int, rng: np.random.Generator) -> int | None:
         return self.base.draw_dest(src, rng)
@@ -189,8 +253,10 @@ class InjectionProcess:
         self.rng = rng
         rates = spec.node_rates()
         self.packet_prob = rates / packet_length
-        peak_factor = (spec.max_factor()
-                       if isinstance(spec, PiecewiseRateTraffic) else 1.0)
+        # The base-contract peak check: every spec answers max_factor()
+        # (1.0 for constant-rate specs), so a time-varying spec cannot
+        # silently bypass the saturation validation.
+        peak_factor = float(spec.max_factor())
         if (self.packet_prob * peak_factor > 1.0).any():
             bad = float(rates.max()) * peak_factor
             raise ValueError(
@@ -209,10 +275,18 @@ class InjectionProcess:
         """
         if num_node_cycles <= 0:
             return []
+        replayed = self.spec.replay_events(self._cursor, num_node_cycles)
+        if replayed is not None:
+            # Trace replay: the events *are* the arrivals; no
+            # randomness is consumed, so replay cannot depend on the
+            # backend, the chunking or the DVFS trajectory.
+            self._cursor += num_node_cycles
+            return replayed
         draws = self.rng.random((num_node_cycles, self.num_nodes))
-        if isinstance(self.spec, PiecewiseRateTraffic):
-            factors = self.spec.rate_factors(self._cursor, num_node_cycles)
-            threshold = factors[:, None] * self.packet_prob[None, :]
+        factors = self.spec.rate_factors(self._cursor, num_node_cycles)
+        if factors is not None:
+            threshold = np.asarray(factors)[:, None] \
+                * self.packet_prob[None, :]
         else:
             threshold = self.packet_prob
         self._cursor += num_node_cycles
@@ -233,12 +307,12 @@ class InjectionProcess:
         :meth:`repro.noc.clock.MultiNodeClockBridge.elapsed_counts`).
         Returns ``(node, cycle_offset, dst)`` tuples, where
         ``cycle_offset`` indexes into node ``n``'s own delivered range.
-        Time-stepped (piecewise) traffic is not supported together with
-        heterogeneous node clocks.
+        Time-varying traffic (piecewise rates, trace replay) is not
+        supported together with heterogeneous node clocks.
         """
-        if isinstance(self.spec, PiecewiseRateTraffic):
+        if self.spec.is_time_varying:
             raise NotImplementedError(
-                "piecewise traffic with heterogeneous node clocks "
+                "time-varying traffic with heterogeneous node clocks "
                 "is not supported")
         counts = np.asarray(counts)
         if len(counts) != self.num_nodes:

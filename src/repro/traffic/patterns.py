@@ -62,6 +62,11 @@ class TrafficPattern(ABC):
     #: registry name, set by subclasses
     name: str = "abstract"
 
+    #: Human-readable mesh-shape constraint (``list-scenarios`` note),
+    #: or None when the pattern works on any mesh.  Violations raise
+    #: at construction and surface at ``ScenarioSpec`` validation.
+    requires: str | None = None
+
     def __init__(self, mesh: Mesh) -> None:
         self.mesh = mesh
 
@@ -125,6 +130,7 @@ class TransposeTraffic(TrafficPattern):
     """Matrix transpose: ``(x, y) -> (y, x)``.  Requires a square mesh."""
 
     name = "transpose"
+    requires = "square mesh"
 
     def __init__(self, mesh: Mesh) -> None:
         if mesh.width != mesh.height:
@@ -166,6 +172,7 @@ class BitReverseTraffic(TrafficPattern):
     """Bit-reversal of the node index (power-of-two node counts only)."""
 
     name = "bitrev"
+    requires = "power-of-two node count"
 
     def __init__(self, mesh: Mesh) -> None:
         n = mesh.num_nodes
@@ -188,6 +195,7 @@ class ShuffleTraffic(TrafficPattern):
     """Perfect shuffle: rotate the index bits left by one."""
 
     name = "shuffle"
+    requires = "power-of-two node count"
 
     def __init__(self, mesh: Mesh) -> None:
         n = mesh.num_nodes

@@ -1,0 +1,46 @@
+"""Workload families: how offered load behaves over time.
+
+Three families, all registered in :data:`WORKLOAD_REGISTRY` and all
+digest-stable:
+
+- **trace replay** (:mod:`repro.workload.trace`) — record per-node
+  injection traces and replay them bit-exactly on any backend;
+- **bursty sources** (:mod:`repro.workload.bursty`) — Markov-modulated
+  on-off (``mmoo``) and heavy-tailed Pareto bursts (``pareto``);
+- **app-driven models** (:mod:`repro.workload.apps`) — video
+  conference codec frames (``vconf``) and file-transfer backlog
+  drains (``filexfer``).
+
+See README "Workloads" for the trace format and the matrix runner.
+"""
+
+from .base import (Workload, WORKLOAD_REGISTRY, as_workload_ref,
+                   derive_workload_seed, make_workload,
+                   register_workload, workload_names)
+from .bursty import (MmooWorkload, ParetoBurstWorkload,
+                     SegmentedWorkload, normalize_segments)
+from .apps import FileTransferWorkload, VideoConferenceWorkload
+from .trace import (InjectionTrace, TraceError, TraceTraffic,
+                    TraceWorkload, TRACE_MAGIC, list_traces)
+
+__all__ = [
+    "Workload",
+    "WORKLOAD_REGISTRY",
+    "as_workload_ref",
+    "derive_workload_seed",
+    "make_workload",
+    "register_workload",
+    "workload_names",
+    "SegmentedWorkload",
+    "normalize_segments",
+    "MmooWorkload",
+    "ParetoBurstWorkload",
+    "VideoConferenceWorkload",
+    "FileTransferWorkload",
+    "InjectionTrace",
+    "TraceError",
+    "TraceTraffic",
+    "TraceWorkload",
+    "TRACE_MAGIC",
+    "list_traces",
+]

@@ -1,0 +1,124 @@
+"""App-driven workload models: codec frames and file-transfer drains.
+
+Where :mod:`repro.traffic.apps` maps *static* task-graph traffic onto
+the mesh, these workloads model what an application does over time: a
+video-conference codec emits one frame per interval with strongly
+size-dependent load (I frames several times a P frame, plus content
+jitter), and a file transfer alternates backlog drains at full rate
+with idle gaps.  Both emit rate segments consumed by
+:class:`~repro.traffic.injection.PiecewiseRateTraffic` over whatever
+spatial base the scenario selects — so ``vconf`` over the ``vce``
+app matrix or over a synthetic pattern both work.
+
+Like the bursty sources, schedules normalize to mean factor 1.0 and
+draw jitter from a seed derived of the workload identity and base spec
+key, keeping digests byte-stable everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..noc.config import NocConfig
+from .base import register_workload
+from .bursty import SegmentedWorkload
+
+
+@register_workload
+class VideoConferenceWorkload(SegmentedWorkload):
+    """Video-conference codec: per-frame load with I/P size variation.
+
+    One segment per frame interval (``frame_cycles`` node cycles).
+    Every ``gop``-th frame is an I frame at ``i_gain`` times the P-frame
+    load; every frame additionally varies by ±``jitter`` (uniform,
+    multiplicative) to model content-dependent frame sizes — the
+    D'Aronco-style delay-constrained source whose offered rate is the
+    output of the codec loop, not a constant.
+    """
+
+    name = "vconf"
+
+    def __init__(self, config: NocConfig, frame_cycles: int = 4_000,
+                 gop: int = 12, i_gain: float = 3.0,
+                 jitter: float = 0.3, horizon: int = 100_000,
+                 seed: int = 0) -> None:
+        super().__init__(config, horizon=horizon, seed=seed)
+        if frame_cycles < 1:
+            raise ValueError("frame interval must be >= 1 node cycle")
+        if gop < 1:
+            raise ValueError("GOP length must be >= 1 frame")
+        if i_gain <= 0:
+            raise ValueError("I-frame gain must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("frame-size jitter must be in [0, 1)")
+        self.frame_cycles = int(frame_cycles)
+        self.gop = int(gop)
+        self.i_gain = float(i_gain)
+        self.jitter = float(jitter)
+
+    def param_key(self) -> tuple:
+        return (("frame_cycles", self.frame_cycles),
+                ("gop", self.gop), ("horizon", self.horizon),
+                ("i_gain", repr(self.i_gain)),
+                ("jitter", repr(self.jitter)))
+
+    def segments(self, rng: np.random.Generator
+                 ) -> list[tuple[int, float]]:
+        frames = -(-self.horizon // self.frame_cycles)  # ceil div
+        out: list[tuple[int, float]] = []
+        for frame in range(frames):
+            size = self.i_gain if frame % self.gop == 0 else 1.0
+            size *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            out.append((self.frame_cycles, size))
+        return out
+
+
+@register_workload
+class FileTransferWorkload(SegmentedWorkload):
+    """File transfer: periodic backlog drains at full rate, then idle.
+
+    Each ``period`` starts with a backlog whose size varies by
+    ±``jitter``; the transfer drains it at ``gain`` times the mean rate
+    for a ``duty`` fraction of the period, then drops to an ``idle``
+    trickle until the next batch arrives.
+    """
+
+    name = "filexfer"
+
+    def __init__(self, config: NocConfig, period: int = 16_000,
+                 duty: float = 0.4, gain: float = 2.0,
+                 idle: float = 0.05, jitter: float = 0.5,
+                 horizon: int = 100_000, seed: int = 0) -> None:
+        super().__init__(config, horizon=horizon, seed=seed)
+        if period < 2:
+            raise ValueError("drain period must be >= 2 node cycles")
+        if not 0.0 < duty < 1.0:
+            raise ValueError("drain duty must be in (0, 1)")
+        if gain <= 0:
+            raise ValueError("drain gain must be positive")
+        if idle < 0:
+            raise ValueError("idle factor must be non-negative")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("backlog jitter must be in [0, 1)")
+        self.period = int(period)
+        self.duty = float(duty)
+        self.gain = float(gain)
+        self.idle = float(idle)
+        self.jitter = float(jitter)
+
+    def param_key(self) -> tuple:
+        return (("duty", repr(self.duty)), ("gain", repr(self.gain)),
+                ("horizon", self.horizon), ("idle", repr(self.idle)),
+                ("jitter", repr(self.jitter)), ("period", self.period))
+
+    def segments(self, rng: np.random.Generator
+                 ) -> list[tuple[int, float]]:
+        periods = -(-self.horizon // self.period)  # ceil div
+        out: list[tuple[int, float]] = []
+        for _ in range(periods):
+            backlog = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            drain = int(round(self.period * self.duty * backlog))
+            drain = min(max(drain, 1), self.period - 1)
+            out.append((drain, self.gain))
+            out.append((self.period - drain, self.idle))
+        return out

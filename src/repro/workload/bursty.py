@@ -1,0 +1,204 @@
+"""Bursty workload sources: Markov-modulated on-off and Pareto bursts.
+
+Both families emit a *segment schedule* — alternating high/low rate
+phases over node-cycle time — and hand it to
+:class:`~repro.traffic.injection.PiecewiseRateTraffic` layered over the
+scenario's spatial base spec.  The schedule is normalized so its
+time-average factor over the horizon is exactly 1.0: the sweep axis
+keeps meaning "mean offered rate", bursts redistribute it in time.
+
+Segment draws come from an RNG seeded via
+:func:`~repro.workload.base.derive_workload_seed` (workload identity +
+base spec key), so identical parameters over identical base traffic
+produce byte-identical schedules — and therefore byte-identical unit
+digests — on every process, host and backend.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from ..noc.config import NocConfig
+from ..traffic.injection import PiecewiseRateTraffic, TrafficSpec
+from .base import Workload, derive_workload_seed, register_workload
+
+
+def normalize_segments(segments: list[tuple[int, float]],
+                       horizon: int) -> list[tuple[int, float]]:
+    """Truncate a ``(length, factor)`` schedule to ``horizon`` cycles
+    and rescale factors so the time-average over the horizon is 1.0.
+
+    The returned schedule covers exactly ``horizon`` cycles; the spec
+    holds its last factor beyond that (so budgets should stay inside
+    the horizon — see README "Workloads").
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1 node cycle")
+    clipped: list[tuple[int, float]] = []
+    remaining = horizon
+    for length, factor in segments:
+        if length < 1:
+            raise ValueError("segment lengths must be >= 1 cycle")
+        if factor < 0:
+            raise ValueError("segment factors must be non-negative")
+        take = min(int(length), remaining)
+        clipped.append((take, float(factor)))
+        remaining -= take
+        if remaining == 0:
+            break
+    if remaining > 0:
+        raise ValueError(
+            f"segment schedule covers {horizon - remaining} of "
+            f"{horizon} horizon cycles")
+    mean = sum(length * factor
+               for length, factor in clipped) / horizon
+    if mean <= 0:
+        raise ValueError("segment schedule offers no traffic")
+    steps: list[tuple[int, float]] = []
+    cycle = 0
+    for length, factor in clipped:
+        steps.append((cycle, factor / mean))
+        cycle += length
+    return steps
+
+
+class SegmentedWorkload(Workload):
+    """Shared machinery for schedule-emitting workload sources."""
+
+    def __init__(self, config: NocConfig, horizon: int = 100_000,
+                 seed: int = 0) -> None:
+        super().__init__(config)
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1 node cycle")
+        self.horizon = int(horizon)
+        self.seed = int(seed)
+
+    @abstractmethod
+    def param_key(self) -> tuple:
+        """Canonical parameter tuple (feeds the derived RNG seed)."""
+
+    @abstractmethod
+    def segments(self, rng: np.random.Generator
+                 ) -> list[tuple[int, float]]:
+        """Raw ``(length, factor)`` schedule covering the horizon."""
+
+    def steps_for(self, spec: TrafficSpec) -> list[tuple[int, float]]:
+        """The normalized step schedule for one base spec."""
+        rng = np.random.default_rng(derive_workload_seed(
+            self.name, self.param_key(), tuple(spec.spec_key()),
+            self.seed))
+        return normalize_segments(self.segments(rng), self.horizon)
+
+    def traffic(self, base: Callable[[float], TrafficSpec],
+                rate: float) -> TrafficSpec:
+        spec = base(rate)
+        return PiecewiseRateTraffic(spec, self.steps_for(spec))
+
+
+@register_workload
+class MmooWorkload(SegmentedWorkload):
+    """Markov-modulated on-off source: geometric dwell times.
+
+    The classic two-state MMOO process: offered load alternates
+    between an on factor (``gain``) and an off factor (``low``), with
+    dwell times drawn geometrically around ``on``/``off`` mean node
+    cycles.  The schedule is normalized to mean factor 1.0, so the
+    sweep rate stays the mean offered rate.
+    """
+
+    name = "mmoo"
+
+    def __init__(self, config: NocConfig, on: int = 2_000,
+                 off: int = 2_000, gain: float = 1.8,
+                 low: float = 0.2, horizon: int = 100_000,
+                 seed: int = 0) -> None:
+        super().__init__(config, horizon=horizon, seed=seed)
+        if on < 1 or off < 1:
+            raise ValueError("mean dwell times must be >= 1 cycle")
+        if gain <= 0:
+            raise ValueError("on-phase gain must be positive")
+        if low < 0:
+            raise ValueError("off-phase factor must be non-negative")
+        self.on = int(on)
+        self.off = int(off)
+        self.gain = float(gain)
+        self.low = float(low)
+
+    def param_key(self) -> tuple:
+        return (("gain", repr(self.gain)), ("horizon", self.horizon),
+                ("low", repr(self.low)), ("off", self.off),
+                ("on", self.on))
+
+    def segments(self, rng: np.random.Generator
+                 ) -> list[tuple[int, float]]:
+        out: list[tuple[int, float]] = []
+        covered = 0
+        while covered < self.horizon:
+            on_len = int(rng.geometric(1.0 / self.on))
+            out.append((on_len, self.gain))
+            covered += on_len
+            if covered >= self.horizon:
+                break
+            off_len = int(rng.geometric(1.0 / self.off))
+            out.append((off_len, self.low))
+            covered += off_len
+        return out
+
+
+@register_workload
+class ParetoBurstWorkload(SegmentedWorkload):
+    """Pareto-burst source: heavy-tailed on phases, geometric gaps.
+
+    On-phase durations follow a truncated Pareto distribution
+    (``shape``, minimum ``min_on`` cycles, capped at a quarter of the
+    horizon so a single burst cannot swallow the schedule); gaps are
+    geometric around ``off``.  Heavy-tailed bursts are the standard
+    stress model for rate-based controllers: long overload phases at
+    ``gain`` times the mean rate.
+    """
+
+    name = "pareto"
+
+    def __init__(self, config: NocConfig, shape: float = 1.5,
+                 min_on: int = 500, off: int = 2_000,
+                 gain: float = 1.8, low: float = 0.1,
+                 horizon: int = 100_000, seed: int = 0) -> None:
+        super().__init__(config, horizon=horizon, seed=seed)
+        if shape <= 0:
+            raise ValueError("pareto shape must be positive")
+        if min_on < 1 or off < 1:
+            raise ValueError("burst/gap lengths must be >= 1 cycle")
+        if gain <= 0:
+            raise ValueError("burst gain must be positive")
+        if low < 0:
+            raise ValueError("gap factor must be non-negative")
+        self.shape = float(shape)
+        self.min_on = int(min_on)
+        self.off = int(off)
+        self.gain = float(gain)
+        self.low = float(low)
+
+    def param_key(self) -> tuple:
+        return (("gain", repr(self.gain)), ("horizon", self.horizon),
+                ("low", repr(self.low)), ("min_on", self.min_on),
+                ("off", self.off), ("shape", repr(self.shape)))
+
+    def segments(self, rng: np.random.Generator
+                 ) -> list[tuple[int, float]]:
+        cap = max(self.min_on, self.horizon // 4)
+        out: list[tuple[int, float]] = []
+        covered = 0
+        while covered < self.horizon:
+            on_len = min(cap,
+                         int(self.min_on * (1.0 + rng.pareto(self.shape))))
+            out.append((on_len, self.gain))
+            covered += on_len
+            if covered >= self.horizon:
+                break
+            off_len = int(rng.geometric(1.0 / self.off))
+            out.append((off_len, self.low))
+            covered += off_len
+        return out

@@ -1,0 +1,265 @@
+"""Injection-trace recording and bit-exact replay.
+
+An :class:`InjectionTrace` is the full arrival record of one traffic
+spec over a node-cycle window: every ``(cycle, src, dst)`` packet
+injection, plus the header needed to re-drive a mesh with it.  Traces
+have a versioned, compressed on-disk format and a content digest, and
+replay through :class:`TraceTraffic` — a ``TrafficSpec`` whose
+arrivals *are* the recorded events.  Replay consumes no randomness,
+so it is bit-identical across the serial, batched and distributed
+backends by construction, and the trace digest keys the replaying
+unit's spec (cache entries, derived seeds and distributed task ids)
+exactly like any other traffic identity.
+
+On-disk format (``*.trace``)::
+
+    repro-trace v1\\n
+    {json header}\\n
+    zlib(little-endian int64 events, shape E x 3)
+
+The header carries ``num_nodes``, ``packet_length``, ``node_cycles``,
+the event count, the content digest and a free-form ``source`` label.
+The digest covers the arrival data and the replay-relevant header
+fields — ``source`` is provenance metadata, excluded like the scenario
+metadata on work units.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..noc.config import NocConfig
+from ..traffic.injection import InjectionProcess, TrafficSpec
+from .base import Workload, register_workload
+
+#: First line of every trace file; bump the version for layout changes.
+TRACE_MAGIC = b"repro-trace v1\n"
+
+
+class TraceError(ValueError):
+    """A trace file is missing, malformed, or fails its digest."""
+
+
+class InjectionTrace:
+    """A recorded arrival stream: header plus ``(cycle, src, dst)``."""
+
+    def __init__(self, num_nodes: int, packet_length: int,
+                 node_cycles: int, events: np.ndarray,
+                 source: str = "") -> None:
+        if num_nodes < 1:
+            raise ValueError("a trace needs at least one node")
+        if packet_length < 1:
+            raise ValueError("packet length must be >= 1")
+        if node_cycles < 1:
+            raise ValueError("a trace must cover >= 1 node cycle")
+        events = np.ascontiguousarray(events, dtype=np.int64)
+        if events.size == 0:
+            events = events.reshape(0, 3)
+        if events.ndim != 2 or events.shape[1] != 3:
+            raise ValueError(
+                f"events must be (cycle, src, dst) rows, got shape "
+                f"{events.shape}")
+        if len(events):
+            cycles, srcs, dsts = events.T
+            if (np.diff(cycles) < 0).any():
+                raise ValueError("events must be sorted by cycle")
+            if cycles[0] < 0 or cycles[-1] >= node_cycles:
+                raise ValueError(
+                    f"event cycles must lie in [0, {node_cycles})")
+            for name, col in (("src", srcs), ("dst", dsts)):
+                if col.min() < 0 or col.max() >= num_nodes:
+                    raise ValueError(
+                        f"{name} node outside [0, {num_nodes})")
+        self.num_nodes = int(num_nodes)
+        self.packet_length = int(packet_length)
+        self.node_cycles = int(node_cycles)
+        self.events = events
+        self.source = str(source)
+        self._digest: str | None = None
+
+    # --- identity -------------------------------------------------------
+    def digest(self) -> str:
+        """Stable content hash (the replaying spec's identity)."""
+        if self._digest is None:
+            payload = hashlib.sha256(self.events.astype("<i8").tobytes())
+            self._digest = hashlib.sha256(repr(
+                ("trace-v1", self.num_nodes, self.packet_length,
+                 self.node_cycles, len(self.events),
+                 payload.hexdigest())).encode()).hexdigest()
+        return self._digest
+
+    # --- derived quantities ---------------------------------------------
+    def node_rates(self) -> np.ndarray:
+        """Empirical per-node offered rate, flits per node cycle."""
+        packets = np.bincount(self.events[:, 1],
+                              minlength=self.num_nodes)
+        return packets * self.packet_length / self.node_cycles
+
+    def mean_node_rate(self) -> float:
+        return float(self.node_rates().mean())
+
+    # --- recording ------------------------------------------------------
+    @classmethod
+    def record(cls, spec: TrafficSpec, packet_length: int,
+               node_cycles: int, seed: int,
+               source: str = "") -> "InjectionTrace":
+        """Record ``spec``'s arrivals over ``node_cycles`` node cycles.
+
+        Draws one node cycle at a time — the same per-node-cycle
+        alignment of arrival and destination draws a simulation uses —
+        so a trace recorded with a run's seed contains exactly the
+        arrivals that run injects (for homogeneous node clocks).
+        """
+        process = InjectionProcess(spec, packet_length,
+                                   np.random.default_rng(seed))
+        rows: list[tuple[int, int, int]] = []
+        for cycle in range(node_cycles):
+            for offset, src, dst in process.arrivals(1):
+                rows.append((cycle + offset, src, dst))
+        events = np.array(rows, dtype=np.int64).reshape(len(rows), 3)
+        return cls(process.num_nodes, packet_length, node_cycles,
+                   events, source=source)
+
+    # --- on-disk format -------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the versioned, compressed trace file."""
+        path = Path(path)
+        header = {
+            "num_nodes": self.num_nodes,
+            "packet_length": self.packet_length,
+            "node_cycles": self.node_cycles,
+            "events": len(self.events),
+            "digest": self.digest(),
+            "source": self.source,
+        }
+        blob = zlib.compress(self.events.astype("<i8").tobytes(),
+                             level=6)
+        path.write_bytes(TRACE_MAGIC
+                         + json.dumps(header, sort_keys=True).encode()
+                         + b"\n" + blob)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "InjectionTrace":
+        """Read and fully validate a trace file (digest included)."""
+        path = Path(path)
+        try:
+            raw = path.read_bytes()
+        except OSError as exc:
+            raise TraceError(f"cannot read trace {path}: {exc}") from exc
+        if not raw.startswith(TRACE_MAGIC):
+            raise TraceError(
+                f"{path} is not a repro trace (expected it to start "
+                f"with {TRACE_MAGIC!r})")
+        body = raw[len(TRACE_MAGIC):]
+        header_line, sep, blob = body.partition(b"\n")
+        if not sep:
+            raise TraceError(f"{path}: truncated trace header")
+        try:
+            header = json.loads(header_line)
+            events = np.frombuffer(zlib.decompress(blob),
+                                   dtype="<i8").astype(np.int64)
+            trace = cls(header["num_nodes"], header["packet_length"],
+                        header["node_cycles"],
+                        events.reshape(header["events"], 3),
+                        source=header.get("source", ""))
+            recorded_digest = header["digest"]
+        except (KeyError, TypeError, ValueError, zlib.error) as exc:
+            raise TraceError(f"{path}: malformed trace: {exc}") from exc
+        if trace.digest() != recorded_digest:
+            raise TraceError(
+                f"{path}: digest mismatch — file corrupted or edited "
+                f"(recorded {recorded_digest[:12]}..., recomputed "
+                f"{trace.digest()[:12]}...)")
+        return trace
+
+
+def list_traces(directory: str | Path) -> list[Path]:
+    """Trace files under ``directory``, in sorted (stable) order."""
+    return sorted(Path(directory).glob("*.trace"))
+
+
+class TraceTraffic(TrafficSpec):
+    """Replays an :class:`InjectionTrace` bit-exactly.
+
+    Arrivals come from :meth:`TrafficSpec.replay_events` — the
+    injection process emits the recorded events and draws nothing, so
+    the replayed run is independent of backend, chunking and DVFS
+    trajectory.  ``node_rates`` reports the trace's empirical rates
+    (what the sweep axis and saturation checks see).  Beyond the
+    recorded horizon the trace offers nothing.
+    """
+
+    def __init__(self, trace: InjectionTrace) -> None:
+        self.trace = trace
+        self._cycles = np.ascontiguousarray(trace.events[:, 0])
+
+    def node_rates(self) -> np.ndarray:
+        return self.trace.node_rates()
+
+    @property
+    def is_time_varying(self) -> bool:
+        return True
+
+    def replay_events(self, start_cycle: int, count: int
+                      ) -> list[tuple[int, int, int]]:
+        lo = np.searchsorted(self._cycles, start_cycle, side="left")
+        hi = np.searchsorted(self._cycles, start_cycle + count,
+                             side="left")
+        window = self.trace.events[lo:hi]
+        return [(int(c) - start_cycle, int(s), int(d))
+                for c, s, d in window.tolist()]
+
+    def draw_dest(self, src: int, rng: np.random.Generator) -> int | None:
+        raise NotImplementedError(
+            "trace replay emits recorded arrivals; destinations are "
+            "never drawn")
+
+    def scaled(self, factor: float) -> "TraceTraffic":
+        if factor == 1.0:
+            return self
+        raise ValueError(
+            f"a recorded trace replays at its recorded rate "
+            f"({self.trace.mean_node_rate():.4g} flits/node-cycle "
+            f"mean); re-record at the desired rate instead of scaling "
+            f"by {factor!r}")
+
+    def spec_key(self) -> tuple:
+        return ("trace", self.trace.digest())
+
+
+@register_workload
+class TraceWorkload(Workload):
+    """Replay a recorded injection trace (``trace:path=FILE``).
+
+    The trace file must match the scenario's mesh size and packet
+    length.  The sweep rate is label/coordinate only: offered load is
+    exactly the recorded stream, whatever rates the sweep names (the
+    trace's empirical mean rate is printed by the ``record`` verb).
+    """
+
+    name = "trace"
+
+    def __init__(self, config: NocConfig, path: str) -> None:
+        super().__init__(config)
+        self.path = str(path)
+        self._trace = InjectionTrace.load(self.path)
+        if self._trace.num_nodes != config.num_nodes:
+            raise ValueError(
+                f"trace {self.path} records {self._trace.num_nodes} "
+                f"nodes; config has {config.num_nodes}")
+        if self._trace.packet_length != config.packet_length:
+            raise ValueError(
+                f"trace {self.path} records packet length "
+                f"{self._trace.packet_length}; config uses "
+                f"{config.packet_length}")
+
+    def traffic(self, base: Callable[[float], TrafficSpec],
+                rate: float) -> TrafficSpec:
+        return TraceTraffic(self._trace)

@@ -172,6 +172,29 @@ class TestD003FsOrder:
             """)
         assert report.findings == []
 
+    # Trace-file directory scans (README "Workloads"): a trace picked
+    # by unsorted readdir order would make "replay the first trace in
+    # the directory" host-dependent.
+    TRACE_SCAN_PATH = "src/repro/workload/trace.py"
+
+    def test_fires_on_unsorted_trace_scan(self):
+        report = lint("""\
+            from pathlib import Path
+
+            def list_traces(directory):
+                return list(Path(directory).glob("*.trace"))
+            """, self.TRACE_SCAN_PATH)
+        assert rules_fired(report) == {"D003"}
+
+    def test_silent_on_sorted_trace_scan(self):
+        report = lint("""\
+            from pathlib import Path
+
+            def list_traces(directory):
+                return sorted(Path(directory).glob("*.trace"))
+            """, self.TRACE_SCAN_PATH)
+        assert report.findings == []
+
 
 # ---------------------------------------------------------------------------
 # D004 — set iteration order in digest/plan code

@@ -1,0 +1,202 @@
+"""Tests for the scenario-matrix runner and record/replay CLI verbs.
+
+The matrix runner's contract is *one planned submission*: every sweep
+unit of every cell goes to the runner in a single ``run`` call, the
+planner deduplicates units shared between cells or repeated rates,
+and the run report's ``executed`` count proves each distinct unit ran
+exactly once.  The CLI tests drive ``matrix``, ``record`` and
+``replay`` end to end on the tiny smoke mesh.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.common import Profile, Workbench
+from repro.noc import SimBudget
+from repro.scenario import ScenarioSpec
+
+TINY_PROFILE = Profile("tiny", SimBudget(200, 500, 1500),
+                       sweep_points=3, dmsd_iterations=3,
+                       saturation_iterations=3)
+
+
+@pytest.fixture
+def bench():
+    return Workbench(profile=TINY_PROFILE, seed=5)
+
+
+def matrix_scenarios(tiny_config):
+    plain = ScenarioSpec.build("no-dvfs", "uniform", config=tiny_config)
+    loaded = ScenarioSpec.build("no-dvfs", "uniform",
+                                config=tiny_config, workload="mmoo")
+    return plain, loaded
+
+
+class TestScenarioMatrix:
+    def test_dedupe_executes_each_unit_once(self, bench, tiny_config):
+        """Duplicate cells and repeated rates collapse in the planner:
+        the executed count equals the number of distinct unit digests
+        across the whole submission."""
+        plain, loaded = matrix_scenarios(tiny_config)
+        scenarios = (plain, loaded, plain)       # duplicate cell
+        rates = (0.05, 0.1, 0.05)                # duplicate rate
+        result = bench.scenario_matrix(scenarios, rates)
+        digests = {
+            unit.digest()
+            for spec in scenarios
+            for unit in spec.units(
+                rates, bench.budget_for(spec.config), bench.seed,
+                bench.engine,
+                resources=bench.resources_for(spec.config,
+                                              spec.pattern))}
+        assert len(digests) == 4                 # 2 cells x 2 rates
+        assert result.report is not None
+        assert result.report.executed == len(digests)
+        assert result.report.total_units == len(scenarios) * len(rates)
+
+    def test_series_cover_every_cell(self, bench, tiny_config):
+        plain, loaded = matrix_scenarios(tiny_config)
+        result = bench.scenario_matrix((plain, loaded), (0.05, 0.1))
+        assert set(result.series) == {plain.label, loaded.label}
+        for series in result.series.values():
+            assert series.xs == [0.05, 0.1]
+
+    def test_second_matrix_fully_memoized(self, bench, tiny_config):
+        """A repeated matrix resubmits nothing: the sweep memos answer
+        and the result carries no run report."""
+        scenarios = matrix_scenarios(tiny_config)
+        first = bench.scenario_matrix(scenarios, (0.05, 0.1))
+        second = bench.scenario_matrix(scenarios, (0.05, 0.1))
+        assert second.report is None
+        for label in first.series:
+            assert second.series[label] is first.series[label]
+
+    def test_matrix_series_match_scenario_sweep(self, bench,
+                                                tiny_config):
+        """A matrix cell and a standalone scenario sweep are the same
+        series object — one memo, one set of simulations."""
+        plain, loaded = matrix_scenarios(tiny_config)
+        result = bench.scenario_matrix((plain, loaded), (0.05, 0.1))
+        assert bench.scenario_sweep(loaded, (0.05, 0.1)) \
+            is result.series[loaded.label]
+
+    def test_render_table(self, bench, tiny_config):
+        plain, loaded = matrix_scenarios(tiny_config)
+        result = bench.scenario_matrix((plain, loaded), (0.05, 0.1))
+        text = result.render()
+        assert plain.label in text
+        assert loaded.label in text
+        assert "0.05" in text and "0.1" in text
+        assert "mean packet delay" in text
+        assert "[matrix:" in text
+
+    def test_payload_artifact(self, bench, tiny_config):
+        plain, loaded = matrix_scenarios(tiny_config)
+        result = bench.scenario_matrix((plain, loaded), (0.05,))
+        payload = result.to_payload()
+        assert payload["rates"] == [0.05]
+        assert [c["label"] for c in payload["cells"]] \
+            == [plain.label, loaded.label]
+        for cell in payload["cells"]:
+            assert cell["digest"]
+            assert ScenarioSpec.from_payload(cell["scenario"])
+            point = cell["points"][0]
+            assert point["rate"] == 0.05
+            assert point["mean_delay_ns"] > 0
+        assert payload["report"]["executed"] == 2
+        # The artifact is JSON-serializable as produced.
+        json.dumps(payload)
+
+
+class TestMatrixCli:
+    def test_matrix_smoke_with_artifact(self, tmp_path, capsys):
+        out = tmp_path / "matrix.json"
+        assert main(["matrix", "--tiny", "--policy", "no-dvfs",
+                     "--policy", "rmsd", "--workload", "none",
+                     "--workload", "mmoo", "--rates", "0.05,0.1",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "no-dvfs/uniform@3x3" in text
+        assert "+mmoo" in text
+        assert "[matrix:" in text
+        payload = json.loads(out.read_text())
+        assert len(payload["cells"]) == 4        # 2 policies x 2 loads
+        assert payload["report"]["executed"] >= 1
+
+    def test_matrix_rejects_incompatible_pattern(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["matrix", "--tiny", "--policy", "no-dvfs",
+                  "--pattern", "bitrev", "--rates", "0.05"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "power-of-two" in err
+        assert "Traceback" not in err
+
+    def test_matrix_rejects_unknown_workload(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["matrix", "--tiny", "--policy", "no-dvfs",
+                  "--workload", "nope", "--rates", "0.05"])
+        assert excinfo.value.code == 2
+        assert "mmoo" in capsys.readouterr().err
+
+    def test_matrix_rejects_orphan_queue_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["matrix", "--tiny", "--policy", "no-dvfs",
+                  "--rates", "0.05", "--workers", "2"])
+        assert excinfo.value.code == 2
+
+
+class TestRecordReplayCli:
+    def test_record_replay_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "u.trace"
+        assert main(["record", "--tiny", "--out", str(trace),
+                     "--rate", "0.1", "--cycles", "3000",
+                     "--seed", "9"]) == 0
+        recorded = capsys.readouterr().out
+        assert "[recorded" in recorded
+        assert "[digest" in recorded
+        assert trace.exists()
+        assert main(["replay", "--tiny", "--trace", str(trace),
+                     "--budget", "200:500:1500"]) == 0
+        replayed = capsys.readouterr().out
+        assert "[replayed" in replayed
+        assert "mean delay" in replayed
+
+    def test_record_with_workload(self, tmp_path, capsys):
+        trace = tmp_path / "m.trace"
+        assert main(["record", "--tiny", "--out", str(trace),
+                     "--workload", "mmoo", "--rate", "0.1",
+                     "--cycles", "3000"]) == 0
+        assert "[recorded" in capsys.readouterr().out
+
+    def test_replay_shape_mismatch_is_usage_error(self, tmp_path,
+                                                  capsys):
+        trace = tmp_path / "u.trace"
+        assert main(["record", "--tiny", "--out", str(trace),
+                     "--rate", "0.1", "--cycles", "500"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["replay", "--trace", str(trace)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--tiny" in err
+        assert "Traceback" not in err
+
+    def test_replay_garbage_file_is_usage_error(self, tmp_path,
+                                                capsys):
+        path = tmp_path / "bogus.trace"
+        path.write_text("not a trace\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["replay", "--tiny", "--trace", str(path)])
+        assert excinfo.value.code == 2
+        assert "not a repro trace" in capsys.readouterr().err
+
+    def test_list_scenarios_mentions_workloads(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "Workloads" in out
+        for name in ("mmoo", "pareto", "vconf", "filexfer", "trace"):
+            assert name in out
+        assert "requires square mesh" in out
